@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks: compressed-cache access paths (hit, miss +
+//! fill, fat write) — the per-memory-op mechanism cost of the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ehs_cache::{CacheConfig, CompressedCache, FillMode};
+use ehs_compress::Algorithm;
+use ehs_model::{Address, BlockData, CacheParams};
+
+fn fresh_cache() -> CompressedCache {
+    CompressedCache::new(CacheConfig::new(CacheParams::table1(), Algorithm::Bdi))
+}
+
+fn zero_block() -> BlockData {
+    BlockData::zeroed(32)
+}
+
+fn bench_read_hit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("read_hit_uncompressed", |b| {
+        let mut cache = fresh_cache();
+        cache.fill(Address::new(0x100), zero_block(), FillMode::Bypass, None);
+        b.iter(|| cache.read(std::hint::black_box(Address::new(0x104))))
+    });
+    group.bench_function("read_hit_compressed", |b| {
+        let mut cache = fresh_cache();
+        cache.fill(Address::new(0x100), zero_block(), FillMode::Compress, None);
+        b.iter(|| cache.read(std::hint::black_box(Address::new(0x104))))
+    });
+    group.bench_function("miss_then_fill_compress", |b| {
+        let mut cache = fresh_cache();
+        let mut i = 0u64;
+        b.iter(|| {
+            let addr = Address::new(0x1000 + (i % 4096) * 32);
+            i += 1;
+            if cache.read(addr).is_none() {
+                cache.fill(addr.block_base(32), zero_block(), FillMode::Compress, None);
+            }
+        })
+    });
+    group.bench_function("write_hit_fat_write", |b| {
+        let mut cache = fresh_cache();
+        b.iter(|| {
+            // Refill compressed, then expand it with a store.
+            if !cache.contains(Address::new(0x200)) {
+                cache.fill(Address::new(0x200), zero_block(), FillMode::Compress, None);
+            }
+            cache.write(std::hint::black_box(Address::new(0x200)), 0xAB, false);
+            cache.invalidate_block(Address::new(0x200));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_read_hit);
+criterion_main!(benches);

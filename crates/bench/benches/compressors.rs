@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks: compressor engine throughput per algorithm
+//! and per data class. These are the `E_comp`/`E_decomp` code paths that
+//! run on every cache fill in compression mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ehs_compress::{Algorithm, Compressor};
+
+fn data_classes() -> Vec<(&'static str, Vec<u8>)> {
+    let zeros = vec![0u8; 32];
+    let gradient: Vec<u8> = (0..8u32).flat_map(|i| (0x4000_0000 + i * 3).to_le_bytes()).collect();
+    let text = b"the quick brown fox jumps over!!".to_vec();
+    let mut x = 0x1234_5678u32;
+    let random: Vec<u8> = (0..8)
+        .flat_map(|_| {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            x.to_le_bytes()
+        })
+        .collect();
+    vec![("zeros", zeros), ("gradient", gradient), ("text", text), ("random", random)]
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Bytes(32));
+    for alg in Algorithm::ALL {
+        let engine = alg.compressor();
+        for (class, block) in data_classes() {
+            group.bench_with_input(BenchmarkId::new(alg.name(), class), &block, |b, block| {
+                b.iter(|| engine.compress(std::hint::black_box(block)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompress");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Bytes(32));
+    for alg in Algorithm::ALL {
+        let engine = alg.compressor();
+        for (class, block) in data_classes() {
+            let enc = engine.compress(&block);
+            group.bench_with_input(BenchmarkId::new(alg.name(), class), &enc, |b, enc| {
+                b.iter(|| engine.decompress(std::hint::black_box(enc)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress);
+criterion_main!(benches);

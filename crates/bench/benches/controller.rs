@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for the policy controllers: the per-event
+//! cost of ACC's predictor and Kagura's countdown. These run on every
+//! committed memory instruction, so they must be near-free.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ehs_cache::HitInfo;
+use kagura_core::{Acc, CompressionGovernor, Kagura, KaguraConfig};
+
+fn bench_controllers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("acc_on_hit", |b| {
+        let mut acc = Acc::new();
+        let hit = HitInfo { was_compressed: true, lru_rank: 2, word: 0 };
+        b.iter(|| acc.on_hit(std::hint::black_box(&hit), 2))
+    });
+
+    group.bench_function("kagura_on_mem_commit", |b| {
+        let mut kagura = Kagura::new(KaguraConfig::default(), Acc::new());
+        // Give it a history so the countdown logic actually runs.
+        for _ in 0..10_000 {
+            kagura.on_mem_commit();
+        }
+        kagura.on_power_failure();
+        kagura.on_reboot();
+        b.iter(|| kagura.on_mem_commit())
+    });
+
+    group.bench_function("kagura_fill_mode", |b| {
+        let mut kagura = Kagura::new(KaguraConfig::default(), Acc::new());
+        b.iter(|| kagura.fill_mode())
+    });
+
+    group.bench_function("kagura_power_cycle_turnaround", |b| {
+        let mut kagura = Kagura::new(KaguraConfig::default(), Acc::new());
+        b.iter(|| {
+            for _ in 0..64 {
+                kagura.on_mem_commit();
+            }
+            kagura.on_evictions(3);
+            kagura.on_power_failure();
+            kagura.on_reboot();
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_controllers);
+criterion_main!(benches);

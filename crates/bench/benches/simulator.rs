@@ -1,0 +1,33 @@
+//! Criterion end-to-end benchmark: full-system simulation throughput
+//! (simulated instructions per second of host time) for the baseline and
+//! the full ACC+Kagura stack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ehs_energy::PowerTrace;
+use ehs_sim::{GovernorSpec, SimConfig, Simulator};
+use ehs_workloads::App;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let scale = 0.05;
+    for (label, gov) in [
+        ("baseline", GovernorSpec::NoCompression),
+        ("acc", GovernorSpec::Acc),
+        ("acc_kagura", GovernorSpec::AccKagura(Default::default())),
+    ] {
+        let cfg = SimConfig::table1().with_governor(gov);
+        let program = App::Gsm.build(scale);
+        let trace = PowerTrace::generate(cfg.trace_kind, cfg.trace_seed, 400_000);
+        group.throughput(Throughput::Elements(program.len()));
+        group.bench_with_input(BenchmarkId::new("gsm", label), &cfg, |b, cfg| {
+            b.iter(|| Simulator::new(cfg.clone(), &program, &trace).run())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

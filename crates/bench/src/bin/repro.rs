@@ -1,0 +1,126 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment-id>... [--scale S] [--apps a,b,c] [--out DIR]
+//! repro all                # every experiment
+//! repro list               # show available experiments
+//! ```
+//!
+//! Results print as tables (with the paper's reference numbers quoted
+//! underneath) and are written as JSON under `results/`.
+
+use std::process::ExitCode;
+
+use ehs_workloads::App;
+use kagura_bench::experiments::{find, REGISTRY};
+use kagura_bench::ExpContext;
+
+fn usage() {
+    println!("usage: repro <experiment-id>... [--scale S] [--apps a,b,c] [--out DIR]");
+    println!("       repro all | list");
+    println!();
+    list();
+}
+
+fn list() {
+    println!("experiments:");
+    for (id, desc, _) in REGISTRY {
+        println!("  {id:<20} {desc}");
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+
+    let mut ids: Vec<String> = Vec::new();
+    let mut ctx = ExpContext::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("--scale needs a positive number");
+                    return ExitCode::FAILURE;
+                };
+                if v <= 0.0 {
+                    eprintln!("--scale needs a positive number");
+                    return ExitCode::FAILURE;
+                }
+                ctx.scale = v;
+            }
+            "--apps" => {
+                i += 1;
+                let Some(spec) = args.get(i) else {
+                    eprintln!("--apps needs a comma-separated list");
+                    return ExitCode::FAILURE;
+                };
+                let mut apps = Vec::new();
+                for name in spec.split(',') {
+                    match App::from_name(name.trim()) {
+                        Some(a) => apps.push(a),
+                        None => {
+                            eprintln!("unknown app {name:?}; known apps:");
+                            for a in App::ALL {
+                                eprint!(" {a}");
+                            }
+                            eprintln!();
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                ctx.apps = apps.clone();
+                ctx.sens_apps = apps;
+            }
+            "--out" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                ctx.out_dir = dir.into();
+            }
+            "list" | "--list" | "-l" => {
+                list();
+                return ExitCode::SUCCESS;
+            }
+            "help" | "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+
+    if ids.iter().any(|i| i == "all") {
+        ids = REGISTRY.iter().map(|&(id, _, _)| id.to_string()).collect();
+    }
+    if ids.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "running {} experiment(s) at workload scale {} over {} apps ({} for sweeps)\n",
+        ids.len(),
+        ctx.scale,
+        ctx.apps.len(),
+        ctx.sens_apps.len()
+    );
+    for id in &ids {
+        let Some(f) = find(id) else {
+            eprintln!("unknown experiment {id:?} (try `repro list`)");
+            return ExitCode::FAILURE;
+        };
+        let start = std::time::Instant::now();
+        println!("=== {id} ===");
+        let _ = f(&ctx);
+        println!("  [{id} done in {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

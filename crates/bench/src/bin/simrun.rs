@@ -1,0 +1,229 @@
+//! `simrun` — run one EHS simulation from the command line and print a
+//! full report (progress, power cycles, caches, energy breakdown).
+//!
+//! ```text
+//! simrun <app> [--scale S] [--governor baseline|always|acc|kagura|ideal-acc|ideal-kagura]
+//!              [--design nvsram|nvmr|sweepcache] [--algorithm bdi|fpc|cpack|dzc|bpc|fvc]
+//!              [--trace rfhome|solar|thermal] [--trace-file FILE] [--seed N]
+//!              [--cache BYTES] [--ways N] [--block BYTES] [--cap UF]
+//!              [--extension none|edbp|ipex] [--json]
+//! ```
+
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use ehs_compress::Algorithm;
+use ehs_energy::{CapacitorConfig, PowerTrace, TraceKind};
+use ehs_sim::{run_program, EhsDesign, Extension, GovernorSpec, SimConfig, SimStats};
+use ehs_workloads::App;
+
+fn usage() {
+    eprintln!(
+        "usage: simrun <app> [--scale S] [--governor G] [--design D] [--algorithm A]\n\
+         \x20                [--trace T | --trace-file FILE] [--seed N] [--cache BYTES]\n\
+         \x20                [--ways N] [--block BYTES] [--cap UF] [--extension E] [--json]\n\
+         apps: {}",
+        App::ALL.map(|a| a.name()).join(" ")
+    );
+}
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.0.iter().position(|a| a == name).and_then(|i| self.0.get(i + 1)).map(String::as_str)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
+    }
+}
+
+fn build_config(args: &Args) -> Result<SimConfig, String> {
+    let mut cfg = SimConfig::table1();
+    if let Some(g) = args.flag("--governor") {
+        cfg.governor = match g {
+            "baseline" | "none" => GovernorSpec::NoCompression,
+            "always" => GovernorSpec::AlwaysCompress,
+            "acc" => GovernorSpec::Acc,
+            "kagura" => GovernorSpec::AccKagura(Default::default()),
+            "ideal-acc" => GovernorSpec::IdealAcc,
+            "ideal-kagura" => GovernorSpec::IdealAccKagura(Default::default()),
+            other => return Err(format!("unknown governor {other:?}")),
+        };
+    }
+    if let Some(d) = args.flag("--design") {
+        cfg.design = match d {
+            "nvsram" | "nvsramcache" => EhsDesign::NvsramCache,
+            "nvmr" => EhsDesign::Nvmr,
+            "sweepcache" | "sweep" => EhsDesign::SweepCache,
+            other => return Err(format!("unknown design {other:?}")),
+        };
+    }
+    if let Some(a) = args.flag("--algorithm") {
+        cfg.algorithm = match a.to_ascii_lowercase().as_str() {
+            "bdi" => Algorithm::Bdi,
+            "fpc" => Algorithm::Fpc,
+            "cpack" | "c-pack" => Algorithm::CPack,
+            "dzc" => Algorithm::Dzc,
+            "bpc" => Algorithm::Bpc,
+            "fvc" => Algorithm::Fvc,
+            other => return Err(format!("unknown algorithm {other:?}")),
+        };
+    }
+    if let Some(t) = args.flag("--trace") {
+        cfg.trace_kind = match t.to_ascii_lowercase().as_str() {
+            "rfhome" | "rf" => TraceKind::RfHome,
+            "solar" => TraceKind::Solar,
+            "thermal" => TraceKind::Thermal,
+            other => return Err(format!("unknown trace {other:?}")),
+        };
+    }
+    if let Some(s) = args.flag("--seed") {
+        cfg.trace_seed = s.parse().map_err(|e| format!("bad seed: {e}"))?;
+    }
+    if let Some(c) = args.flag("--cache") {
+        let bytes: u32 = c.parse().map_err(|e| format!("bad cache size: {e}"))?;
+        cfg.system.icache = cfg.system.icache.with_size(bytes);
+        cfg.system.dcache = cfg.system.dcache.with_size(bytes);
+    }
+    if let Some(w) = args.flag("--ways") {
+        let ways: u32 = w.parse().map_err(|e| format!("bad way count: {e}"))?;
+        cfg.system.icache = cfg.system.icache.with_ways(ways);
+        cfg.system.dcache = cfg.system.dcache.with_ways(ways);
+    }
+    if let Some(b) = args.flag("--block") {
+        let bytes: u32 = b.parse().map_err(|e| format!("bad block size: {e}"))?;
+        cfg.system.icache = cfg.system.icache.with_block_size(bytes);
+        cfg.system.dcache = cfg.system.dcache.with_block_size(bytes);
+    }
+    if let Some(c) = args.flag("--cap") {
+        let uf: f64 = c.parse().map_err(|e| format!("bad capacitance: {e}"))?;
+        cfg.capacitor = CapacitorConfig::with_capacitance_uf(uf);
+    }
+    if let Some(e) = args.flag("--extension") {
+        cfg.extension = match e {
+            "none" => Extension::None,
+            "edbp" => Extension::edbp(),
+            "ipex" => Extension::ipex(),
+            other => return Err(format!("unknown extension {other:?}")),
+        };
+    }
+    Ok(cfg)
+}
+
+fn print_report(stats: &SimStats) {
+    println!("progress");
+    println!("  committed insts : {}", stats.committed_insts);
+    println!(
+        "  executed insts  : {} (re-executed {})",
+        stats.executed_insts,
+        stats.executed_insts - stats.committed_insts
+    );
+    println!("  total cycles    : {} (CPI {:.2})", stats.total_cycles, stats.cpi());
+    println!("  sim time        : {}", stats.sim_time);
+    println!("  completed       : {}", stats.completed);
+    println!("intermittence");
+    println!("  power cycles    : {}", stats.power_cycles.len());
+    println!("  checkpoints     : {}", stats.checkpoints);
+    println!("  insts/cycle     : {:.0}", stats.avg_insts_per_cycle());
+    let lc = stats.load_consistency();
+    println!("  cycle stability : {:.1}% of neighbours within 20%", lc.frac_below_20 * 100.0);
+    println!("caches");
+    println!(
+        "  icache          : {:.2}% miss ({} accesses)",
+        stats.icache.miss_rate() * 100.0,
+        stats.icache.accesses()
+    );
+    println!(
+        "  dcache          : {:.2}% miss ({} accesses)",
+        stats.dcache.miss_rate() * 100.0,
+        stats.dcache.accesses()
+    );
+    println!(
+        "  compressions    : {} ({} averted in RM), decompressions {}",
+        stats.compression_ops(),
+        stats.rm_bypassed_fills,
+        stats.icache.decompressions + stats.dcache.decompressions
+    );
+    println!("  nvm             : {} reads, {} writes", stats.nvm.reads, stats.nvm.writes);
+    println!("energy");
+    for (cat, e) in stats.breakdown.iter() {
+        println!(
+            "  {:<22}: {:>12} ({:>5.1}%)",
+            cat.label(),
+            e.to_string(),
+            stats.breakdown.fraction(cat) * 100.0
+        );
+    }
+    println!("  {:<22}: {:>12}", "TOTAL", stats.total_energy().to_string());
+    println!("  harvested             : {:>12}", stats.harvested.to_string());
+    if let Some((regs, rm)) = stats.kagura_state {
+        println!("kagura");
+        println!(
+            "  final registers : R_prev={} R_mem={} R_adjust={} R_thres={} R_evict={}",
+            regs.0, regs.1, regs.2, regs.3, regs.4
+        );
+        println!("  RM entries      : {rm}");
+    }
+}
+
+fn run() -> Result<(), String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(app_name) = raw.first() else {
+        usage();
+        return Err("missing app".into());
+    };
+    let Some(app) = App::from_name(app_name) else {
+        usage();
+        return Err(format!("unknown app {app_name:?}"));
+    };
+    let args = Args(raw);
+    let scale: f64 = match args.flag("--scale") {
+        Some(s) => s.parse().map_err(|e| format!("bad scale: {e}"))?,
+        None => 1.0,
+    };
+    if scale <= 0.0 {
+        return Err("scale must be positive".into());
+    }
+    let cfg = build_config(&args)?;
+
+    let trace = match args.flag("--trace-file") {
+        Some(path) => {
+            let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            PowerTrace::read_text(BufReader::new(f)).map_err(|e| e.to_string())?
+        }
+        None => PowerTrace::generate(cfg.trace_kind, cfg.trace_seed, 4_000_000),
+    };
+
+    let program = app.build(scale);
+    eprintln!(
+        "running {app} ({} insts) under {} on {} with {} / {} trace…",
+        program.len(),
+        cfg.governor.label(),
+        cfg.design,
+        cfg.algorithm,
+        cfg.trace_kind
+    );
+    let stats = run_program(&program, &trace, &cfg);
+    if args.has("--json") {
+        println!("{}", serde_json::to_string_pretty(&stats).expect("stats serialize"));
+    } else {
+        print_report(&stats);
+    }
+    if !stats.completed {
+        return Err("run hit the simulated-time guard before completing".into());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("simrun: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

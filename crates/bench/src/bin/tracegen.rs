@@ -1,0 +1,136 @@
+//! `tracegen` — generate, inspect and convert ambient power traces in the
+//! paper's text format (one average-power value in µW per 10 µs window).
+//!
+//! ```text
+//! tracegen gen <rfhome|solar|thermal> <len> [--seed S] [--out FILE]
+//! tracegen stats <FILE>
+//! tracegen constant <uW> <len> [--out FILE]
+//! ```
+//!
+//! Traces written by this tool feed straight into
+//! `PowerTrace::read_text` and therefore into any simulation, so recorded
+//! traces from real harvesters can be swapped in for the synthetic ones.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+use ehs_energy::{PowerTrace, TraceKind};
+use ehs_model::Power;
+
+fn usage() {
+    eprintln!("usage: tracegen gen <rfhome|solar|thermal> <len> [--seed S] [--out FILE]");
+    eprintln!("       tracegen constant <uW> <len> [--out FILE]");
+    eprintln!("       tracegen stats <FILE>");
+}
+
+fn parse_kind(name: &str) -> Option<TraceKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "rfhome" | "rf" => Some(TraceKind::RfHome),
+        "solar" => Some(TraceKind::Solar),
+        "thermal" => Some(TraceKind::Thermal),
+        _ => None,
+    }
+}
+
+fn write_out(trace: &PowerTrace, out: Option<&str>) -> io::Result<()> {
+    match out {
+        Some(path) => {
+            let f = File::create(path)?;
+            trace.write_text(BufWriter::new(f))?;
+            eprintln!("wrote {} samples ({}) to {path}", trace.len(), trace.duration());
+        }
+        None => {
+            let stdout = io::stdout();
+            trace.write_text(BufWriter::new(stdout.lock()))?;
+        }
+    }
+    Ok(())
+}
+
+fn print_stats(trace: &PowerTrace) {
+    let stats = trace.stats();
+    println!("samples         : {}", trace.len());
+    println!("duration        : {}", trace.duration());
+    println!("mean power      : {}", stats.mean);
+    println!("std deviation   : {}", stats.std_dev);
+    println!("stable fraction : {:.1}%", stats.stable_fraction * 100.0);
+    let total = stats.mean * trace.duration();
+    println!("total energy    : {total}");
+    // A terminal sparkline of 60 buckets.
+    let buckets = 60usize.min(trace.len());
+    let per = trace.len() / buckets;
+    let glyphs: Vec<char> = " .:-=+*#%@".chars().collect();
+    let max = trace.samples().iter().map(|p| p.microwatts()).fold(f64::MIN, f64::max).max(1e-9);
+    let mut line = String::new();
+    for b in 0..buckets {
+        let slice = &trace.samples()[b * per..((b + 1) * per).min(trace.len())];
+        let avg = slice.iter().map(|p| p.microwatts()).sum::<f64>() / slice.len().max(1) as f64;
+        let idx = ((avg / max) * (glyphs.len() - 1) as f64).round() as usize;
+        line.push(glyphs[idx.min(glyphs.len() - 1)]);
+    }
+    println!("profile         : [{line}]");
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get_flag = |name: &str| -> Option<String> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    };
+    match args.first().map(String::as_str) {
+        Some("gen") => {
+            let kind = args
+                .get(1)
+                .and_then(|k| parse_kind(k))
+                .ok_or("gen needs a source: rfhome | solar | thermal")?;
+            let len: usize = args
+                .get(2)
+                .and_then(|l| l.parse().ok())
+                .filter(|&l| l > 0)
+                .ok_or("gen needs a positive sample count")?;
+            let seed: u64 = get_flag("--seed")
+                .map(|s| s.parse().map_err(|e| format!("bad seed: {e}")))
+                .transpose()?
+                .unwrap_or(42);
+            let trace = PowerTrace::generate(kind, seed, len);
+            write_out(&trace, get_flag("--out").as_deref()).map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        Some("constant") => {
+            let uw: f64 = args
+                .get(1)
+                .and_then(|l| l.parse().ok())
+                .filter(|&u| u >= 0.0)
+                .ok_or("constant needs a non-negative power in uW")?;
+            let len: usize = args
+                .get(2)
+                .and_then(|l| l.parse().ok())
+                .filter(|&l| l > 0)
+                .ok_or("constant needs a positive sample count")?;
+            let trace = PowerTrace::constant(Power::from_microwatts(uw), len);
+            write_out(&trace, get_flag("--out").as_deref()).map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        Some("stats") => {
+            let path = args.get(1).ok_or("stats needs a trace file")?;
+            let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            let trace = PowerTrace::read_text(BufReader::new(f)).map_err(|e| e.to_string())?;
+            print_stats(&trace);
+            Ok(())
+        }
+        _ => {
+            usage();
+            Err("unknown command".into())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            let _ = writeln!(io::stderr(), "tracegen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

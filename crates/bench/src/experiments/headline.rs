@@ -1,0 +1,336 @@
+//! The headline result figures: Fig 12–18.
+
+use ehs_energy::EnergyCategory;
+use ehs_sim::GovernorSpec;
+use ehs_workloads::App;
+use serde_json::{json, Value};
+
+use super::{cfg, gain_pct, run};
+use crate::{amean, parallel_map, print_table, ExpContext};
+
+/// Fig 12: program behaviour between neighbouring power cycles.
+pub fn fig12(ctx: &ExpContext) -> Value {
+    println!("Fig 12: consistency across neighbouring power cycles (baseline EHS)");
+    let base = cfg(GovernorSpec::NoCompression);
+    let results = parallel_map(ctx.apps.clone(), |&app| (app, run(ctx, app, &base)));
+    let mut rows = Vec::new();
+    let mut out_rows = Vec::new();
+    let (mut dl, mut ds, mut dc) = (Vec::new(), Vec::new(), Vec::new());
+    let (mut fl, mut fs, mut fc) = (Vec::new(), Vec::new(), Vec::new());
+    for (app, stats) in &results {
+        let l = stats.load_consistency();
+        let s = stats.store_consistency();
+        let c = stats.cpi_consistency();
+        rows.push(vec![
+            app.name().to_string(),
+            format!("{:.2}%", l.mean_diff * 100.0),
+            format!("{:.2}%", s.mean_diff * 100.0),
+            format!("{:.2}%", c.mean_diff * 100.0),
+            format!("{:.1}%", l.frac_below_20 * 100.0),
+            format!("{:.1}%", s.frac_below_20 * 100.0),
+            format!("{:.1}%", c.frac_below_20 * 100.0),
+        ]);
+        out_rows.push(json!({
+            "app": app.name(),
+            "load_diff": l.mean_diff, "store_diff": s.mean_diff, "cpi_diff": c.mean_diff,
+            "load_below20": l.frac_below_20, "store_below20": s.frac_below_20,
+            "cpi_below20": c.frac_below_20,
+        }));
+        dl.push(l.mean_diff);
+        ds.push(s.mean_diff);
+        dc.push(c.mean_diff);
+        fl.push(l.frac_below_20);
+        fs.push(s.frac_below_20);
+        fc.push(c.frac_below_20);
+    }
+    rows.push(vec![
+        "MEAN".into(),
+        format!("{:.2}%", amean(&dl) * 100.0),
+        format!("{:.2}%", amean(&ds) * 100.0),
+        format!("{:.2}%", amean(&dc) * 100.0),
+        format!("{:.1}%", amean(&fl) * 100.0),
+        format!("{:.1}%", amean(&fs) * 100.0),
+        format!("{:.1}%", amean(&fc) * 100.0),
+    ]);
+    print_table(&["app", "d-load", "d-store", "d-CPI", "load<20%", "store<20%", "CPI<20%"], &rows);
+    println!("  (paper means: 5.73% / 14.11% / 5.26% diffs; 86.91/80.27/88.48% below 20%)");
+    let out = json!({
+        "experiment": "fig12", "rows": out_rows,
+        "mean": {
+            "load_diff": amean(&dl), "store_diff": amean(&ds), "cpi_diff": amean(&dc),
+            "load_below20": amean(&fl), "store_below20": amean(&fs), "cpi_below20": amean(&fc),
+        }
+    });
+    ctx.save("fig12", &out);
+    out
+}
+
+/// The five Fig-13 configurations in presentation order.
+fn fig13_specs() -> Vec<(&'static str, GovernorSpec)> {
+    vec![
+        ("ACC", GovernorSpec::Acc),
+        ("ACC+Kagura", GovernorSpec::AccKagura(Default::default())),
+        ("ideal ACC", GovernorSpec::IdealAcc),
+        ("ideal ACC+Kagura", GovernorSpec::IdealAccKagura(Default::default())),
+    ]
+}
+
+/// Fig 13: speedup (top) and committed-instruction increase per power
+/// cycle (bottom) over the compressor-free baseline.
+pub fn fig13(ctx: &ExpContext) -> Value {
+    println!("Fig 13: speedup and committed-inst/cycle increase over baseline");
+    let specs = fig13_specs();
+    let results = parallel_map(ctx.apps.clone(), |&app| {
+        let base = run(ctx, app, &cfg(GovernorSpec::NoCompression));
+        let variants: Vec<_> = specs
+            .iter()
+            .map(|&(label, gov)| {
+                let s = run(ctx, app, &cfg(gov));
+                let speed = gain_pct(&base, &s);
+                let inst_inc = (s.avg_insts_per_cycle() / base.avg_insts_per_cycle() - 1.0) * 100.0;
+                (label, speed, inst_inc)
+            })
+            .collect();
+        (app, variants)
+    });
+    let mut rows = Vec::new();
+    let mut out_rows = Vec::new();
+    let mut means: Vec<Vec<f64>> = vec![Vec::new(); specs.len()];
+    let mut inst_means: Vec<Vec<f64>> = vec![Vec::new(); specs.len()];
+    for (app, variants) in &results {
+        let mut row = vec![app.name().to_string()];
+        for (i, (label, speed, inst)) in variants.iter().enumerate() {
+            row.push(format!("{speed:+.2}%"));
+            means[i].push(*speed);
+            inst_means[i].push(*inst);
+            out_rows.push(json!({
+                "app": app.name(), "config": label,
+                "speedup_pct": speed, "inst_per_cycle_increase_pct": inst,
+            }));
+        }
+        rows.push(row);
+    }
+    let mut mean_row = vec!["MEAN".to_string()];
+    for m in &means {
+        mean_row.push(format!("{:+.2}%", amean(m)));
+    }
+    rows.push(mean_row);
+    let headers: Vec<&str> = std::iter::once("app").chain(specs.iter().map(|&(l, _)| l)).collect();
+    print_table(&headers, &rows);
+    println!("  committed-inst/cycle increase (means):");
+    for (i, (label, _)) in specs.iter().enumerate() {
+        println!("    {label}: {:+.2}%", amean(&inst_means[i]));
+    }
+    println!("  (paper means: ACC +0.0022%, +Kagura +4.74%, ideal +6.19%; insts ACC +0.28%, +Kagura +4.57%)");
+    let out = json!({
+        "experiment": "fig13", "rows": out_rows,
+        "mean_speedup_pct": specs.iter().enumerate()
+            .map(|(i, (l, _))| json!({"config": l, "value": amean(&means[i])}))
+            .collect::<Vec<_>>(),
+        "mean_inst_increase_pct": specs.iter().enumerate()
+            .map(|(i, (l, _))| json!({"config": l, "value": amean(&inst_means[i])}))
+            .collect::<Vec<_>>(),
+    });
+    ctx.save("fig13", &out);
+    out
+}
+
+/// Fig 14: power-cycle length distribution per application.
+pub fn fig14(ctx: &ExpContext) -> Value {
+    println!("Fig 14: power-cycle length distribution (committed instructions)");
+    let base = cfg(GovernorSpec::NoCompression);
+    let results = parallel_map(ctx.apps.clone(), |&app| (app, run(ctx, app, &base)));
+    let mut out_rows = Vec::new();
+    let mut rows = Vec::new();
+    for (app, stats) in &results {
+        let hist = stats.cycle_length_histogram(8);
+        let mean = stats.avg_insts_per_cycle();
+        rows.push(vec![
+            app.name().to_string(),
+            format!("{}", stats.power_cycles.len()),
+            format!("{:.1}k", mean / 1000.0),
+            hist.iter().map(|&(_, f)| format!("{:.2}", f)).collect::<Vec<_>>().join(" "),
+        ]);
+        out_rows.push(json!({
+            "app": app.name(),
+            "cycles": stats.power_cycles.len(),
+            "mean_insts": mean,
+            "histogram": hist.iter().map(|&(ub, f)| json!({"upper": ub, "frac": f})).collect::<Vec<_>>(),
+        }));
+    }
+    print_table(&["app", "cycles", "mean len", "density (8 bins)"], &rows);
+    println!("  (paper: most cycles cluster at comparable lengths of a few thousand insts)");
+    let out = json!({ "experiment": "fig14", "rows": out_rows });
+    ctx.save("fig14", &out);
+    out
+}
+
+/// Fig 15: I/D cache miss rates under base, ACC, ACC+Kagura.
+pub fn fig15(ctx: &ExpContext) -> Value {
+    println!("Fig 15: cache miss rates");
+    let specs = [
+        ("baseline", GovernorSpec::NoCompression),
+        ("ACC", GovernorSpec::Acc),
+        ("ACC+Kagura", GovernorSpec::AccKagura(Default::default())),
+    ];
+    let results = parallel_map(ctx.apps.clone(), |&app| {
+        let per: Vec<_> = specs.iter().map(|&(l, g)| (l, run(ctx, app, &cfg(g)))).collect();
+        (app, per)
+    });
+    let mut rows = Vec::new();
+    let mut out_rows = Vec::new();
+    let mut means: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); specs.len()];
+    for (app, per) in &results {
+        let mut row = vec![app.name().to_string()];
+        for (i, (label, stats)) in per.iter().enumerate() {
+            let im = stats.icache.miss_rate() * 100.0;
+            let dm = stats.dcache.miss_rate() * 100.0;
+            row.push(format!("{im:.2}/{dm:.2}"));
+            means[i].0.push(im);
+            means[i].1.push(dm);
+            out_rows.push(json!({
+                "app": app.name(), "config": label,
+                "icache_miss_pct": im, "dcache_miss_pct": dm,
+            }));
+        }
+        rows.push(row);
+    }
+    let mut mean_row = vec!["MEAN".to_string()];
+    for (im, dm) in &means {
+        mean_row.push(format!("{:.2}/{:.2}", amean(im), amean(dm)));
+    }
+    rows.push(mean_row);
+    print_table(&["app", "base I/D %", "ACC I/D %", "+Kagura I/D %"], &rows);
+    println!("  (paper: ACC cuts miss rates by 1.45%/2.29% (I/D); +Kagura by 2.71%/3.24%)");
+    let out = json!({ "experiment": "fig15", "rows": out_rows });
+    ctx.save("fig15", &out);
+    out
+}
+
+/// Fig 16: normalized energy breakdown.
+pub fn fig16(ctx: &ExpContext) -> Value {
+    println!("Fig 16: energy breakdown normalized to the baseline total");
+    let specs = [
+        ("baseline", GovernorSpec::NoCompression),
+        ("ACC", GovernorSpec::Acc),
+        ("ACC+Kagura", GovernorSpec::AccKagura(Default::default())),
+    ];
+    let results = parallel_map(ctx.apps.clone(), |&app| {
+        let per: Vec<_> = specs.iter().map(|&(l, g)| (l, run(ctx, app, &cfg(g)))).collect();
+        (app, per)
+    });
+    let mut out_rows = Vec::new();
+    let mut totals: Vec<Vec<f64>> = vec![Vec::new(); specs.len()];
+    let mut comp_over: Vec<f64> = Vec::new();
+    let mut decomp_over: Vec<f64> = Vec::new();
+    let mut comp_over_k: Vec<f64> = Vec::new();
+    let mut decomp_over_k: Vec<f64> = Vec::new();
+    let mut rows = Vec::new();
+    for (app, per) in &results {
+        let base_total = per[0].1.total_energy();
+        let mut row = vec![app.name().to_string()];
+        for (i, (label, stats)) in per.iter().enumerate() {
+            let norm = stats.breakdown.normalized_to(base_total);
+            let total: f64 = norm.iter().map(|&(_, v)| v).sum();
+            totals[i].push(total);
+            row.push(format!("{:.3}", total));
+            let frac = |c: EnergyCategory| {
+                norm.iter().find(|&&(cat, _)| cat == c).map(|&(_, v)| v).unwrap_or(0.0)
+            };
+            if i == 1 {
+                comp_over.push(frac(EnergyCategory::Compress));
+                decomp_over.push(frac(EnergyCategory::Decompress));
+            }
+            if i == 2 {
+                comp_over_k.push(frac(EnergyCategory::Compress));
+                decomp_over_k.push(frac(EnergyCategory::Decompress));
+            }
+            out_rows.push(json!({
+                "app": app.name(), "config": label, "normalized_total": total,
+                "categories": norm.iter()
+                    .map(|&(c, v)| json!({"category": c.label(), "value": v}))
+                    .collect::<Vec<_>>(),
+            }));
+        }
+        rows.push(row);
+    }
+    let mut mean_row = vec!["MEAN".to_string()];
+    for t in &totals {
+        mean_row.push(format!("{:.3}", amean(t)));
+    }
+    rows.push(mean_row);
+    print_table(&["app", "baseline", "ACC", "+Kagura"], &rows);
+    println!(
+        "  compress/decompress overheads: ACC {:.2}%/{:.2}%, +Kagura {:.2}%/{:.2}% of baseline total",
+        amean(&comp_over) * 100.0,
+        amean(&decomp_over) * 100.0,
+        amean(&comp_over_k) * 100.0,
+        amean(&decomp_over_k) * 100.0
+    );
+    println!("  (paper: ACC 6.88%/3.06% -> +Kagura 4.12%/2.75%; total energy -4.53%)");
+    let out = json!({ "experiment": "fig16", "rows": out_rows });
+    ctx.save("fig16", &out);
+    out
+}
+
+/// Fig 17: Kagura's gain vs arithmetic intensity.
+pub fn fig17(ctx: &ExpContext) -> Value {
+    println!("Fig 17: performance gain vs arithmetic intensity");
+    let apps: Vec<App> = App::FIG17.to_vec();
+    let results = parallel_map(apps, |&app| {
+        let base = run(ctx, app, &cfg(GovernorSpec::NoCompression));
+        let kag = run(ctx, app, &cfg(GovernorSpec::AccKagura(Default::default())));
+        let ai = app.build(0.05).arithmetic_intensity();
+        (app, ai, gain_pct(&base, &kag))
+    });
+    let mut rows = Vec::new();
+    let mut out_rows = Vec::new();
+    for (app, ai, gain) in &results {
+        rows.push(vec![app.name().to_string(), format!("{ai:.2}"), format!("{gain:+.2}%")]);
+        out_rows.push(json!({ "app": app.name(), "intensity": ai, "speedup_pct": gain }));
+    }
+    print_table(&["app", "arith intensity", "Kagura gain"], &rows);
+    println!("  (paper: gain inversely related to arithmetic intensity)");
+    let out = json!({ "experiment": "fig17", "rows": out_rows });
+    ctx.save("fig17", &out);
+    out
+}
+
+/// Fig 18: compression-operation reduction ratio by Kagura.
+pub fn fig18(ctx: &ExpContext) -> Value {
+    println!("Fig 18: compression operations eliminated by Kagura (vs ACC)");
+    let results = parallel_map(ctx.apps.clone(), |&app| {
+        let acc = run(ctx, app, &cfg(GovernorSpec::Acc));
+        let kag = run(ctx, app, &cfg(GovernorSpec::AccKagura(Default::default())));
+        let (a, k) = (acc.compression_ops(), kag.compression_ops());
+        let reduction = if a == 0 { 0.0 } else { (a.saturating_sub(k)) as f64 / a as f64 };
+        (app, a, k, reduction)
+    });
+    let mut rows = Vec::new();
+    let mut out_rows = Vec::new();
+    let mut reductions = Vec::new();
+    for (app, a, k, r) in &results {
+        rows.push(vec![
+            app.name().to_string(),
+            a.to_string(),
+            k.to_string(),
+            format!("{:.2}%", r * 100.0),
+        ]);
+        out_rows.push(json!({
+            "app": app.name(), "acc_ops": a, "kagura_ops": k, "reduction": r,
+        }));
+        reductions.push(*r);
+    }
+    rows.push(vec![
+        "MEAN".into(),
+        String::new(),
+        String::new(),
+        format!("{:.2}%", amean(&reductions) * 100.0),
+    ]);
+    print_table(&["app", "ACC ops", "+Kagura ops", "reduction"], &rows);
+    println!("  (paper: ~9.85% average, >40% for g721d/g721e)");
+    let out = json!({ "experiment": "fig18", "rows": out_rows,
+                      "mean_reduction": amean(&reductions) });
+    ctx.save("fig18", &out);
+    out
+}

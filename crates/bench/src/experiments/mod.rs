@@ -1,0 +1,107 @@
+//! Experiment registry: one entry per paper table/figure.
+
+pub mod analytic;
+pub mod headline;
+pub mod sensitivity;
+pub mod summary;
+
+use ehs_sim::{GovernorSpec, SimConfig, SimStats};
+use ehs_workloads::App;
+use serde_json::Value;
+
+use crate::ExpContext;
+
+/// An experiment: prints its rows and returns the JSON payload.
+pub type ExpFn = fn(&ExpContext) -> Value;
+
+/// `(id, what it regenerates, runner)` for every experiment.
+pub const REGISTRY: &[(&str, &str, ExpFn)] = &[
+    ("summary", "the abstract's headline energy/speedup numbers", summary::summary),
+    ("fig1", "speedup vs cache size, baseline EHS without compression", sensitivity::fig1),
+    ("fig3", "analytical min delta-R_hit surfaces (Eq. 4)", analytic::fig3),
+    ("fig11", "ambient power trace characterisation", analytic::fig11),
+    ("fig12", "program behaviour across neighbouring power cycles", headline::fig12),
+    ("fig13", "speedup and committed-inst increase: base/ACC/+Kagura/ideals", headline::fig13),
+    ("fig14", "power-cycle length distribution per application", headline::fig14),
+    ("fig15", "I/D cache miss rates: base/ACC/+Kagura", headline::fig15),
+    ("fig16", "normalized energy breakdown (six categories)", headline::fig16),
+    ("fig17", "performance vs arithmetic intensity", headline::fig17),
+    ("fig18", "compression-operation reduction by Kagura", headline::fig18),
+    ("fig19", "trigger strategies across EHS designs", sensitivity::fig19),
+    ("fig20", "Kagura with EDBP and IPEX cache managements", sensitivity::fig20),
+    ("fig21", "R_thres adaptation schemes (AIMD/MIAD/AIAD/MIMD)", sensitivity::fig21),
+    ("fig22", "R_thres increase step (5-20%)", sensitivity::fig22),
+    ("fig23", "compression algorithms (BDI/FPC/C-Pack/DZC)", sensitivity::fig23),
+    ("fig24", "cache size sweep with ACC+Kagura", sensitivity::fig24),
+    ("fig25", "cache associativity sweep", sensitivity::fig25),
+    ("fig26", "cache block size sweep", sensitivity::fig26),
+    ("fig27", "main memory size sweep", sensitivity::fig27),
+    ("fig28", "main memory technology sweep", sensitivity::fig28),
+    ("fig29", "capacitor size sweep", sensitivity::fig29),
+    ("fig30", "power trace sweep", sensitivity::fig30),
+    ("table2", "history depth for memory-operation estimation", sensitivity::table2),
+    ("table3", "capacitor leakage share of total energy", sensitivity::table3),
+    ("table4", "reward/punishment counter width", sensitivity::table4),
+    ("hw", "hardware overhead accounting (§VIII-A)", analytic::hw),
+    (
+        "ablation-estimator",
+        "simple vs sophisticated N_remain estimator",
+        sensitivity::ablation_estimator,
+    ),
+    (
+        "ablation-region-size",
+        "checkpoint region size on SweepCache (§VII-C)",
+        sensitivity::ablation_region_size,
+    ),
+];
+
+/// Looks up an experiment by id.
+pub fn find(id: &str) -> Option<ExpFn> {
+    REGISTRY.iter().find(|(name, _, _)| *name == id).map(|&(_, _, f)| f)
+}
+
+/// Shorthand: the Table-I config with a given governor.
+pub(crate) fn cfg(gov: GovernorSpec) -> SimConfig {
+    SimConfig::table1().with_governor(gov)
+}
+
+/// Runs one app under one config at the context's scale.
+pub(crate) fn run(ctx: &ExpContext, app: App, config: &SimConfig) -> SimStats {
+    let stats = ehs_sim::run_app(app, ctx.scale, config);
+    assert!(
+        stats.completed,
+        "{app} did not complete under {} (design {}) — raise max_sim_time or check the trace",
+        config.governor.label(),
+        config.design
+    );
+    stats
+}
+
+/// Percentage gain of `t` over `base` where both are completion times.
+pub(crate) fn gain_pct(base: &SimStats, t: &SimStats) -> f64 {
+    (t.speedup_over(base) - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_findable() {
+        let mut ids: Vec<&str> = REGISTRY.iter().map(|&(id, _, _)| id).collect();
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "duplicate experiment ids");
+        assert!(find("fig13").is_some());
+        assert!(find("nope").is_none());
+        // Every paper figure/table from the evaluation section is present.
+        for required in [
+            "fig1", "fig3", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+            "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "fig26", "fig27",
+            "fig28", "fig29", "fig30", "table2", "table3", "table4", "hw",
+        ] {
+            assert!(find(required).is_some(), "missing experiment {required}");
+        }
+    }
+}

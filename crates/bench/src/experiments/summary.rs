@@ -1,0 +1,59 @@
+//! The abstract's headline numbers: total-energy reduction and speedup of
+//! ACC+Kagura over the compressor-free baseline, average and maximum
+//! across the 20 applications.
+
+use ehs_sim::GovernorSpec;
+use serde_json::{json, Value};
+
+use super::{cfg, run};
+use crate::{amean, parallel_map, print_table, ExpContext};
+
+/// Reproduces the abstract: "Kagura reduces the total energy consumption
+/// by an average of 4.53% (up to 16.21%) and improves the performance by
+/// an average of 4.74% (up to 17.87%) compared to the baseline EHS
+/// without cache compression."
+pub fn summary(ctx: &ExpContext) -> Value {
+    println!("Headline numbers (paper abstract)");
+    let results = parallel_map(ctx.apps.clone(), |&app| {
+        let base = run(ctx, app, &cfg(GovernorSpec::NoCompression));
+        let kag = run(ctx, app, &cfg(GovernorSpec::AccKagura(Default::default())));
+        let speedup = (kag.speedup_over(&base) - 1.0) * 100.0;
+        let energy = (1.0 - kag.total_energy() / base.total_energy()) * 100.0;
+        (app, speedup, energy)
+    });
+    let mut rows = Vec::new();
+    let mut out_rows = Vec::new();
+    let mut speeds = Vec::new();
+    let mut energies = Vec::new();
+    for (app, speedup, energy) in &results {
+        rows.push(vec![
+            app.name().to_string(),
+            format!("{speedup:+.2}%"),
+            format!("{energy:+.2}%"),
+        ]);
+        out_rows.push(json!({
+            "app": app.name(), "speedup_pct": speedup, "energy_reduction_pct": energy,
+        }));
+        speeds.push(*speedup);
+        energies.push(*energy);
+    }
+    let max_speed = speeds.iter().cloned().fold(f64::MIN, f64::max);
+    let max_energy = energies.iter().cloned().fold(f64::MIN, f64::max);
+    rows.push(vec![
+        "MEAN (MAX)".into(),
+        format!("{:+.2}% ({:+.2}%)", amean(&speeds), max_speed),
+        format!("{:+.2}% ({:+.2}%)", amean(&energies), max_energy),
+    ]);
+    print_table(&["app", "speedup", "energy reduction"], &rows);
+    println!("  (paper: speedup avg 4.74% / max 17.87%; energy avg 4.53% / max 16.21%)");
+    let out = json!({
+        "experiment": "summary",
+        "rows": out_rows,
+        "mean_speedup_pct": amean(&speeds),
+        "max_speedup_pct": max_speed,
+        "mean_energy_reduction_pct": amean(&energies),
+        "max_energy_reduction_pct": max_energy,
+    });
+    ctx.save("summary", &out);
+    out
+}

@@ -1,0 +1,187 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§VIII).
+//!
+//! Each experiment is a function `fn(&ExpContext) -> serde_json::Value`
+//! registered in [`experiments::REGISTRY`]; the `repro` binary dispatches
+//! on experiment id (`fig13`, `table3`, …), prints the same rows/series
+//! the paper reports, and writes machine-readable JSON under `results/`.
+//!
+//! Absolute numbers will not match the authors' gem5+McPAT testbed — the
+//! substrate here is the from-scratch simulator in `ehs-sim` — but the
+//! *shape* of every result (who wins, by roughly what factor, where
+//! crossovers fall) is the reproduction target; see EXPERIMENTS.md.
+
+pub mod experiments;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use ehs_workloads::App;
+use serde_json::Value;
+
+/// Shared experiment context.
+#[derive(Debug, Clone)]
+pub struct ExpContext {
+    /// Workload scale factor (1.0 = full-length kernels).
+    pub scale: f64,
+    /// Applications used by the main-result figures.
+    pub apps: Vec<App>,
+    /// Smaller application set used by the sensitivity sweeps.
+    pub sens_apps: Vec<App>,
+    /// Where JSON results land.
+    pub out_dir: PathBuf,
+}
+
+impl ExpContext {
+    /// Default context: all 20 apps for the headline figures, a
+    /// representative 8-app subset for sweeps, results under `results/`.
+    pub fn new(scale: f64) -> Self {
+        ExpContext {
+            scale,
+            apps: App::ALL.to_vec(),
+            sens_apps: vec![
+                App::Jpegd,
+                App::Jpeg,
+                App::G721d,
+                App::Gsm,
+                App::Mpeg2d,
+                App::Blowfish,
+                App::Sha,
+                App::Typeset,
+            ],
+            out_dir: PathBuf::from("results"),
+        }
+    }
+
+    /// Writes `value` as pretty JSON to `<out_dir>/<id>.json`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created or the file not written —
+    /// losing experiment output silently would be worse.
+    pub fn save(&self, id: &str, value: &Value) {
+        fs::create_dir_all(&self.out_dir)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", self.out_dir.display()));
+        let path = self.out_dir.join(format!("{id}.json"));
+        fs::write(&path, serde_json::to_string_pretty(value).expect("serializable"))
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!("  [saved {}]", path.display());
+    }
+}
+
+impl Default for ExpContext {
+    fn default() -> Self {
+        Self::new(0.3)
+    }
+}
+
+/// Maps `f` over `items` on all available cores, preserving order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let results: Vec<parking_lot::Mutex<Option<R>>> =
+        items.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|s| {
+        for _ in 0..n_threads.min(items.len().max(1)) {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                *results[i].lock() = Some(f(&items[i]));
+            });
+        }
+    })
+    .expect("worker panicked");
+    results.into_iter().map(|m| m.into_inner().expect("slot filled")).collect()
+}
+
+/// Geometric mean (items must be positive).
+///
+/// # Panics
+///
+/// Panics on an empty slice or non-positive values.
+pub fn gmean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "gmean of empty slice");
+    assert!(xs.iter().all(|&x| x > 0.0), "gmean needs positive values");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn amean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty slice");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Formats a ratio as a signed percentage gain, e.g. `1.0474` → `+4.74%`.
+pub fn pct_gain(ratio: f64) -> String {
+    format!("{:+.2}%", (ratio - 1.0) * 100.0)
+}
+
+/// Prints a simple fixed-width table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let joined: Vec<String> =
+            cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+        println!("  {}", joined.join("  "));
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Ensures `dir` exists and returns it (test helper).
+pub fn ensure_dir(dir: &Path) -> &Path {
+    fs::create_dir_all(dir).expect("create dir");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect(), |&x: &i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn means() {
+        assert!((gmean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(amean(&[1.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct_gain(1.0474), "+4.74%");
+        assert_eq!(pct_gain(0.98), "-2.00%");
+    }
+
+    #[test]
+    fn context_defaults() {
+        let ctx = ExpContext::default();
+        assert_eq!(ctx.apps.len(), 20);
+        assert_eq!(ctx.sens_apps.len(), 8);
+        assert!(ctx.scale > 0.0);
+    }
+}

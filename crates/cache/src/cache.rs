@@ -1,0 +1,738 @@
+//! The compressed cache proper.
+
+use ehs_compress::{AnyCompressor, Compressor};
+use ehs_model::{Address, BlockData};
+
+use crate::set::{CacheSet, Line};
+use crate::{CacheConfig, CacheStats, FillMode, SEGMENT_BYTES};
+
+/// Information about a cache hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HitInfo {
+    /// The block was stored compressed, so this access paid a
+    /// decompression.
+    pub was_compressed: bool,
+    /// LRU stack depth of the block *before* this access (0 = MRU). A rank
+    /// of `ways` or more means the hit happened only because compression
+    /// stretched the set's capacity — the signal ACC rewards.
+    pub lru_rank: u32,
+    /// For reads: the loaded word. For writes: the word that was
+    /// overwritten.
+    pub word: u32,
+}
+
+/// A block pushed out of the cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evicted {
+    /// Block-aligned address.
+    pub addr: Address,
+    /// Uncompressed contents at eviction time.
+    pub data: BlockData,
+    /// Whether the block needs writing back.
+    pub dirty: bool,
+    /// Whether the block sat compressed (a dirty one pays a decompression
+    /// on its way out).
+    pub was_compressed: bool,
+}
+
+/// The result of a fill.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FillOutcome {
+    /// Victims pushed out to make room, in eviction order.
+    pub evicted: Vec<Evicted>,
+    /// Compression operations performed during this fill (incoming block
+    /// and/or resident blocks squeezed for space).
+    pub compressions: u32,
+    /// Whether the incoming block ended up stored compressed.
+    pub stored_compressed: bool,
+}
+
+/// A dirty block drained for checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirtyBlock {
+    /// Block-aligned address.
+    pub addr: Address,
+    /// Uncompressed contents.
+    pub data: BlockData,
+    /// Whether draining paid a decompression.
+    pub was_compressed: bool,
+}
+
+/// A snapshot row describing one resident block (for dead-block predictors
+/// and debugging).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidentBlock {
+    /// Block-aligned address.
+    pub addr: Address,
+    /// Whether the block is dirty.
+    pub dirty: bool,
+    /// Whether the block is stored compressed.
+    pub compressed: bool,
+    /// Recency stamp of the last access (monotonic across the cache).
+    pub last_tick: u64,
+}
+
+/// A write-back, LRU, set-associative cache with a segmented data array
+/// supporting block compression. See the crate docs for the model.
+#[derive(Debug, Clone)]
+pub struct CompressedCache {
+    config: CacheConfig,
+    compressor: AnyCompressor,
+    sets: Vec<CacheSet>,
+    num_sets: u32,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl CompressedCache {
+    /// Builds an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see
+    /// [`CacheParams::num_sets`](ehs_model::CacheParams::num_sets)).
+    pub fn new(config: CacheConfig) -> Self {
+        let num_sets = config.params.num_sets();
+        let _ = config.segments_per_block(); // validate block/segment ratio
+        CompressedCache {
+            config,
+            compressor: config.algorithm.compressor(),
+            sets: vec![CacheSet::default(); num_sets as usize],
+            num_sets,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// The compression engine in use.
+    pub fn compressor(&self) -> &AnyCompressor {
+        &self.compressor
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the counters (contents retained).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn set_and_tag(&self, addr: Address) -> (usize, u64) {
+        let bs = self.config.params.block_size;
+        (addr.set_index(bs, self.num_sets) as usize, addr.tag(bs, self.num_sets))
+    }
+
+    fn block_base(&self, addr: Address) -> Address {
+        addr.block_base(self.config.params.block_size)
+    }
+
+    fn addr_of(&self, set_idx: usize, tag: u64) -> Address {
+        let bs = self.config.params.block_size as u64;
+        Address::new((tag * self.num_sets as u64 + set_idx as u64) * bs)
+    }
+
+    /// `true` if the block containing `addr` is resident (no LRU update,
+    /// no stats).
+    pub fn contains(&self, addr: Address) -> bool {
+        let (si, tag) = self.set_and_tag(addr);
+        self.sets[si].find(tag).is_some()
+    }
+
+    /// Reads the 4-byte word at `addr`. `None` on miss (the caller fetches
+    /// from NVM and calls [`CompressedCache::fill`]).
+    pub fn read(&mut self, addr: Address) -> Option<HitInfo> {
+        let (si, tag) = self.set_and_tag(addr);
+        let offset = addr.block_offset(self.config.params.block_size) & !3;
+        match self.sets[si].find(tag) {
+            Some(idx) => {
+                let rank = self.sets[si].rank_of(idx);
+                self.tick += 1;
+                let line = &mut self.sets[si].lines[idx];
+                line.last_tick = self.tick;
+                let was_compressed = line.compressed;
+                if was_compressed {
+                    self.stats.decompressions += 1;
+                }
+                self.stats.read_hits += 1;
+                Some(HitInfo { was_compressed, lru_rank: rank, word: line.data.read_u32(offset) })
+            }
+            None => {
+                self.stats.read_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Writes the 4-byte `value` at `addr`. `None` on miss (write-allocate:
+    /// the caller fetches the block and fills with the store applied).
+    ///
+    /// A write hit on a *compressed* block cannot absorb the store in
+    /// place; what happens next is the policy's call, passed as `repack`:
+    ///
+    /// * `repack = true` (compression enabled): decompress, modify,
+    ///   **re-compress**. One decompression plus one compression per store
+    ///   — the dominant `M` term of the paper's Eq. 2 (`f = M/N`
+    ///   approaches 1 for store-heavy code). If the modified contents no
+    ///   longer save a segment the line expands anyway (a *fat write*).
+    /// * `repack = false` (compression disabled, e.g. Kagura's RM mode):
+    ///   decompress once and store back uncompressed; future stores to the
+    ///   line stop paying compression energy. The expansion may evict.
+    pub fn write(
+        &mut self,
+        addr: Address,
+        value: u32,
+        repack: bool,
+    ) -> Option<(HitInfo, Vec<Evicted>)> {
+        let (si, tag) = self.set_and_tag(addr);
+        let offset = addr.block_offset(self.config.params.block_size) & !3;
+        let Some(idx) = self.sets[si].find(tag) else {
+            self.stats.write_misses += 1;
+            return None;
+        };
+        let rank = self.sets[si].rank_of(idx);
+        self.tick += 1;
+        let full_segments = self.config.segments_per_block();
+        let line = &mut self.sets[si].lines[idx];
+        line.last_tick = self.tick;
+        let was_compressed = line.compressed;
+        let old_word = line.data.read_u32(offset);
+        line.data.write_u32(offset, value);
+        line.dirty = true;
+        let mut evicted = Vec::new();
+        if was_compressed {
+            self.stats.decompressions += 1;
+            if repack {
+                // Repack the modified contents.
+                self.stats.compressions += 1;
+                self.stats.recompressions += 1;
+                let enc = self.compressor.compress(self.sets[si].lines[idx].data.as_slice());
+                let segs = enc.compressed_bytes().div_ceil(SEGMENT_BYTES).max(1);
+                let line = &mut self.sets[si].lines[idx];
+                if segs < full_segments {
+                    line.segments = segs;
+                } else {
+                    line.compressed = false;
+                    line.segments = full_segments;
+                    self.stats.fat_writes += 1;
+                }
+            } else {
+                // Compression disabled: expand and stay uncompressed.
+                self.stats.fat_writes += 1;
+                let line = &mut self.sets[si].lines[idx];
+                line.compressed = false;
+                line.segments = full_segments;
+            }
+            evicted = self.make_room(si, 0, Some(tag), FillMode::Bypass, &mut 0);
+        }
+        self.stats.write_hits += 1;
+        Some((HitInfo { was_compressed, lru_rank: rank, word: old_word }, evicted))
+    }
+
+    /// Inserts the block containing `addr` with the given policy decision.
+    /// `apply_store` optionally applies a pending 4-byte store (offset
+    /// within block, value) and marks the line dirty (write-allocate path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already resident or `data` is not one block.
+    pub fn fill(
+        &mut self,
+        addr: Address,
+        data: BlockData,
+        mode: FillMode,
+        apply_store: Option<(u32, u32)>,
+    ) -> FillOutcome {
+        assert_eq!(data.len(), self.config.params.block_size as usize, "fill must be one block");
+        let (si, tag) = self.set_and_tag(addr);
+        assert!(self.sets[si].find(tag).is_none(), "block already resident");
+
+        // Merge the pending store *before* compressing: the hardware packs
+        // the block once, with the allocating store already applied.
+        let mut data = data;
+        let mut dirty = false;
+        if let Some((offset, value)) = apply_store {
+            data.write_u32(offset & !3, value);
+            dirty = true;
+        }
+
+        let full_segments = self.config.segments_per_block();
+        let mut compressions = 0u32;
+        let (segments, stored_compressed) = match mode {
+            FillMode::Compress => {
+                compressions += 1;
+                self.stats.compressions += 1;
+                let enc = self.compressor.compress(data.as_slice());
+                let segs = enc.compressed_bytes().div_ceil(SEGMENT_BYTES).max(1);
+                if segs < full_segments {
+                    (segs, true)
+                } else {
+                    (full_segments, false)
+                }
+            }
+            FillMode::Bypass => (full_segments, false),
+        };
+
+        let mut evicted = self.make_room(si, segments, None, mode, &mut compressions);
+
+        // Tag-array limit.
+        while self.sets[si].lines.len() as u32 >= self.config.max_blocks_per_set() {
+            if let Some(e) = self.evict_one(si, None) {
+                evicted.push(e);
+            } else {
+                break;
+            }
+        }
+
+        self.tick += 1;
+        self.sets[si].lines.push(Line {
+            tag,
+            data,
+            dirty,
+            compressed: stored_compressed,
+            segments,
+            last_tick: self.tick,
+        });
+        debug_assert!(self.sets[si].used_segments() <= self.config.segments_per_set());
+
+        self.stats.fills += 1;
+        if stored_compressed {
+            self.stats.compressed_fills += 1;
+        }
+        if mode == FillMode::Bypass {
+            self.stats.bypassed_fills += 1;
+        }
+        FillOutcome { evicted, compressions, stored_compressed }
+    }
+
+    /// Frees segments in set `si` until `needed` extra segments fit.
+    ///
+    /// In [`FillMode::Compress`], resident uncompressed blocks are squeezed
+    /// (LRU-first) before anything is evicted; in [`FillMode::Bypass`] the
+    /// set goes straight to LRU eviction — Kagura's RM-mode behaviour.
+    fn make_room(
+        &mut self,
+        si: usize,
+        needed: u32,
+        protect: Option<u64>,
+        mode: FillMode,
+        compressions: &mut u32,
+    ) -> Vec<Evicted> {
+        let capacity = self.config.segments_per_set();
+        let mut evicted = Vec::new();
+        let mut tried: Vec<u64> = Vec::new();
+        // The compressor squeezes at most a couple of residents per fill
+        // (the paper: "compress ... *some of* the existing uncompressed
+        // blocks"); unbounded retries would burn energy recompressing the
+        // same incompressible lines on every fill.
+        const MAX_SQUEEZES_PER_FILL: usize = 2;
+        while self.sets[si].used_segments() + needed > capacity {
+            if mode == FillMode::Compress && tried.len() < MAX_SQUEEZES_PER_FILL {
+                // Find the LRU-most resident uncompressed block not yet tried.
+                let candidate = self.sets[si].lru_order().into_iter().find(|&i| {
+                    let l = &self.sets[si].lines[i];
+                    !l.compressed && Some(l.tag) != protect && !tried.contains(&l.tag)
+                });
+                if let Some(i) = candidate {
+                    let full = self.config.segments_per_block();
+                    *compressions += 1;
+                    self.stats.compressions += 1;
+                    let enc = self.compressor.compress(self.sets[si].lines[i].data.as_slice());
+                    let segs = enc.compressed_bytes().div_ceil(SEGMENT_BYTES).max(1);
+                    let line = &mut self.sets[si].lines[i];
+                    tried.push(line.tag);
+                    if segs < full {
+                        line.compressed = true;
+                        line.segments = segs;
+                    }
+                    // Incompressible residents stay as they are; the attempt
+                    // still cost energy (counted above). Either way re-check
+                    // the space condition before falling back to eviction.
+                    continue;
+                }
+            }
+            match self.evict_one(si, protect) {
+                Some(e) => evicted.push(e),
+                None => break, // nothing left to evict (set empty / all protected)
+            }
+        }
+        evicted
+    }
+
+    fn evict_one(&mut self, si: usize, protect: Option<u64>) -> Option<Evicted> {
+        let idx = self.sets[si].lru_victim(protect)?;
+        let line = self.sets[si].lines.swap_remove(idx);
+        self.stats.evictions += 1;
+        if line.compressed {
+            self.stats.compressed_evictions += 1;
+            if line.dirty {
+                // Dirty compressed victims decompress on the way to NVM.
+                self.stats.decompressions += 1;
+            }
+        }
+        Some(Evicted {
+            addr: self.addr_of(si, line.tag),
+            data: line.data,
+            dirty: line.dirty,
+            was_compressed: line.compressed,
+        })
+    }
+
+    /// Invalidates the block containing `addr`, returning it if it was
+    /// resident (used by dead-block predictors to retire blocks early).
+    pub fn invalidate_block(&mut self, addr: Address) -> Option<Evicted> {
+        let (si, tag) = self.set_and_tag(addr);
+        let idx = self.sets[si].find(tag)?;
+        let line = self.sets[si].lines.swap_remove(idx);
+        self.stats.evictions += 1;
+        if line.compressed {
+            self.stats.compressed_evictions += 1;
+            if line.dirty {
+                self.stats.decompressions += 1;
+            }
+        }
+        Some(Evicted {
+            addr: self.block_base(addr),
+            data: line.data,
+            dirty: line.dirty,
+            was_compressed: line.compressed,
+        })
+    }
+
+    /// Drains every dirty block (for JIT checkpointing), marking them
+    /// clean. Compressed dirty blocks pay a decompression each.
+    pub fn drain_dirty(&mut self) -> Vec<DirtyBlock> {
+        let mut out = Vec::new();
+        for si in 0..self.sets.len() {
+            for line in &mut self.sets[si].lines {
+                if line.dirty {
+                    line.dirty = false;
+                    if line.compressed {
+                        self.stats.decompressions += 1;
+                    }
+                    out.push(DirtyBlock {
+                        addr: Address::new(
+                            (line.tag * self.num_sets as u64 + si as u64)
+                                * self.config.params.block_size as u64,
+                        ),
+                        data: line.data.clone(),
+                        was_compressed: line.compressed,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Clears every line (power failure: SRAM contents are lost).
+    pub fn invalidate_all(&mut self) {
+        for set in &mut self.sets {
+            set.lines.clear();
+        }
+    }
+
+    /// Number of resident blocks.
+    pub fn resident_count(&self) -> usize {
+        self.sets.iter().map(|s| s.lines.len()).sum()
+    }
+
+    /// Snapshot of every resident block (for dead-block predictors).
+    pub fn resident_blocks(&self) -> Vec<ResidentBlock> {
+        let mut out = Vec::with_capacity(self.resident_count());
+        for (si, set) in self.sets.iter().enumerate() {
+            for line in &set.lines {
+                out.push(ResidentBlock {
+                    addr: self.addr_of(si, line.tag),
+                    dirty: line.dirty,
+                    compressed: line.compressed,
+                    last_tick: line.last_tick,
+                });
+            }
+        }
+        out
+    }
+
+    /// The cache-global recency clock (compare with
+    /// [`ResidentBlock::last_tick`]).
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehs_compress::Algorithm;
+    use ehs_model::CacheParams;
+
+    fn cache() -> CompressedCache {
+        CompressedCache::new(CacheConfig::new(CacheParams::table1(), Algorithm::Bdi))
+    }
+
+    /// Addresses that all land in set 0 of the Table-I geometry
+    /// (4 sets x 32B blocks: stride 128B).
+    fn conflict_addr(i: u64) -> Address {
+        Address::new(i * 128)
+    }
+
+    fn zero_block() -> BlockData {
+        BlockData::zeroed(32)
+    }
+
+    fn random_block(seed: u8) -> BlockData {
+        let mut data = BlockData::zeroed(32);
+        let mut x = seed as u32 ^ 0xA5A5_5A5A;
+        for w in 0..8 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            data.write_u32(w * 4, x);
+        }
+        data
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = cache();
+        let addr = Address::new(0x40);
+        assert!(c.read(addr).is_none());
+        c.fill(addr, zero_block(), FillMode::Bypass, None);
+        let hit = c.read(addr).expect("hit after fill");
+        assert!(!hit.was_compressed);
+        assert_eq!(c.stats().read_hits, 1);
+        assert_eq!(c.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn read_returns_block_word() {
+        let mut c = cache();
+        let mut data = zero_block();
+        data.write_u32(8, 0xFEED);
+        c.fill(Address::new(0x200), data, FillMode::Bypass, None);
+        assert_eq!(c.read(Address::new(0x208)).unwrap().word, 0xFEED);
+        // Unaligned reads snap to the containing word.
+        assert_eq!(c.read(Address::new(0x20A)).unwrap().word, 0xFEED);
+    }
+
+    #[test]
+    fn bypass_mode_holds_only_ways_blocks() {
+        let mut c = cache();
+        for i in 0..3 {
+            let out = c.fill(conflict_addr(i), random_block(i as u8), FillMode::Bypass, None);
+            if i < 2 {
+                assert!(out.evicted.is_empty(), "fill {i} evicted {:?}", out.evicted);
+            } else {
+                assert_eq!(out.evicted.len(), 1, "third fill must evict LRU");
+                assert_eq!(out.evicted[0].addr, conflict_addr(0));
+            }
+        }
+        assert_eq!(c.resident_count(), 2);
+    }
+
+    #[test]
+    fn compression_stretches_capacity() {
+        let mut c = cache();
+        // Zero blocks compress to 1 segment; 4 fit in one set (tag limit).
+        for i in 0..4 {
+            let out = c.fill(conflict_addr(i), zero_block(), FillMode::Compress, None);
+            assert!(out.evicted.is_empty(), "fill {i} should not evict");
+            assert!(out.stored_compressed);
+        }
+        assert_eq!(c.resident_count(), 4);
+        // The tag array is the binding limit now.
+        let out = c.fill(conflict_addr(4), zero_block(), FillMode::Compress, None);
+        assert_eq!(out.evicted.len(), 1);
+        assert_eq!(c.resident_count(), 4);
+    }
+
+    #[test]
+    fn incompressible_fills_fall_back_to_full_size() {
+        let mut c = cache();
+        let out = c.fill(conflict_addr(0), random_block(1), FillMode::Compress, None);
+        assert!(!out.stored_compressed);
+        assert_eq!(out.compressions, 1, "compression attempt still happened");
+    }
+
+    #[test]
+    fn fill_compresses_resident_blocks_before_evicting() {
+        let mut c = cache();
+        // Two compressible blocks stored uncompressed fill the set.
+        c.fill(conflict_addr(0), zero_block(), FillMode::Bypass, None);
+        c.fill(conflict_addr(1), zero_block(), FillMode::Bypass, None);
+        // A third fill in Compress mode squeezes the residents: no eviction.
+        let out = c.fill(conflict_addr(2), zero_block(), FillMode::Compress, None);
+        assert!(out.evicted.is_empty(), "residents should have been squeezed");
+        assert!(out.compressions >= 2);
+        assert_eq!(c.resident_count(), 3);
+    }
+
+    #[test]
+    fn fill_evicts_when_residents_are_incompressible() {
+        let mut c = cache();
+        c.fill(conflict_addr(0), random_block(1), FillMode::Bypass, None);
+        c.fill(conflict_addr(1), random_block(2), FillMode::Bypass, None);
+        let out = c.fill(conflict_addr(2), random_block(3), FillMode::Compress, None);
+        assert_eq!(out.evicted.len(), 1);
+        assert_eq!(out.evicted[0].addr, conflict_addr(0));
+    }
+
+    #[test]
+    fn write_hit_on_compressed_block_repacks() {
+        let mut c = cache();
+        c.fill(conflict_addr(0), zero_block(), FillMode::Compress, None);
+        let (hit, _) = c.write(conflict_addr(0), 0xAB, true).unwrap();
+        assert!(hit.was_compressed);
+        // One decompression + one re-compression; the block stays
+        // compressed (one nonzero word still packs well).
+        assert_eq!(c.stats().decompressions, 1);
+        assert_eq!(c.stats().recompressions, 1);
+        assert_eq!(c.stats().fat_writes, 0);
+        let hit = c.read(conflict_addr(0)).unwrap();
+        assert!(hit.was_compressed, "block should still be compressed");
+        assert_eq!(hit.word, 0xAB);
+    }
+
+    #[test]
+    fn fat_write_when_contents_stop_compressing() {
+        let mut c = cache();
+        // Three compressed blocks + one uncompressed: 1+1+1+4 = 7 <= 8.
+        c.fill(conflict_addr(0), zero_block(), FillMode::Compress, None);
+        c.fill(conflict_addr(1), zero_block(), FillMode::Compress, None);
+        c.fill(conflict_addr(2), zero_block(), FillMode::Compress, None);
+        c.fill(conflict_addr(3), random_block(1), FillMode::Bypass, None);
+        assert_eq!(c.resident_count(), 4);
+        // Scribble random words over block 0 until it no longer compresses:
+        // the repack fails, the line expands, and the set must evict.
+        let mut x = 0x9E3779B9u32;
+        let mut expanded = false;
+        for w in 0..8u64 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let (_, evicted) = c.write(conflict_addr(0) + w * 4, x, true).unwrap();
+            if !evicted.is_empty() {
+                expanded = true;
+                break;
+            }
+        }
+        assert!(expanded, "incompressible rewrite must expand and evict");
+        assert!(c.stats().fat_writes >= 1);
+        // The written block itself must survive.
+        assert!(c.contains(conflict_addr(0)));
+    }
+
+    #[test]
+    fn write_miss_returns_none_then_fill_applies_store() {
+        let mut c = cache();
+        assert!(c.write(Address::new(0x300), 5, true).is_none());
+        assert_eq!(c.stats().write_misses, 1);
+        c.fill(Address::new(0x300), zero_block(), FillMode::Bypass, Some((0, 5)));
+        assert_eq!(c.read(Address::new(0x300)).unwrap().word, 5);
+        let drained = c.drain_dirty();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].data.read_u32(0), 5);
+    }
+
+    #[test]
+    fn lru_rank_reported_on_hits() {
+        let mut c = cache();
+        c.fill(conflict_addr(0), zero_block(), FillMode::Compress, None);
+        c.fill(conflict_addr(1), zero_block(), FillMode::Compress, None);
+        c.fill(conflict_addr(2), zero_block(), FillMode::Compress, None);
+        // Block 0 is now LRU at rank 2 (beyond the 2 nominal ways).
+        let hit = c.read(conflict_addr(0)).unwrap();
+        assert_eq!(hit.lru_rank, 2);
+        // And it is MRU afterwards.
+        let hit = c.read(conflict_addr(0)).unwrap();
+        assert_eq!(hit.lru_rank, 0);
+    }
+
+    #[test]
+    fn eviction_of_dirty_compressed_block_decompresses() {
+        let mut c = cache();
+        c.fill(conflict_addr(0), zero_block(), FillMode::Compress, Some((4, 1)));
+        let d0 = c.stats().decompressions;
+        // Force eviction with incompressible fills.
+        c.fill(conflict_addr(1), random_block(1), FillMode::Bypass, None);
+        let out = c.fill(conflict_addr(2), random_block(2), FillMode::Bypass, None);
+        let victim =
+            out.evicted.iter().chain(std::iter::empty()).find(|e| e.addr == conflict_addr(0));
+        if let Some(v) = victim {
+            assert!(v.dirty);
+            if v.was_compressed {
+                assert!(c.stats().decompressions > d0);
+            }
+        }
+        assert!(c.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn drain_dirty_marks_clean_and_reports_compressed() {
+        let mut c = cache();
+        c.fill(conflict_addr(0), zero_block(), FillMode::Compress, Some((0, 1)));
+        c.fill(conflict_addr(1), zero_block(), FillMode::Bypass, Some((0, 2)));
+        let drained = c.drain_dirty();
+        assert_eq!(drained.len(), 2);
+        assert!(c.drain_dirty().is_empty(), "second drain finds nothing dirty");
+    }
+
+    #[test]
+    fn invalidate_all_empties_the_cache() {
+        let mut c = cache();
+        c.fill(conflict_addr(0), zero_block(), FillMode::Compress, None);
+        c.fill(Address::new(0x40), zero_block(), FillMode::Bypass, None);
+        c.invalidate_all();
+        assert_eq!(c.resident_count(), 0);
+        assert!(c.read(conflict_addr(0)).is_none());
+    }
+
+    #[test]
+    fn invalidate_block_returns_the_victim() {
+        let mut c = cache();
+        c.fill(conflict_addr(0), zero_block(), FillMode::Bypass, Some((0, 3)));
+        let e = c.invalidate_block(conflict_addr(0)).unwrap();
+        assert!(e.dirty);
+        assert_eq!(e.data.read_u32(0), 3);
+        assert!(c.invalidate_block(conflict_addr(0)).is_none());
+    }
+
+    #[test]
+    fn evicted_addr_reconstruction_round_trips() {
+        let mut c = cache();
+        let addr = Address::new(0x1234 & !31); // block-aligned
+        c.fill(addr, zero_block(), FillMode::Bypass, None);
+        let blocks = c.resident_blocks();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].addr, addr.block_base(32));
+    }
+
+    #[test]
+    fn resident_snapshot_reports_ticks() {
+        let mut c = cache();
+        c.fill(conflict_addr(0), zero_block(), FillMode::Bypass, None);
+        let t0 = c.resident_blocks()[0].last_tick;
+        c.read(conflict_addr(0));
+        let t1 = c.resident_blocks()[0].last_tick;
+        assert!(t1 > t0);
+        assert!(c.now() >= t1);
+    }
+
+    #[test]
+    fn works_with_other_geometries() {
+        for (size, ways, bs) in
+            [(128u32, 2u32, 32u32), (512, 4, 32), (256, 1, 32), (256, 2, 16), (4096, 8, 64)]
+        {
+            let params = CacheParams::table1().with_size(size).with_ways(ways).with_block_size(bs);
+            let mut c = CompressedCache::new(CacheConfig::new(params, Algorithm::Fpc));
+            for i in 0..64u64 {
+                let addr = Address::new(i * bs as u64 * 3);
+                if c.read(addr).is_none() {
+                    c.fill(addr, BlockData::zeroed(bs), FillMode::Compress, None);
+                }
+            }
+            assert!(c.stats().fills > 0);
+        }
+    }
+}

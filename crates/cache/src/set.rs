@@ -1,0 +1,119 @@
+//! One cache set: a small vector of lines plus LRU bookkeeping.
+
+use ehs_model::BlockData;
+
+/// One resident cache line.
+///
+/// The uncompressed bytes are always kept (`data`) so functional reads and
+/// writes are exact; `compressed` + `segments` record how the block sits in
+/// the segmented data array.
+#[derive(Debug, Clone)]
+pub(crate) struct Line {
+    pub tag: u64,
+    pub data: BlockData,
+    pub dirty: bool,
+    /// Whether the data array holds this block in compressed form.
+    pub compressed: bool,
+    /// Data-array footprint in segments.
+    pub segments: u32,
+    /// Monotonic recency stamp (larger = more recent).
+    pub last_tick: u64,
+}
+
+/// A set of resident lines.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CacheSet {
+    pub lines: Vec<Line>,
+}
+
+impl CacheSet {
+    /// Index of the line with `tag`, if resident.
+    pub fn find(&self, tag: u64) -> Option<usize> {
+        self.lines.iter().position(|l| l.tag == tag)
+    }
+
+    /// Total data-array segments in use.
+    pub fn used_segments(&self) -> u32 {
+        self.lines.iter().map(|l| l.segments).sum()
+    }
+
+    /// Index of the least-recently-used line, optionally excluding one tag.
+    pub fn lru_victim(&self, protect: Option<u64>) -> Option<usize> {
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| Some(l.tag) != protect)
+            .min_by_key(|(_, l)| l.last_tick)
+            .map(|(i, _)| i)
+    }
+
+    /// Recency rank of the line at `idx`: 0 = most recently used.
+    ///
+    /// The rank counts how many resident lines are more recent, which is
+    /// exactly the LRU *stack depth* ACC consults: a hit at rank >= ways
+    /// means the block was only present thanks to compression.
+    pub fn rank_of(&self, idx: usize) -> u32 {
+        let tick = self.lines[idx].last_tick;
+        self.lines.iter().filter(|l| l.last_tick > tick).count() as u32
+    }
+
+    /// Lines in LRU-first order (oldest first), as indices.
+    pub fn lru_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.lines.len()).collect();
+        order.sort_by_key(|&i| self.lines[i].last_tick);
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(tag: u64, segments: u32, tick: u64) -> Line {
+        Line {
+            tag,
+            data: BlockData::zeroed(32),
+            dirty: false,
+            compressed: segments < 4,
+            segments,
+            last_tick: tick,
+        }
+    }
+
+    #[test]
+    fn find_and_segments() {
+        let set = CacheSet { lines: vec![line(1, 4, 10), line(2, 2, 20)] };
+        assert_eq!(set.find(1), Some(0));
+        assert_eq!(set.find(3), None);
+        assert_eq!(set.used_segments(), 6);
+    }
+
+    #[test]
+    fn lru_victim_is_oldest() {
+        let set = CacheSet { lines: vec![line(1, 4, 10), line(2, 4, 5), line(3, 4, 20)] };
+        assert_eq!(set.lru_victim(None), Some(1));
+        // Protecting the oldest redirects to the next oldest.
+        assert_eq!(set.lru_victim(Some(2)), Some(0));
+    }
+
+    #[test]
+    fn rank_counts_more_recent_lines() {
+        let set = CacheSet { lines: vec![line(1, 4, 10), line(2, 4, 5), line(3, 4, 20)] };
+        assert_eq!(set.rank_of(2), 0); // tick 20 = MRU
+        assert_eq!(set.rank_of(0), 1);
+        assert_eq!(set.rank_of(1), 2); // tick 5 = LRU
+    }
+
+    #[test]
+    fn lru_order_sorts_oldest_first() {
+        let set = CacheSet { lines: vec![line(1, 4, 10), line(2, 4, 5), line(3, 4, 20)] };
+        assert_eq!(set.lru_order(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn empty_set_has_no_victim() {
+        let set = CacheSet::default();
+        assert_eq!(set.lru_victim(None), None);
+        assert_eq!(set.used_segments(), 0);
+    }
+}

@@ -1,0 +1,345 @@
+//! Base-Delta-Immediate compression (Pekhimenko et al., PACT 2012).
+//!
+//! BDI exploits *intra-block value similarity*: it views the block as an
+//! array of fixed-width values, picks one value as the base and stores every
+//! value as either a small signed delta from that base or a small signed
+//! "immediate" (a delta from an implicit second base of zero). Eight
+//! configurations are tried — zero block, repeated value, and
+//! base×delta ∈ {8×1, 8×2, 8×4, 4×1, 4×2, 2×1} — and the smallest wins.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::{passthrough, validate_block, Algorithm, CompressedBlock, Compressor};
+
+/// Encoding tags stored in the 4-bit header.
+const TAG_UNCOMPRESSED: u64 = 0;
+const TAG_ZEROS: u64 = 1;
+const TAG_REPEAT: u64 = 2;
+/// Tags 3.. map onto [`CONFIGS`] in order.
+const TAG_CONFIG_BASE: u64 = 3;
+
+/// The (base size, delta size) configurations, in bytes.
+const CONFIGS: [(u32, u32); 6] = [(8, 1), (8, 2), (8, 4), (4, 1), (4, 2), (2, 1)];
+
+const HEADER_BITS: u32 = 4;
+
+/// The Base-Delta-Immediate compressor.
+///
+/// # Examples
+///
+/// ```
+/// use ehs_compress::{Bdi, Compressor};
+///
+/// // 8 words clustered around one base compress to base + small deltas.
+/// let mut block = Vec::new();
+/// for i in 0..8u32 {
+///     block.extend_from_slice(&(0x4000_0000u32 + i).to_le_bytes());
+/// }
+/// let bdi = Bdi::new();
+/// let enc = bdi.compress(&block);
+/// assert!(enc.compressed_bytes() <= 14);
+/// assert_eq!(bdi.decompress(&enc), block);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bdi {
+    _private: (),
+}
+
+impl Bdi {
+    /// Creates a BDI compressor.
+    pub fn new() -> Self {
+        Bdi { _private: () }
+    }
+}
+
+/// Reads the little-endian unsigned value of width `size` at `idx`.
+fn value_at(data: &[u8], idx: usize, size: u32) -> u64 {
+    let start = idx * size as usize;
+    let mut v = 0u64;
+    for (i, &b) in data[start..start + size as usize].iter().enumerate() {
+        v |= (b as u64) << (8 * i);
+    }
+    v
+}
+
+/// Returns the signed delta `v - base` if it fits in `delta_bytes`.
+fn fitting_delta(v: u64, base: u64, delta_bytes: u32) -> Option<i64> {
+    let delta = v.wrapping_sub(base) as i64;
+    let bits = 8 * delta_bytes;
+    if bits >= 64 {
+        return Some(delta);
+    }
+    let lo = -(1i64 << (bits - 1));
+    let hi = (1i64 << (bits - 1)) - 1;
+    (lo..=hi).contains(&delta).then_some(delta)
+}
+
+/// One candidate encoding for a (base, delta) configuration.
+struct ConfigPlan {
+    base: u64,
+    /// Per value: `true` if encoded against `base`, `false` against zero.
+    mask: Vec<bool>,
+    deltas: Vec<i64>,
+}
+
+fn plan_config(data: &[u8], base_size: u32, delta_size: u32) -> Option<ConfigPlan> {
+    if !data.len().is_multiple_of(base_size as usize) {
+        return None;
+    }
+    let n = data.len() / base_size as usize;
+    let mut base: Option<u64> = None;
+    let mut mask = Vec::with_capacity(n);
+    let mut deltas = Vec::with_capacity(n);
+    for i in 0..n {
+        let v = value_at(data, i, base_size);
+        if let Some(d) = fitting_delta(v, 0, delta_size) {
+            mask.push(false);
+            deltas.push(d);
+            continue;
+        }
+        // Needs the explicit base; adopt the first such value as the base.
+        let b = *base.get_or_insert(v);
+        match fitting_delta(v, b, delta_size) {
+            Some(d) => {
+                mask.push(true);
+                deltas.push(d);
+            }
+            None => return None,
+        }
+    }
+    Some(ConfigPlan { base: base.unwrap_or(0), mask, deltas })
+}
+
+fn config_bits(data_len: usize, base_size: u32, delta_size: u32) -> u32 {
+    let n = (data_len / base_size as usize) as u32;
+    HEADER_BITS + 8 * base_size + n + n * 8 * delta_size
+}
+
+impl Compressor for Bdi {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Bdi
+    }
+
+    fn compress(&self, data: &[u8]) -> CompressedBlock {
+        validate_block(data);
+
+        if data.iter().all(|&b| b == 0) {
+            let mut w = BitWriter::new();
+            w.write_bits(TAG_ZEROS, HEADER_BITS);
+            let (payload, bits) = w.finish();
+            return CompressedBlock::new(Algorithm::Bdi, data.len() as u32, payload, bits);
+        }
+
+        // Repeated 8-byte value (only meaningful when the block is 8-aligned).
+        if data.len().is_multiple_of(8) {
+            let first = value_at(data, 0, 8);
+            if (1..data.len() / 8).all(|i| value_at(data, i, 8) == first) {
+                let mut w = BitWriter::new();
+                w.write_bits(TAG_REPEAT, HEADER_BITS);
+                w.write_bits(first, 64);
+                let (payload, bits) = w.finish();
+                return CompressedBlock::new(Algorithm::Bdi, data.len() as u32, payload, bits);
+            }
+        }
+
+        // Try every base×delta configuration; keep the smallest.
+        let mut best: Option<(usize, ConfigPlan, u32)> = None;
+        for (ci, &(bs, ds)) in CONFIGS.iter().enumerate() {
+            if let Some(plan) = plan_config(data, bs, ds) {
+                let bits = config_bits(data.len(), bs, ds);
+                if best.as_ref().is_none_or(|&(_, _, b)| bits < b) {
+                    best = Some((ci, plan, bits));
+                }
+            }
+        }
+
+        let passthrough_bits = (data.len() as u32 + 1) * 8;
+        match best {
+            Some((ci, plan, bits)) if bits < passthrough_bits => {
+                let (bs, ds) = CONFIGS[ci];
+                let mut w = BitWriter::new();
+                w.write_bits(TAG_CONFIG_BASE + ci as u64, HEADER_BITS);
+                w.write_bits(plan.base & mask_for(bs), 8 * bs);
+                for &m in &plan.mask {
+                    w.write_bits(m as u64, 1);
+                }
+                for &d in &plan.deltas {
+                    w.write_bits((d as u64) & mask_for(ds), 8 * ds);
+                }
+                let (payload, actual) = w.finish();
+                debug_assert_eq!(actual, bits);
+                CompressedBlock::new(Algorithm::Bdi, data.len() as u32, payload, actual)
+            }
+            // Incompressible; store raw behind an uncompressed flag byte.
+            _ => passthrough(Algorithm::Bdi, data),
+        }
+    }
+
+    fn decompress(&self, block: &CompressedBlock) -> Vec<u8> {
+        assert_eq!(block.algorithm(), Algorithm::Bdi, "not a BDI block");
+        let len = block.original_bytes() as usize;
+        let payload = block.payload();
+        // Uncompressed passthrough stores a whole flag byte.
+        if payload.first() == Some(&(TAG_UNCOMPRESSED as u8)) && payload.len() == len + 1 {
+            return payload[1..].to_vec();
+        }
+        let mut r = BitReader::new(payload);
+        let tag = r.read_bits(HEADER_BITS);
+        match tag {
+            TAG_ZEROS => vec![0u8; len],
+            TAG_REPEAT => {
+                let v = r.read_bits(64);
+                let mut out = Vec::with_capacity(len);
+                for _ in 0..len / 8 {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                out
+            }
+            t => {
+                let ci = (t - TAG_CONFIG_BASE) as usize;
+                assert!(ci < CONFIGS.len(), "corrupt BDI tag {t}");
+                let (bs, ds) = CONFIGS[ci];
+                let n = len / bs as usize;
+                let base = r.read_bits(8 * bs);
+                let mask: Vec<bool> = (0..n).map(|_| r.read_bits(1) == 1).collect();
+                let mut out = Vec::with_capacity(len);
+                for &against_base in mask.iter().take(n) {
+                    let raw = r.read_bits(8 * ds);
+                    let delta = sign_extend(raw, 8 * ds);
+                    let v =
+                        if against_base { base.wrapping_add(delta as u64) } else { delta as u64 };
+                    out.extend_from_slice(&v.to_le_bytes()[..bs as usize]);
+                }
+                out
+            }
+        }
+    }
+}
+
+fn mask_for(bytes: u32) -> u64 {
+    if bytes >= 8 {
+        u64::MAX
+    } else {
+        (1u64 << (8 * bytes)) - 1
+    }
+}
+
+fn sign_extend(raw: u64, bits: u32) -> i64 {
+    if bits >= 64 {
+        return raw as i64;
+    }
+    let shift = 64 - bits;
+    ((raw << shift) as i64) >> shift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) -> CompressedBlock {
+        let bdi = Bdi::new();
+        let enc = bdi.compress(data);
+        assert_eq!(bdi.decompress(&enc), data);
+        enc
+    }
+
+    #[test]
+    fn zero_block_is_tiny() {
+        let enc = round_trip(&[0u8; 32]);
+        assert_eq!(enc.compressed_bytes(), 1);
+    }
+
+    #[test]
+    fn repeated_value_stores_one_base() {
+        let mut block = Vec::new();
+        for _ in 0..4 {
+            block.extend_from_slice(&0xDEAD_BEEF_1234_5678u64.to_le_bytes());
+        }
+        let enc = round_trip(&block);
+        assert!(enc.compressed_bytes() <= 9); // 4-bit tag + 8-byte value
+    }
+
+    #[test]
+    fn base8_delta1_for_clustered_u64() {
+        let mut block = Vec::new();
+        for i in 0..4u64 {
+            block.extend_from_slice(&(0x0102_0304_0506_0000 + i * 7).to_le_bytes());
+        }
+        let enc = round_trip(&block);
+        // 4b tag + 8B base + 4b mask + 4×1B deltas = 101 bits = 13 B.
+        assert_eq!(enc.compressed_bytes(), 13);
+    }
+
+    #[test]
+    fn base4_delta1_for_clustered_u32() {
+        let mut block = Vec::new();
+        for i in 0..8u32 {
+            block.extend_from_slice(&(0x4000_0000 + i * 2).to_le_bytes());
+        }
+        let enc = round_trip(&block);
+        // 4b tag + 4B base + 8b mask + 8×1B = 108 bits = 14 B... but 8x1
+        // config may win depending on layout; just require a real win.
+        assert!(enc.compressed_bytes() <= 14);
+    }
+
+    #[test]
+    fn immediate_handles_mixed_small_and_based_values() {
+        // Alternating small immediates and values near a large base:
+        // classic BDI-immediate case.
+        let mut block = Vec::new();
+        for i in 0..4u32 {
+            block.extend_from_slice(&(i * 3).to_le_bytes()); // near zero
+            block.extend_from_slice(&(0x7000_1200 + i).to_le_bytes()); // near base
+        }
+        let enc = round_trip(&block);
+        assert!(enc.is_compressed(), "mixed block should compress, got {}", enc.ratio());
+    }
+
+    #[test]
+    fn random_block_falls_back_to_passthrough() {
+        let mut x = 0xACE1u32;
+        let mut block = Vec::new();
+        for _ in 0..8 {
+            x = x.wrapping_mul(0x9E3779B9).wrapping_add(0x85EBCA6B);
+            block.extend_from_slice(&x.to_le_bytes());
+        }
+        let enc = round_trip(&block);
+        assert_eq!(enc.compressed_bytes(), 33); // 32 + flag byte
+        assert!(!enc.is_compressed());
+    }
+
+    #[test]
+    fn works_across_block_sizes() {
+        for size in [16usize, 32, 64] {
+            let block: Vec<u8> = (0..size).map(|i| (i % 7) as u8).collect();
+            round_trip(&block);
+        }
+    }
+
+    #[test]
+    fn sign_extension_of_negative_deltas() {
+        // Values slightly *below* the base force negative deltas.
+        let mut block = Vec::new();
+        let base = 0x5000_0000u32;
+        for i in 0..8u32 {
+            block.extend_from_slice(&(base.wrapping_sub(i * 5)).to_le_bytes());
+        }
+        let enc = round_trip(&block);
+        assert!(enc.is_compressed());
+    }
+
+    #[test]
+    fn helper_sign_extend() {
+        assert_eq!(sign_extend(0xFF, 8), -1);
+        assert_eq!(sign_extend(0x7F, 8), 127);
+        assert_eq!(sign_extend(0x80, 8), -128);
+        assert_eq!(sign_extend(0xFFFF_FFFF_FFFF_FFFF, 64), -1);
+    }
+
+    #[test]
+    fn helper_fitting_delta() {
+        assert_eq!(fitting_delta(10, 8, 1), Some(2));
+        assert_eq!(fitting_delta(8, 10, 1), Some(-2));
+        assert_eq!(fitting_delta(300, 0, 1), None);
+        assert_eq!(fitting_delta(300, 0, 2), Some(300));
+    }
+}

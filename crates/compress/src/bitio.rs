@@ -1,0 +1,178 @@
+//! Bit-granular writer/reader used by the variable-width encoders (FPC,
+//! C-Pack). Bits are packed MSB-first within each byte, matching how a
+//! hardware shifter would serialise prefix codes.
+
+/// Packs bits MSB-first into a byte vector.
+///
+/// # Examples
+///
+/// ```
+/// use ehs_compress::bitio::{BitReader, BitWriter};
+///
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_bits(0xFF, 8);
+/// let (bytes, bits) = w.finish();
+/// assert_eq!(bits, 11);
+///
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(r.read_bits(3), 0b101);
+/// assert_eq!(r.read_bits(8), 0xFF);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of valid bits written so far.
+    bit_len: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `width` bits of `value`, MSB-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or if `value` has bits set above `width`.
+    pub fn write_bits(&mut self, value: u64, width: u32) {
+        assert!(width <= 64, "width must be at most 64");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value:#x} does not fit in {width} bits"
+        );
+        for i in (0..width).rev() {
+            let bit = ((value >> i) & 1) as u8;
+            let bit_pos = self.bit_len % 8;
+            if bit_pos == 0 {
+                self.bytes.push(0);
+            }
+            if bit == 1 {
+                let last = self.bytes.last_mut().expect("pushed above");
+                *last |= 1 << (7 - bit_pos);
+            }
+            self.bit_len += 1;
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> u32 {
+        self.bit_len
+    }
+
+    /// Finishes, returning the packed bytes and the exact bit count.
+    pub fn finish(self) -> (Vec<u8>, u32) {
+        (self.bytes, self.bit_len)
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes` starting at bit 0.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads `width` bits, MSB-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `width` bits remain or `width > 64`.
+    pub fn read_bits(&mut self, width: u32) -> u64 {
+        assert!(width <= 64, "width must be at most 64");
+        assert!(
+            (self.pos + width) as usize <= self.bytes.len() * 8,
+            "bit stream exhausted: need {} bits at position {}",
+            width,
+            self.pos
+        );
+        let mut out = 0u64;
+        for _ in 0..width {
+            let byte = self.bytes[(self.pos / 8) as usize];
+            let bit = (byte >> (7 - (self.pos % 8))) & 1;
+            out = (out << 1) | bit as u64;
+            self.pos += 1;
+        }
+        out
+    }
+
+    /// Current bit position.
+    pub fn position(&self) -> u32 {
+        self.pos
+    }
+
+    /// Number of bits remaining.
+    pub fn remaining(&self) -> u32 {
+        self.bytes.len() as u32 * 8 - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_widths() {
+        let mut w = BitWriter::new();
+        let fields: [(u64, u32); 6] =
+            [(1, 1), (0b10, 2), (0x7, 3), (0xAB, 8), (0x1234, 16), (0xDEADBEEF, 32)];
+        for (v, n) in fields {
+            w.write_bits(v, n);
+        }
+        let (bytes, bits) = w.finish();
+        assert_eq!(bits, 62);
+        let mut r = BitReader::new(&bytes);
+        for (v, n) in fields {
+            assert_eq!(r.read_bits(n), v);
+        }
+    }
+
+    #[test]
+    fn sixty_four_bit_values() {
+        let mut w = BitWriter::new();
+        w.write_bits(u64::MAX, 64);
+        let (bytes, bits) = w.finish();
+        assert_eq!(bits, 64);
+        assert_eq!(BitReader::new(&bytes).read_bits(64), u64::MAX);
+    }
+
+    #[test]
+    fn empty_writer_produces_nothing() {
+        let (bytes, bits) = BitWriter::new().finish();
+        assert!(bytes.is_empty());
+        assert_eq!(bits, 0);
+    }
+
+    #[test]
+    fn reader_tracks_position_and_remaining() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1010, 4);
+        let (bytes, _) = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.remaining(), 8);
+        r.read_bits(3);
+        assert_eq!(r.position(), 3);
+        assert_eq!(r.remaining(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_rejected() {
+        BitWriter::new().write_bits(0b100, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn overread_rejected() {
+        let mut r = BitReader::new(&[0xFF]);
+        r.read_bits(9);
+    }
+}

@@ -1,0 +1,273 @@
+//! C-Pack cache compression (Chen et al., IEEE TVLSI 2010).
+//!
+//! C-Pack examines each 32-bit word for static patterns (all zero, mostly
+//! zero) and for full or partial matches against a small FIFO dictionary of
+//! recently seen words. Codes, ordered by how much they pay:
+//!
+//! | code  | meaning                                | cost (bits) |
+//! |-------|----------------------------------------|-------------|
+//! | 00    | `zzzz` — zero word                     | 2           |
+//! | 10    | `mmmm` — full dictionary match         | 2 + 4       |
+//! | 1101  | `zzzx` — three zero bytes + literal    | 4 + 8       |
+//! | 1110  | `mmmx` — 3-byte dict match + literal   | 4 + 4 + 8   |
+//! | 1100  | `mmxx` — 2-byte dict match + 2 literal | 4 + 4 + 16  |
+//! | 01    | `xxxx` — unmatched word                | 2 + 32      |
+//!
+//! The dictionary is rebuilt identically during decompression: every word
+//! emitted as `xxxx`, `mmxx` or `mmmx` is pushed in FIFO order, so encoder
+//! and decoder stay in lockstep.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::{validate_block, Algorithm, CompressedBlock, Compressor};
+
+const DICT_ENTRIES: usize = 16;
+const IDX_BITS: u32 = 4;
+
+/// The C-Pack compressor.
+///
+/// # Examples
+///
+/// ```
+/// use ehs_compress::{CPack, Compressor};
+///
+/// // Repeating words become full dictionary matches after first sight.
+/// let mut block = Vec::new();
+/// for _ in 0..8 {
+///     block.extend_from_slice(&0xCAFE_F00Du32.to_le_bytes());
+/// }
+/// let cpack = CPack::new();
+/// let enc = cpack.compress(&block);
+/// assert!(enc.compressed_bytes() < 16);
+/// assert_eq!(cpack.decompress(&enc), block);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CPack {
+    _private: (),
+}
+
+impl CPack {
+    /// Creates a C-Pack compressor.
+    pub fn new() -> Self {
+        CPack { _private: () }
+    }
+}
+
+/// FIFO dictionary shared (structurally) by encoder and decoder.
+#[derive(Debug, Default)]
+struct Dictionary {
+    words: Vec<u32>,
+    next: usize,
+}
+
+impl Dictionary {
+    fn push(&mut self, word: u32) {
+        if self.words.len() < DICT_ENTRIES {
+            self.words.push(word);
+        } else {
+            self.words[self.next] = word;
+            self.next = (self.next + 1) % DICT_ENTRIES;
+        }
+    }
+
+    /// Finds the best match, preferring full > 3-byte > 2-byte.
+    fn best_match(&self, word: u32) -> Option<(usize, MatchKind)> {
+        let mut best: Option<(usize, MatchKind)> = None;
+        for (i, &d) in self.words.iter().enumerate() {
+            let kind = if d == word {
+                MatchKind::Full
+            } else if (d ^ word) & 0xFFFF_FF00 == 0 {
+                MatchKind::High3
+            } else if (d ^ word) & 0xFFFF_0000 == 0 {
+                MatchKind::High2
+            } else {
+                continue;
+            };
+            if best.is_none_or(|(_, k)| kind > k) {
+                best = Some((i, kind));
+                if kind == MatchKind::Full {
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    fn get(&self, idx: usize) -> u32 {
+        self.words[idx]
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum MatchKind {
+    High2,
+    High3,
+    Full,
+}
+
+impl Compressor for CPack {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::CPack
+    }
+
+    fn compress(&self, data: &[u8]) -> CompressedBlock {
+        validate_block(data);
+        let mut dict = Dictionary::default();
+        let mut w = BitWriter::new();
+        for chunk in data.chunks_exact(4) {
+            let word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            if word == 0 {
+                w.write_bits(0b00, 2); // zzzz
+                continue;
+            }
+            if word <= 0xFF {
+                w.write_bits(0b1101, 4); // zzzx
+                w.write_bits(word as u64, 8);
+                continue;
+            }
+            match dict.best_match(word) {
+                Some((idx, MatchKind::Full)) => {
+                    w.write_bits(0b10, 2); // mmmm
+                    w.write_bits(idx as u64, IDX_BITS);
+                }
+                Some((idx, MatchKind::High3)) => {
+                    w.write_bits(0b1110, 4); // mmmx
+                    w.write_bits(idx as u64, IDX_BITS);
+                    w.write_bits((word & 0xFF) as u64, 8);
+                    dict.push(word);
+                }
+                Some((idx, MatchKind::High2)) => {
+                    w.write_bits(0b1100, 4); // mmxx
+                    w.write_bits(idx as u64, IDX_BITS);
+                    w.write_bits((word & 0xFFFF) as u64, 16);
+                    dict.push(word);
+                }
+                None => {
+                    w.write_bits(0b01, 2); // xxxx
+                    w.write_bits(word as u64, 32);
+                    dict.push(word);
+                }
+            }
+        }
+        let (payload, bits) = w.finish();
+        CompressedBlock::new(Algorithm::CPack, data.len() as u32, payload, bits)
+    }
+
+    fn decompress(&self, block: &CompressedBlock) -> Vec<u8> {
+        assert_eq!(block.algorithm(), Algorithm::CPack, "not a C-Pack block");
+        let n_words = block.original_bytes() as usize / 4;
+        let mut dict = Dictionary::default();
+        let mut r = BitReader::new(block.payload());
+        let mut out: Vec<u32> = Vec::with_capacity(n_words);
+        while out.len() < n_words {
+            let word = match r.read_bits(2) {
+                0b00 => 0,
+                0b01 => {
+                    let word = r.read_bits(32) as u32;
+                    dict.push(word);
+                    word
+                }
+                0b10 => dict.get(r.read_bits(IDX_BITS) as usize),
+                _ => match r.read_bits(2) {
+                    0b01 => r.read_bits(8) as u32, // zzzx
+                    0b10 => {
+                        // mmmx
+                        let idx = r.read_bits(IDX_BITS) as usize;
+                        let lit = r.read_bits(8) as u32;
+                        let word = (dict.get(idx) & 0xFFFF_FF00) | lit;
+                        dict.push(word);
+                        word
+                    }
+                    0b00 => {
+                        // mmxx
+                        let idx = r.read_bits(IDX_BITS) as usize;
+                        let lit = r.read_bits(16) as u32;
+                        let word = (dict.get(idx) & 0xFFFF_0000) | lit;
+                        dict.push(word);
+                        word
+                    }
+                    code => panic!("corrupt C-Pack stream: code 11{code:02b}"),
+                },
+            };
+            out.push(word);
+        }
+        out.into_iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) -> CompressedBlock {
+        let c = CPack::new();
+        let enc = c.compress(data);
+        assert_eq!(c.decompress(&enc), data, "C-Pack mismatch on {data:02x?}");
+        enc
+    }
+
+    #[test]
+    fn zero_block_costs_two_bits_per_word() {
+        let enc = round_trip(&[0u8; 32]);
+        assert_eq!(enc.compressed_bytes(), 2); // 8 words * 2 bits
+    }
+
+    #[test]
+    fn repeating_word_hits_dictionary() {
+        let mut block = Vec::new();
+        for _ in 0..8 {
+            block.extend_from_slice(&0x1122_3344u32.to_le_bytes());
+        }
+        let enc = round_trip(&block);
+        // First word xxxx (34 bits), then 7 * mmmm (6 bits) = 76 bits = 10B.
+        assert_eq!(enc.compressed_bytes(), 10);
+    }
+
+    #[test]
+    fn partial_matches_use_mmmx() {
+        let mut block = Vec::new();
+        // Same upper 3 bytes, different low byte.
+        for i in 0..8u32 {
+            block.extend_from_slice(&(0xAABB_CC00 + i).to_le_bytes());
+        }
+        let enc = round_trip(&block);
+        // xxxx + 7 * mmmx(16) = 34 + 112 = 146 bits = 19 B.
+        assert_eq!(enc.compressed_bytes(), 19);
+    }
+
+    #[test]
+    fn small_bytes_use_zzzx() {
+        let mut block = Vec::new();
+        for i in 1..9u32 {
+            block.extend_from_slice(&i.to_le_bytes());
+        }
+        let enc = round_trip(&block);
+        // 8 words * 12 bits = 96 bits = 12 B.
+        assert_eq!(enc.compressed_bytes(), 12);
+    }
+
+    #[test]
+    fn dictionary_fifo_eviction_stays_in_sync() {
+        // More than DICT_ENTRIES distinct words, then repeats of the late
+        // ones: forces FIFO wraparound on both sides.
+        let mut block = Vec::new();
+        for i in 0..20u32 {
+            block.extend_from_slice(&(0x0101_0000u32 + i * 0x10101).to_le_bytes());
+        }
+        for i in 15..20u32 {
+            block.extend_from_slice(&(0x0101_0000u32 + i * 0x10101).to_le_bytes());
+        }
+        round_trip(&block);
+    }
+
+    #[test]
+    fn mixed_content_round_trips() {
+        let block: Vec<u8> = (0..64u32).flat_map(|i| (i * 0x0101_0101 / 3).to_le_bytes()).collect();
+        round_trip(&block);
+    }
+
+    #[test]
+    fn match_kind_ordering_prefers_full() {
+        assert!(MatchKind::Full > MatchKind::High3);
+        assert!(MatchKind::High3 > MatchKind::High2);
+    }
+}

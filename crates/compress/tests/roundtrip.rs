@@ -1,0 +1,79 @@
+//! Property-based round-trip tests: every compressor must be lossless on
+//! arbitrary word-aligned blocks, and encoded sizes must respect each
+//! algorithm's structural bounds.
+
+use ehs_compress::{Algorithm, Compressor};
+use proptest::prelude::*;
+
+/// Arbitrary blocks of 16, 32 or 64 bytes with a mix of byte distributions
+/// (uniform random, zero-heavy, and small-integer words) so all encoder
+/// paths get exercised.
+fn block_strategy() -> impl Strategy<Value = Vec<u8>> {
+    let sizes = prop_oneof![Just(16usize), Just(32usize), Just(64usize)];
+    sizes.prop_flat_map(|size| {
+        prop_oneof![
+            // Uniform random bytes.
+            proptest::collection::vec(any::<u8>(), size..=size),
+            // Zero-heavy bytes.
+            proptest::collection::vec(prop_oneof![4 => Just(0u8), 1 => any::<u8>()], size..=size),
+            // Small-magnitude little-endian words (FPC/BDI sweet spot).
+            proptest::collection::vec(-50i32..50i32, size / 4..=size / 4)
+                .prop_map(|ws| ws.into_iter().flat_map(|w| w.to_le_bytes()).collect()),
+            // Clustered u32 values around a shared base.
+            (any::<u32>(), proptest::collection::vec(-100i32..100i32, size / 4..=size / 4))
+                .prop_map(|(base, offs)| {
+                    offs.into_iter()
+                        .flat_map(|o| base.wrapping_add(o as u32).to_le_bytes())
+                        .collect()
+                }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn all_algorithms_are_lossless(block in block_strategy()) {
+        for alg in Algorithm::EXTENDED {
+            let c = alg.compressor();
+            let enc = c.compress(&block);
+            prop_assert_eq!(c.decompress(&enc), block.clone(), "{} not lossless", alg);
+        }
+    }
+
+    #[test]
+    fn encoded_sizes_have_structural_bounds(block in block_strategy()) {
+        let n = block.len() as u32;
+        for alg in Algorithm::ALL {
+            let enc = alg.compressor().compress(&block);
+            // No algorithm may more than marginally expand a block.
+            let max = match alg {
+                Algorithm::Bdi => n + 1,              // flag byte
+                Algorithm::Fpc => n + n * 3 / 32 + 1, // 3 bits per word
+                Algorithm::CPack => n + n / 16 + 1,   // 2 bits per word
+                Algorithm::Dzc => n + n / 8,          // 1 bit per byte
+                Algorithm::Bpc => n + 1,              // passthrough fallback
+                Algorithm::Fvc => n + 4 + n / 32 + 1, // 32-bit header + flag/word
+            };
+            prop_assert!(
+                enc.compressed_bytes() <= max,
+                "{} produced {}B from {}B (max {})",
+                alg, enc.compressed_bytes(), n, max
+            );
+            prop_assert!(enc.encoded_bits() > 0);
+            prop_assert!(enc.compressed_bytes() as usize <= enc.payload().len());
+        }
+    }
+
+    #[test]
+    fn zero_density_monotonicity_for_dzc(nonzero in 0usize..=32) {
+        // DZC's size is an exact linear function of nonzero byte count.
+        let mut block = vec![0u8; 32];
+        for b in block.iter_mut().take(nonzero) {
+            *b = 0x5A;
+        }
+        let enc = Algorithm::Dzc.compressor().compress(&block);
+        prop_assert_eq!(enc.encoded_bits(), 32 + 8 * nonzero as u32);
+    }
+}

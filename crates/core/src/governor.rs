@@ -1,0 +1,132 @@
+//! The compression-governor interface between policy and mechanism.
+//!
+//! The cache crate implements the *mechanism* (segmented data array, fills
+//! that either compress or bypass); everything that decides *when* to
+//! compress — ACC's predictor, Kagura's mode machine, the ideal oracle —
+//! implements [`CompressionGovernor`]. The full-system simulator drives the
+//! event methods and consults [`CompressionGovernor::fill_mode`] on every
+//! fill.
+
+use ehs_cache::{FillMode, HitInfo};
+
+/// A run-time policy deciding whether cache fills compress.
+///
+/// Implementations receive the event stream of one hart: cache accesses,
+/// committed memory instructions, RM-mode evictions, voltage samples, and
+/// the power-failure/reboot lifecycle. All methods other than `fill_mode`
+/// have empty defaults so simple governors implement only what they need.
+pub trait CompressionGovernor {
+    /// Policy decision for the next cache fill.
+    fn fill_mode(&mut self) -> FillMode;
+
+    /// Whether compression is currently enabled *at all*. Unlike
+    /// [`CompressionGovernor::fill_mode`] this is a pure query with no side
+    /// effects (oracle replayers consume a trace entry per `fill_mode`
+    /// call). The simulator consults it on store hits to compressed lines:
+    /// enabled ⇒ the line is re-packed; disabled ⇒ the line expands and
+    /// future stores to it stop paying compression energy.
+    fn compression_enabled(&self) -> bool {
+        true
+    }
+
+    /// A cache access hit; `ways` is the cache's nominal associativity so
+    /// the governor can interpret [`HitInfo::lru_rank`].
+    fn on_hit(&mut self, _info: &HitInfo, _ways: u32) {}
+
+    /// A fill completed in compressing mode; `stored_compressed` reports
+    /// whether the compression actually saved space. Failed attempts still
+    /// cost full compression energy — a strong negative signal for
+    /// adaptive policies.
+    fn on_fill(&mut self, _stored_compressed: bool) {}
+
+    /// A memory instruction committed (Kagura's `R_mem` increment).
+    fn on_mem_commit(&mut self) {}
+
+    /// `count` blocks were evicted by a fill or fat write (Kagura counts
+    /// these towards `R_evict` while in RM mode).
+    fn on_evictions(&mut self, _count: u32) {}
+
+    /// Periodic capacitor-voltage sample for voltage-triggered variants.
+    /// `v_ckpt`/`v_rst` bound the operating window.
+    fn on_voltage(&mut self, _v: f64, _v_ckpt: f64, _v_rst: f64) {}
+
+    /// The voltage monitor fired: the JIT checkpoint is about to run and
+    /// power will be lost. Volatile governor state that the design
+    /// checkpoints to NVFFs survives; the rest resets at reboot.
+    fn on_power_failure(&mut self) {}
+
+    /// Power is back and checkpointed state has been restored.
+    fn on_reboot(&mut self) {}
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A governor that always compresses (conventional compressed cache).
+///
+/// # Examples
+///
+/// ```
+/// use ehs_cache::FillMode;
+/// use kagura_core::{AlwaysCompress, CompressionGovernor};
+///
+/// assert_eq!(AlwaysCompress.fill_mode(), FillMode::Compress);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysCompress;
+
+impl CompressionGovernor for AlwaysCompress {
+    fn fill_mode(&mut self) -> FillMode {
+        FillMode::Compress
+    }
+
+    fn name(&self) -> &'static str {
+        "always-compress"
+    }
+}
+
+/// A governor that never compresses (the compressor-free baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeverCompress;
+
+impl CompressionGovernor for NeverCompress {
+    fn fill_mode(&mut self) -> FillMode {
+        FillMode::Bypass
+    }
+
+    fn compression_enabled(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "no-compression"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_governors_are_constant() {
+        let mut a = AlwaysCompress;
+        let mut n = NeverCompress;
+        for _ in 0..3 {
+            assert_eq!(a.fill_mode(), FillMode::Compress);
+            assert_eq!(n.fill_mode(), FillMode::Bypass);
+        }
+        assert_eq!(a.name(), "always-compress");
+        assert_eq!(n.name(), "no-compression");
+    }
+
+    #[test]
+    fn default_event_handlers_are_no_ops() {
+        let mut a = AlwaysCompress;
+        a.on_mem_commit();
+        a.on_evictions(3);
+        a.on_voltage(2.0, 2.0, 2.016);
+        a.on_power_failure();
+        a.on_reboot();
+        assert_eq!(a.fill_mode(), FillMode::Compress);
+    }
+}

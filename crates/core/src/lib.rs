@@ -1,0 +1,70 @@
+//! **Kagura** — intermittence-aware cache compression control.
+//!
+//! This crate is the paper's primary contribution. Cache compression helps
+//! conventional processors by stretching effective cache capacity, but on an
+//! energy-harvesting system (EHS) a compressed block that is never reused
+//! before the next power outage is pure waste: the energy spent fetching and
+//! compressing it is lost with the SRAM. Kagura prevents that waste by
+//! switching the compressor between two modes at run time:
+//!
+//! * **CM (Compression Mode)** — the underlying compressor (typically
+//!   [`Acc`]) operates as usual.
+//! * **RM (Regular Mode)** — compression is disabled and fills fall back to
+//!   plain LRU replacement.
+//!
+//! Kagura enters RM when the *predicted number of memory operations left in
+//! the current power cycle* drops to a threshold `N_thres`:
+//!
+//! ```text
+//! N_remain = R_prev − R_mem          (Eq. 5)
+//! enter RM when N_remain ≤ R_thres
+//! ```
+//!
+//! `R_prev` is estimated from history (§VI-A: the previous power cycle's
+//! committed memory-op count, optionally refined by the reward/punishment
+//! counter and `R_adjust`, Eq. 6), and `R_thres` adapts by AIMD on the
+//! RM-mode eviction count `R_evict` (§VI-B). The whole controller is five
+//! 32-bit registers and a 2-bit counter — see [`overhead`].
+//!
+//! The crate also provides:
+//!
+//! * [`Acc`] — the Adaptive Cache Compressor baseline (global compression
+//!   predictor, Alameldeen & Wood ISCA'04) that Kagura extends.
+//! * [`Kagura`] — the controller, composable over any inner governor.
+//! * [`oracle`] — the two-phase ideal intermittence-aware compressor used
+//!   for Fig 13's "ideal" bars.
+//! * [`analysis`] — the closed-form break-even model of §III (Eq. 1–4,
+//!   Fig 3).
+//! * [`overhead`] — the §VIII-A hardware cost accounting.
+//!
+//! # Examples
+//!
+//! ```
+//! use ehs_cache::FillMode;
+//! use kagura_core::{Acc, CompressionGovernor, Kagura, KaguraConfig};
+//!
+//! let mut gov = Kagura::new(KaguraConfig::default(), Acc::new());
+//! // Fresh boot: compression mode.
+//! assert_eq!(gov.fill_mode(), FillMode::Compress);
+//! // Simulate a short power cycle so Kagura learns the cycle length…
+//! for _ in 0..100 { gov.on_mem_commit(); }
+//! gov.on_power_failure();
+//! gov.on_reboot();
+//! // …then near the predicted end of the next cycle it disables compression.
+//! for _ in 0..100 { gov.on_mem_commit(); }
+//! assert_eq!(gov.fill_mode(), FillMode::Bypass);
+//! ```
+
+pub mod acc;
+pub mod adapt;
+pub mod analysis;
+pub mod governor;
+pub mod kagura;
+pub mod oracle;
+pub mod overhead;
+
+pub use acc::Acc;
+pub use adapt::{AdaptScheme, ThresholdAdapter};
+pub use governor::{AlwaysCompress, CompressionGovernor, NeverCompress};
+pub use kagura::{EstimatorKind, Kagura, KaguraConfig, Mode, TriggerKind};
+pub use oracle::{OracleRecorder, OracleReplayer, OracleTrace};

@@ -1,0 +1,170 @@
+//! Property-based tests on the Kagura controller's state machine: whatever
+//! event sequence arrives, the hardware invariants the paper relies on
+//! must hold.
+
+use ehs_cache::{FillMode, HitInfo};
+use kagura_core::{
+    Acc, AdaptScheme, CompressionGovernor, EstimatorKind, Kagura, KaguraConfig, Mode,
+    ThresholdAdapter, TriggerKind,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Event {
+    MemCommit,
+    Hit { compressed: bool, rank: u32 },
+    Evictions(u32),
+    Fill { stored_compressed: bool },
+    PowerCycle,
+    Voltage(f64),
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        8 => Just(Event::MemCommit),
+        3 => (any::<bool>(), 0u32..4).prop_map(|(c, r)| Event::Hit { compressed: c, rank: r }),
+        2 => (1u32..5).prop_map(Event::Evictions),
+        2 => any::<bool>().prop_map(|s| Event::Fill { stored_compressed: s }),
+        1 => Just(Event::PowerCycle),
+        1 => (2.0f64..2.016).prop_map(Event::Voltage),
+    ]
+}
+
+fn config_strategy() -> impl Strategy<Value = KaguraConfig> {
+    (
+        1u64..200,
+        1u8..=3,
+        prop_oneof![Just(EstimatorKind::Simple), Just(EstimatorKind::Sophisticated)],
+        prop_oneof![
+            Just(AdaptScheme::Aimd),
+            Just(AdaptScheme::Miad),
+            Just(AdaptScheme::Aiad),
+            Just(AdaptScheme::Mimd)
+        ],
+        1usize..=4,
+        prop_oneof![
+            Just(TriggerKind::Memory),
+            (0.05f64..0.95).prop_map(|f| TriggerKind::Voltage { fraction: f })
+        ],
+    )
+        .prop_map(|(thres, bits, estimator, scheme, depth, trigger)| KaguraConfig {
+            initial_thres: thres,
+            counter_bits: bits,
+            estimator,
+            adapter: ThresholdAdapter::new(scheme, 0.10),
+            history_depth: depth,
+            trigger,
+            reward_tolerance: 0.20,
+        })
+}
+
+fn drive(k: &mut Kagura<Acc>, ev: &Event) {
+    match *ev {
+        Event::MemCommit => k.on_mem_commit(),
+        Event::Hit { compressed, rank } => {
+            k.on_hit(&HitInfo { was_compressed: compressed, lru_rank: rank, word: 0 }, 2)
+        }
+        Event::Evictions(n) => k.on_evictions(n),
+        Event::Fill { stored_compressed } => k.on_fill(stored_compressed),
+        Event::PowerCycle => {
+            k.on_power_failure();
+            k.on_reboot();
+        }
+        Event::Voltage(v) => k.on_voltage(v, 2.0, 2.016),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn invariants_hold_under_arbitrary_event_sequences(
+        cfg in config_strategy(),
+        events in proptest::collection::vec(event_strategy(), 0..600),
+    ) {
+        let mut k = Kagura::new(cfg, Acc::new());
+        let max_counter = (1u8 << cfg.counter_bits) - 1;
+        for ev in &events {
+            drive(&mut k, ev);
+            let (_, _, _, r_thres, _) = k.registers();
+            // The compression-disabling threshold never reaches zero: a
+            // zero threshold could never trigger and AIMD could never
+            // recover it.
+            prop_assert!(r_thres >= 1, "threshold hit zero");
+            // The saturating counter respects its width.
+            prop_assert!(k.counter() <= max_counter);
+            // RM always produces Bypass decisions.
+            if k.mode() == Mode::Regular {
+                prop_assert_eq!(k.fill_mode(), FillMode::Bypass);
+                prop_assert!(!k.compression_enabled());
+            }
+        }
+    }
+
+    #[test]
+    fn reboot_always_restores_compression_mode(
+        cfg in config_strategy(),
+        events in proptest::collection::vec(event_strategy(), 0..200),
+    ) {
+        let mut k = Kagura::new(cfg, Acc::new());
+        for ev in &events {
+            drive(&mut k, ev);
+        }
+        k.on_power_failure();
+        k.on_reboot();
+        prop_assert_eq!(k.mode(), Mode::Compression);
+    }
+
+    #[test]
+    fn rm_entries_counter_is_monotonic_and_bounded_by_cycles(
+        events in proptest::collection::vec(event_strategy(), 0..600),
+    ) {
+        let mut k = Kagura::new(KaguraConfig::default(), Acc::new());
+        let mut prev_entries = 0;
+        let mut cycles = 1u64;
+        for ev in &events {
+            drive(&mut k, ev);
+            if matches!(ev, Event::PowerCycle) {
+                cycles += 1;
+            }
+            prop_assert!(k.rm_entries() >= prev_entries, "rm_entries went backwards");
+            prop_assert!(k.rm_entries() <= cycles, "more RM entries than power cycles");
+            prev_entries = k.rm_entries();
+        }
+    }
+
+    #[test]
+    fn memory_trigger_fires_iff_remaining_ops_reach_threshold(
+        prev_len in 50u64..2000,
+        thres in 1u64..100,
+    ) {
+        // One training cycle of `prev_len` mem ops, then check the switch
+        // point in the next cycle (simple estimator: prediction = prev_len).
+        let cfg = KaguraConfig {
+            initial_thres: thres,
+            estimator: EstimatorKind::Simple,
+            ..KaguraConfig::default()
+        };
+        let mut k = Kagura::new(cfg, Acc::new());
+        for _ in 0..prev_len {
+            k.on_mem_commit();
+        }
+        k.on_power_failure();
+        k.on_reboot();
+        // Threshold may have adapted at reboot (r_evict = 0 -> additive up).
+        let (r_prev, _, _, r_thres, _) = k.registers();
+        prop_assert_eq!(r_prev, prev_len);
+        let switch_at = r_prev.saturating_sub(r_thres);
+        for i in 1..=prev_len {
+            k.on_mem_commit();
+            let expect_rm = i >= switch_at;
+            prop_assert_eq!(
+                k.mode() == Mode::Regular,
+                expect_rm,
+                "at commit {} (switch_at {})",
+                i,
+                switch_at
+            );
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Deterministic initial-memory images.
+//!
+//! A [`MemoryImage`] describes what the NVM contains before the program
+//! runs. Real MiBench/MediaBench address spaces are a patchwork of very
+//! differently *compressible* regions — zeroed BSS, ASCII text, sensor or
+//! pixel arrays with smooth gradients, small-integer tables, and
+//! random-looking compressed/crypto payloads. Each synthetic workload
+//! composes its image from these region kinds so the cache compressors face
+//! realistic data.
+//!
+//! Generation is a pure function of `(kind, block_index)` — no global RNG —
+//! so every simulation run sees byte-identical memory.
+
+use ehs_model::BlockData;
+
+/// What a region of memory looks like before the program touches it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ImageKind {
+    /// All zero bytes (BSS, fresh heaps). Maximally compressible.
+    Zeros,
+    /// Little-endian `u32` ramp: `base + step * word_index`. Models pixel
+    /// rows, sample buffers and pointer tables; BDI-friendly.
+    Gradient {
+        /// Value of word 0 of the region.
+        base: u32,
+        /// Increment between consecutive words.
+        step: u32,
+    },
+    /// Printable ASCII text with word-like structure; FPC/DZC-friendly
+    /// (high bytes are zero-ish, values small).
+    Text {
+        /// Stream seed.
+        seed: u64,
+    },
+    /// Small signed integers up to `magnitude`, stored as `u32`. Models
+    /// coefficient tables (DCT, filter taps); FPC-friendly.
+    SmallInts {
+        /// Stream seed.
+        seed: u64,
+        /// Values are drawn from `[-magnitude, magnitude]`.
+        magnitude: u32,
+    },
+    /// Uniformly random bytes (crypto state, already-compressed data).
+    /// Incompressible.
+    Random {
+        /// Stream seed.
+        seed: u64,
+    },
+    /// Block-granular mixture: each block is either small-integer data
+    /// (compressible) or random bytes, chosen by a per-block hash. Models
+    /// partially-encoded buffers — e.g. a JPEG bitstream interleaving
+    /// structured headers with entropy-coded noise — whose *average*
+    /// compressibility sits between the extremes.
+    Mixed {
+        /// Stream seed.
+        seed: u64,
+        /// Percentage of blocks that are compressible (0-100).
+        compressible_pct: u8,
+    },
+}
+
+/// SplitMix64: a tiny, high-quality hash used to derive per-word noise from
+/// `(seed, position)` without any stateful RNG.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl ImageKind {
+    /// Generates the little-endian word at global word position `word_pos`.
+    fn word_at(&self, word_pos: u64) -> u32 {
+        match *self {
+            ImageKind::Zeros => 0,
+            ImageKind::Gradient { base, step } => {
+                base.wrapping_add(step.wrapping_mul(word_pos as u32))
+            }
+            ImageKind::Text { seed } => {
+                let h = splitmix64(seed ^ word_pos);
+                // Four printable-ish bytes: mostly lowercase letters with
+                // occasional spaces, mimicking English text frequency.
+                let mut w = 0u32;
+                for i in 0..4 {
+                    let v = (h >> (i * 8)) as u8;
+                    let ch = if v.is_multiple_of(6) { b' ' } else { b'a' + (v % 26) };
+                    w |= (ch as u32) << (i * 8);
+                }
+                w
+            }
+            ImageKind::SmallInts { seed, magnitude } => {
+                let h = splitmix64(seed.wrapping_add(0x5EED) ^ word_pos);
+                let span = 2 * magnitude as u64 + 1;
+                let v = (h % span) as i64 - magnitude as i64;
+                v as i32 as u32
+            }
+            ImageKind::Random { seed } => splitmix64(seed ^ (word_pos << 1)) as u32,
+            // Mixed delegates per block in `materialize`; treat stray word
+            // queries as random.
+            ImageKind::Mixed { seed, .. } => splitmix64(seed ^ (word_pos << 1)) as u32,
+        }
+    }
+
+    /// Materialises one block of `block_size` bytes at `block_index`.
+    pub fn materialize(&self, block_index: u64, block_size: u32) -> BlockData {
+        if let ImageKind::Mixed { seed, compressible_pct } = *self {
+            let pick = splitmix64(seed.rotate_left(7) ^ block_index) % 100;
+            let kind = if pick < compressible_pct as u64 {
+                ImageKind::SmallInts { seed: seed ^ 0x417, magnitude: 512 }
+            } else {
+                ImageKind::Random { seed: seed ^ 0x5EED }
+            };
+            return kind.materialize(block_index, block_size);
+        }
+        let mut block = BlockData::zeroed(block_size);
+        let words = block_size / 4;
+        let base_word = block_index * words as u64;
+        for w in 0..words {
+            block.write_u32(w * 4, self.word_at(base_word + w as u64));
+        }
+        block
+    }
+}
+
+/// A whole-address-space image: an ordered list of `(start_byte, kind)`
+/// regions, looked up by byte address. Region boundaries are byte-based so
+/// the image is identical under every cache-block-size configuration.
+///
+/// # Examples
+///
+/// ```
+/// use ehs_mem::{ImageKind, MemoryImage};
+///
+/// // Zeros by default, text from byte 0x1000, random from byte 0x2000.
+/// let image = MemoryImage::builder(ImageKind::Zeros)
+///     .region(0x1000, ImageKind::Text { seed: 1 })
+///     .region(0x2000, ImageKind::Random { seed: 2 })
+///     .build();
+/// assert!(image.materialize(0, 32).is_all_zero());
+/// assert!(!image.materialize(0x1800 / 32, 32).is_all_zero());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryImage {
+    default: ImageKind,
+    /// Sorted by starting byte address; each entry applies from its start
+    /// until the next entry's start.
+    regions: Vec<(u64, ImageKind)>,
+}
+
+impl MemoryImage {
+    /// An image that is all zeros.
+    pub fn zeros() -> Self {
+        MemoryImage { default: ImageKind::Zeros, regions: Vec::new() }
+    }
+
+    /// An image of uniformly random bytes.
+    pub fn random(seed: u64) -> Self {
+        MemoryImage { default: ImageKind::Random { seed }, regions: Vec::new() }
+    }
+
+    /// An image that is one uniform kind everywhere.
+    pub fn uniform(kind: ImageKind) -> Self {
+        MemoryImage { default: kind, regions: Vec::new() }
+    }
+
+    /// Starts building a region-patchwork image over a default kind.
+    pub fn builder(default: ImageKind) -> MemoryImageBuilder {
+        MemoryImageBuilder { default, regions: Vec::new() }
+    }
+
+    /// The kind governing the byte at `addr`.
+    pub fn kind_at(&self, addr: u64) -> ImageKind {
+        match self.regions.binary_search_by_key(&addr, |&(s, _)| s) {
+            Ok(i) => self.regions[i].1,
+            Err(0) => self.default,
+            Err(i) => self.regions[i - 1].1,
+        }
+    }
+
+    /// Materialises the block at `block_index` for a given block size; the
+    /// governing region is chosen by the block's base byte address.
+    pub fn materialize(&self, block_index: u64, block_size: u32) -> BlockData {
+        self.kind_at(block_index * block_size as u64).materialize(block_index, block_size)
+    }
+}
+
+/// Builder for [`MemoryImage`] (regions may be added in any order).
+#[derive(Debug, Clone)]
+pub struct MemoryImageBuilder {
+    default: ImageKind,
+    regions: Vec<(u64, ImageKind)>,
+}
+
+impl MemoryImageBuilder {
+    /// Adds a region starting at byte `start_addr` (inclusive) with the
+    /// given kind; it extends to the next region's start or forever.
+    pub fn region(mut self, start_addr: u64, kind: ImageKind) -> Self {
+        self.regions.push((start_addr, kind));
+        self
+    }
+
+    /// Finalises the image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two regions share a starting block.
+    pub fn build(mut self) -> MemoryImage {
+        self.regions.sort_by_key(|&(s, _)| s);
+        for pair in self.regions.windows(2) {
+            assert_ne!(pair[0].0, pair[1].0, "duplicate region start {}", pair[0].0);
+        }
+        MemoryImage { default: self.default, regions: self.regions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_materialize_to_zero_blocks() {
+        let b = ImageKind::Zeros.materialize(12, 32);
+        assert!(b.is_all_zero());
+    }
+
+    #[test]
+    fn gradient_is_a_ramp_across_blocks() {
+        let kind = ImageKind::Gradient { base: 100, step: 3 };
+        let b0 = kind.materialize(0, 32);
+        let b1 = kind.materialize(1, 32);
+        assert_eq!(b0.read_u32(0), 100);
+        assert_eq!(b0.read_u32(4), 103);
+        // Block 1 continues exactly where block 0 left off.
+        assert_eq!(b1.read_u32(0), 100 + 3 * 8);
+    }
+
+    #[test]
+    fn text_is_printable_ascii() {
+        let b = ImageKind::Text { seed: 42 }.materialize(5, 64);
+        for &byte in b.as_slice() {
+            assert!(byte == b' ' || byte.is_ascii_lowercase(), "byte {byte:#x}");
+        }
+    }
+
+    #[test]
+    fn small_ints_respect_magnitude() {
+        let kind = ImageKind::SmallInts { seed: 9, magnitude: 20 };
+        let b = kind.materialize(3, 64);
+        for w in b.words() {
+            let v = w as i32;
+            assert!((-20..=20).contains(&v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn mixed_blocks_are_a_per_block_mixture() {
+        let kind = ImageKind::Mixed { seed: 3, compressible_pct: 60 };
+        let mut small = 0;
+        for b in 0..200u64 {
+            let block = kind.materialize(b, 32);
+            // Small-int blocks have every word below ~2^10 in magnitude.
+            if block.words().all(|w| (w as i32).unsigned_abs() <= 512) {
+                small += 1;
+            }
+        }
+        assert!((90..150).contains(&small), "compressible blocks: {small}/200");
+        // Deterministic.
+        assert_eq!(kind.materialize(7, 32), kind.materialize(7, 32));
+    }
+
+    #[test]
+    fn random_blocks_differ_between_positions_and_seeds() {
+        let k = ImageKind::Random { seed: 1 };
+        assert_ne!(k.materialize(0, 32), k.materialize(1, 32));
+        assert_ne!(k.materialize(0, 32), ImageKind::Random { seed: 2 }.materialize(0, 32));
+        // But are reproducible.
+        assert_eq!(k.materialize(7, 32), k.materialize(7, 32));
+    }
+
+    #[test]
+    fn region_lookup_picks_latest_start_at_or_before() {
+        let image = MemoryImage::builder(ImageKind::Zeros)
+            .region(0x1000, ImageKind::Random { seed: 1 })
+            .region(0x2000, ImageKind::Text { seed: 2 })
+            .build();
+        assert_eq!(image.kind_at(0), ImageKind::Zeros);
+        assert_eq!(image.kind_at(0x1000), ImageKind::Random { seed: 1 });
+        assert_eq!(image.kind_at(0x1800), ImageKind::Random { seed: 1 });
+        assert_eq!(image.kind_at(0x2000), ImageKind::Text { seed: 2 });
+        assert_eq!(image.kind_at(1 << 30), ImageKind::Text { seed: 2 });
+    }
+
+    #[test]
+    fn builder_accepts_out_of_order_regions() {
+        let image = MemoryImage::builder(ImageKind::Zeros)
+            .region(0x2000, ImageKind::Text { seed: 2 })
+            .region(0x1000, ImageKind::Random { seed: 1 })
+            .build();
+        assert_eq!(image.kind_at(0x1200), ImageKind::Random { seed: 1 });
+    }
+
+    #[test]
+    fn regions_are_block_size_invariant() {
+        let image = MemoryImage::builder(ImageKind::Zeros)
+            .region(0x1000, ImageKind::Random { seed: 1 })
+            .build();
+        // The byte at 0x1000 is random-region under every block size.
+        for bs in [16u32, 32, 64] {
+            let block = image.materialize(0x1000 / bs as u64, bs);
+            assert!(!block.is_all_zero(), "block size {bs}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate region start")]
+    fn duplicate_starts_rejected() {
+        let _ = MemoryImage::builder(ImageKind::Zeros)
+            .region(0x500, ImageKind::Text { seed: 1 })
+            .region(0x500, ImageKind::Random { seed: 2 })
+            .build();
+    }
+}

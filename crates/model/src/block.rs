@@ -1,0 +1,222 @@
+//! Cache-block payloads.
+//!
+//! Compression in this stack operates on *real bytes*: the NVM model stores
+//! actual data, blocks move into the cache with their contents, and the
+//! compressors in `ehs-compress` see exactly what a hardware compressor
+//! would. [`BlockData`] is the owned byte payload of one cache block.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The owned contents of one cache block (16, 32 or 64 bytes by default).
+///
+/// # Examples
+///
+/// ```
+/// use ehs_model::BlockData;
+///
+/// let mut block = BlockData::zeroed(32);
+/// block.write_u32(4, 0xDEAD_BEEF);
+/// assert_eq!(block.read_u32(4), 0xDEAD_BEEF);
+/// assert_eq!(block.len(), 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlockData {
+    bytes: Vec<u8>,
+}
+
+impl BlockData {
+    /// Creates an all-zero block of `size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or not a multiple of 4 (blocks are always
+    /// word-addressable).
+    pub fn zeroed(size: u32) -> Self {
+        assert!(size > 0 && size.is_multiple_of(4), "block size must be a positive multiple of 4");
+        BlockData { bytes: vec![0u8; size as usize] }
+    }
+
+    /// Creates a block from raw bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the byte count is zero or not a multiple of 4.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        assert!(
+            !bytes.is_empty() && bytes.len().is_multiple_of(4),
+            "block size must be a positive multiple of 4"
+        );
+        BlockData { bytes }
+    }
+
+    /// Number of bytes in the block.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Always `false`: blocks are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Borrows the raw bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutably borrows the raw bytes.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// Consumes the block, returning the underlying byte vector.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Reads the little-endian 32-bit word at byte `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + 4` exceeds the block length.
+    pub fn read_u32(&self, offset: u32) -> u32 {
+        let o = offset as usize;
+        u32::from_le_bytes(self.bytes[o..o + 4].try_into().expect("4-byte slice"))
+    }
+
+    /// Writes the little-endian 32-bit word at byte `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + 4` exceeds the block length.
+    pub fn write_u32(&mut self, offset: u32, value: u32) {
+        let o = offset as usize;
+        self.bytes[o..o + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads the little-endian 64-bit word at byte `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + 8` exceeds the block length.
+    pub fn read_u64(&self, offset: u32) -> u64 {
+        let o = offset as usize;
+        u64::from_le_bytes(self.bytes[o..o + 8].try_into().expect("8-byte slice"))
+    }
+
+    /// Writes the little-endian 64-bit word at byte `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + 8` exceeds the block length.
+    pub fn write_u64(&mut self, offset: u32, value: u64) {
+        let o = offset as usize;
+        self.bytes[o..o + 8].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads the byte at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` exceeds the block length.
+    pub fn read_u8(&self, offset: u32) -> u8 {
+        self.bytes[offset as usize]
+    }
+
+    /// Writes the byte at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` exceeds the block length.
+    pub fn write_u8(&mut self, offset: u32, value: u8) {
+        self.bytes[offset as usize] = value;
+    }
+
+    /// Iterates over the block as little-endian 32-bit words.
+    pub fn words(&self) -> impl Iterator<Item = u32> + '_ {
+        self.bytes.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+    }
+
+    /// Returns `true` if every byte in the block is zero.
+    pub fn is_all_zero(&self) -> bool {
+        self.bytes.iter().all(|&b| b == 0)
+    }
+}
+
+impl AsRef<[u8]> for BlockData {
+    fn as_ref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl fmt::Display for BlockData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}B:", self.bytes.len())?;
+        for chunk in self.bytes.chunks(4) {
+            write!(f, " ")?;
+            for b in chunk {
+                write!(f, "{:02x}", b)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_all_zero() {
+        let b = BlockData::zeroed(32);
+        assert_eq!(b.len(), 32);
+        assert!(b.is_all_zero());
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn word_round_trip() {
+        let mut b = BlockData::zeroed(32);
+        b.write_u32(0, 0x0102_0304);
+        b.write_u32(28, u32::MAX);
+        assert_eq!(b.read_u32(0), 0x0102_0304);
+        assert_eq!(b.read_u32(28), u32::MAX);
+        assert!(!b.is_all_zero());
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let mut b = BlockData::zeroed(16);
+        b.write_u64(8, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(b.read_u64(8), 0xDEAD_BEEF_CAFE_F00D);
+    }
+
+    #[test]
+    fn byte_access() {
+        let mut b = BlockData::zeroed(16);
+        b.write_u8(3, 0xAA);
+        assert_eq!(b.read_u8(3), 0xAA);
+        assert_eq!(b.read_u32(0), 0xAA00_0000);
+    }
+
+    #[test]
+    fn words_iterator_is_little_endian() {
+        let b = BlockData::from_bytes(vec![1, 0, 0, 0, 2, 0, 0, 0]);
+        let words: Vec<u32> = b.words().collect();
+        assert_eq!(words, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive multiple of 4")]
+    fn rejects_unaligned_size() {
+        let _ = BlockData::zeroed(30);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let b = BlockData::zeroed(8);
+        assert_eq!(b.to_string(), "[8B: 00000000 00000000]");
+    }
+}

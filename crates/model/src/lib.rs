@@ -1,0 +1,34 @@
+//! Shared primitive types for the Kagura energy-harvesting-system (EHS)
+//! simulation stack.
+//!
+//! This crate is the bottom of the workspace dependency graph. It defines the
+//! physical quantities the rest of the stack computes with ([`Energy`],
+//! [`Power`], [`SimTime`], [`Cycles`]), the memory primitives shared between
+//! the cache, NVM and workload crates ([`Address`], [`BlockData`],
+//! [`Instruction`]), and the default parameter tables from the paper's
+//! Table I ([`params`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use ehs_model::{Energy, Power, SimTime};
+//!
+//! let harvest = Power::from_microwatts(50.0);
+//! let window = SimTime::from_micros(10.0);
+//! let gained = harvest * window;
+//! assert!((gained.picojoules() - 500.0).abs() < 1e-6);
+//! ```
+
+pub mod addr;
+pub mod block;
+pub mod energy;
+pub mod inst;
+pub mod params;
+pub mod time;
+
+pub use addr::Address;
+pub use block::BlockData;
+pub use energy::{Energy, Power};
+pub use inst::{Instruction, MemOpKind};
+pub use params::{CacheParams, CompressorCost, CoreParams, NvmKind, NvmParams, SystemParams};
+pub use time::{Cycles, SimTime, CLOCK_HZ};

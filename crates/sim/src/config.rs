@@ -1,0 +1,235 @@
+//! Simulation configuration.
+
+use ehs_compress::Algorithm;
+use ehs_energy::{CapacitorConfig, TraceKind};
+use ehs_model::{Cycles, Energy, SimTime, SystemParams};
+use kagura_core::KaguraConfig;
+
+/// Which EHS runtime the simulated platform uses (paper §VIII-H1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EhsDesign {
+    /// NVSRAMCache: JIT checkpoint of dirty blocks + registers at `V_ckpt`
+    /// (needs a voltage monitor). The paper's baseline.
+    NvsramCache,
+    /// NvMR: monitor-free nonvolatile-memory renaming; stores persist
+    /// incrementally, failure loses nothing.
+    Nvmr,
+    /// SweepCache: monitor-free region sweeping; failure rolls back to the
+    /// last swept boundary.
+    SweepCache,
+}
+
+impl EhsDesign {
+    /// All designs in the paper's Fig 19 order.
+    pub const ALL: [EhsDesign; 3] =
+        [EhsDesign::NvsramCache, EhsDesign::Nvmr, EhsDesign::SweepCache];
+
+    /// Display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            EhsDesign::NvsramCache => "NVSRAMCache",
+            EhsDesign::Nvmr => "NvMR",
+            EhsDesign::SweepCache => "SweepCache",
+        }
+    }
+}
+
+impl std::fmt::Display for EhsDesign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Optional cache-management extension (paper §VIII-H3, Fig 20).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Extension {
+    /// No extension.
+    None,
+    /// EDBP: cache-decay-based dead-block prediction — blocks idle longer
+    /// than the decay window are retired early (dirty ones written back),
+    /// shrinking JIT checkpoints.
+    Edbp {
+        /// Idle threshold in cache recency ticks.
+        decay_ticks: u64,
+    },
+    /// IPEX: intermittence-aware next-line prefetching — on a DCache read
+    /// miss, the sequentially next block is prefetched when the energy
+    /// buffer is comfortably full.
+    Ipex {
+        /// Prefetch only while the capacitor is above this fraction of the
+        /// usable (V_ckpt..V_rst) window.
+        min_energy_fraction: f64,
+    },
+}
+
+impl Extension {
+    /// The paper's EDBP configuration.
+    pub fn edbp() -> Self {
+        Extension::Edbp { decay_ticks: 2048 }
+    }
+
+    /// The paper's IPEX configuration.
+    pub fn ipex() -> Self {
+        Extension::Ipex { min_energy_fraction: 0.25 }
+    }
+}
+
+/// Which compression policy governs the caches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GovernorSpec {
+    /// No compression at all (baseline NVSRAMCache).
+    NoCompression,
+    /// Compress every fill.
+    AlwaysCompress,
+    /// ACC alone.
+    Acc,
+    /// ACC with Kagura on top (the paper's proposal).
+    AccKagura(KaguraConfig),
+    /// The two-phase ideal compressor applied to ACC ("ideal" in Fig 13).
+    IdealAcc,
+    /// The two-phase ideal applied to ACC + Kagura.
+    IdealAccKagura(KaguraConfig),
+}
+
+impl GovernorSpec {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GovernorSpec::NoCompression => "baseline",
+            GovernorSpec::AlwaysCompress => "always",
+            GovernorSpec::Acc => "ACC",
+            GovernorSpec::AccKagura(_) => "ACC+Kagura",
+            GovernorSpec::IdealAcc => "ideal ACC",
+            GovernorSpec::IdealAccKagura(_) => "ideal ACC+Kagura",
+        }
+    }
+
+    /// `true` for the two-phase oracle variants.
+    pub fn is_ideal(&self) -> bool {
+        matches!(self, GovernorSpec::IdealAcc | GovernorSpec::IdealAccKagura(_))
+    }
+}
+
+/// Fixed runtime costs of the EHS designs (documented extrapolations; see
+/// DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeCosts {
+    /// Register-file/NVFF checkpoint energy at power failure.
+    pub checkpoint_fixed: Energy,
+    /// State restoration energy at reboot.
+    pub restore_fixed: Energy,
+    /// Restoration latency at reboot.
+    pub restore_latency: Cycles,
+    /// NvMR: fraction of a full NVM block write charged per store commit.
+    pub nvmr_store_factor: f64,
+    /// SweepCache: committed instructions per persist region.
+    pub sweep_region: u64,
+    /// SweepCache: fixed energy per region boundary.
+    pub sweep_boundary: Energy,
+}
+
+impl Default for RuntimeCosts {
+    fn default() -> Self {
+        RuntimeCosts {
+            checkpoint_fixed: Energy::from_picojoules(800.0),
+            restore_fixed: Energy::from_picojoules(400.0),
+            restore_latency: Cycles::new(40),
+            nvmr_store_factor: 0.30,
+            sweep_region: 512,
+            sweep_boundary: Energy::from_picojoules(100.0),
+        }
+    }
+}
+
+/// The full simulation configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Core, cache and NVM hardware parameters.
+    pub system: SystemParams,
+    /// Energy buffer.
+    pub capacitor: CapacitorConfig,
+    /// Which compression algorithm the caches use.
+    pub algorithm: Algorithm,
+    /// EHS runtime design.
+    pub design: EhsDesign,
+    /// Compression policy.
+    pub governor: GovernorSpec,
+    /// Optional cache-management extension.
+    pub extension: Extension,
+    /// Fixed runtime costs.
+    pub costs: RuntimeCosts,
+    /// Ambient source for the default generated trace.
+    pub trace_kind: TraceKind,
+    /// Seed for trace generation.
+    pub trace_seed: u64,
+    /// Hard stop on simulated wall-clock time (guards against dead traces).
+    pub max_sim_time: SimTime,
+}
+
+impl SimConfig {
+    /// The paper's Table I platform: NVSRAMCache, 4.7 µF, BDI, RFHome
+    /// trace, no compression (the baseline the figures normalise to).
+    pub fn table1() -> Self {
+        SimConfig {
+            system: SystemParams::table1(),
+            capacitor: CapacitorConfig::default_4u7(),
+            algorithm: Algorithm::Bdi,
+            design: EhsDesign::NvsramCache,
+            governor: GovernorSpec::NoCompression,
+            extension: Extension::None,
+            costs: RuntimeCosts::default(),
+            trace_kind: TraceKind::RfHome,
+            trace_seed: 0xE45,
+            max_sim_time: SimTime::from_seconds(600.0),
+        }
+    }
+
+    /// Copy with a different governor.
+    pub fn with_governor(mut self, governor: GovernorSpec) -> Self {
+        self.governor = governor;
+        self
+    }
+
+    /// Copy with a different design.
+    pub fn with_design(mut self, design: EhsDesign) -> Self {
+        self.design = design;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults() {
+        let cfg = SimConfig::table1();
+        assert_eq!(cfg.design, EhsDesign::NvsramCache);
+        assert_eq!(cfg.governor, GovernorSpec::NoCompression);
+        assert_eq!(cfg.algorithm, Algorithm::Bdi);
+        assert_eq!(cfg.system.dcache.size_bytes, 256);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(GovernorSpec::Acc.label(), "ACC");
+        assert!(GovernorSpec::IdealAcc.is_ideal());
+        assert!(!GovernorSpec::Acc.is_ideal());
+        assert_eq!(EhsDesign::Nvmr.to_string(), "NvMR");
+        assert_eq!(EhsDesign::ALL.len(), 3);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg =
+            SimConfig::table1().with_design(EhsDesign::SweepCache).with_governor(GovernorSpec::Acc);
+        assert_eq!(cfg.design, EhsDesign::SweepCache);
+        assert_eq!(cfg.governor, GovernorSpec::Acc);
+    }
+}

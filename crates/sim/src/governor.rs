@@ -1,0 +1,222 @@
+//! A concrete governor instance for the simulator, covering every policy
+//! combination the evaluation needs (including the oracle's two phases).
+
+use ehs_cache::{FillMode, HitInfo};
+use kagura_core::{
+    Acc, AlwaysCompress, CompressionGovernor, Kagura, KaguraConfig, NeverCompress, OracleRecorder,
+    OracleReplayer, OracleTrace, TriggerKind,
+};
+
+/// All governor configurations the simulator can run.
+///
+/// This enum gives the hot loop static dispatch and lets the simulator ask
+/// oracle-specific questions ([`Governor::record_fill`] /
+/// [`Governor::mark_useful`]) without downcasting.
+#[derive(Debug, Clone)]
+pub enum Governor {
+    /// No compression.
+    None(NeverCompress),
+    /// Compress everything.
+    Always(AlwaysCompress),
+    /// ACC alone.
+    Acc(Acc),
+    /// ACC + Kagura.
+    Kagura(Kagura<Acc>),
+    /// Oracle recording phase over ACC.
+    RecordAcc(OracleRecorder<Acc>),
+    /// Oracle replay phase over ACC.
+    ReplayAcc(OracleReplayer<Acc>),
+    /// Oracle recording phase over ACC + Kagura.
+    RecordKagura(OracleRecorder<Kagura<Acc>>),
+    /// Oracle replay phase over ACC + Kagura.
+    ReplayKagura(OracleReplayer<Kagura<Acc>>),
+}
+
+macro_rules! delegate {
+    ($self:ident, $g:ident => $e:expr) => {
+        match $self {
+            Governor::None($g) => $e,
+            Governor::Always($g) => $e,
+            Governor::Acc($g) => $e,
+            Governor::Kagura($g) => $e,
+            Governor::RecordAcc($g) => $e,
+            Governor::ReplayAcc($g) => $e,
+            Governor::RecordKagura($g) => $e,
+            Governor::ReplayKagura($g) => $e,
+        }
+    };
+}
+
+impl Governor {
+    /// No-compression baseline.
+    pub fn none() -> Self {
+        Governor::None(NeverCompress)
+    }
+
+    /// Unconditional compression.
+    pub fn always() -> Self {
+        Governor::Always(AlwaysCompress)
+    }
+
+    /// ACC alone.
+    pub fn acc() -> Self {
+        Governor::Acc(Acc::new())
+    }
+
+    /// ACC wrapped by Kagura.
+    pub fn kagura(cfg: KaguraConfig) -> Self {
+        Governor::Kagura(Kagura::new(cfg, Acc::new()))
+    }
+
+    /// Oracle recording phase over ACC.
+    pub fn record_acc() -> Self {
+        Governor::RecordAcc(OracleRecorder::new(Acc::new()))
+    }
+
+    /// Oracle replay phase over ACC.
+    pub fn replay_acc(trace: OracleTrace) -> Self {
+        Governor::ReplayAcc(OracleReplayer::new(Acc::new(), trace))
+    }
+
+    /// Oracle recording phase over ACC + Kagura.
+    pub fn record_kagura(cfg: KaguraConfig) -> Self {
+        Governor::RecordKagura(OracleRecorder::new(Kagura::new(cfg, Acc::new())))
+    }
+
+    /// Oracle replay phase over ACC + Kagura.
+    pub fn replay_kagura(cfg: KaguraConfig, trace: OracleTrace) -> Self {
+        Governor::ReplayKagura(OracleReplayer::new(Kagura::new(cfg, Acc::new()), trace))
+    }
+
+    /// `true` when the policy needs a voltage-trigger threshold on the
+    /// monitor (Kagura with [`TriggerKind::Voltage`]).
+    pub fn uses_voltage_trigger(&self) -> bool {
+        matches!(self, Governor::Kagura(k)
+            if matches!(k.config().trigger, TriggerKind::Voltage { .. }))
+    }
+
+    /// Oracle recording: registers a compressing fill, returning its id.
+    pub fn record_fill(&mut self) -> Option<usize> {
+        match self {
+            Governor::RecordAcc(r) => Some(r.record_fill()),
+            Governor::RecordKagura(r) => Some(r.record_fill()),
+            _ => None,
+        }
+    }
+
+    /// Oracle recording: marks a previously recorded fill as useful.
+    pub fn mark_useful(&mut self, fill_id: usize) {
+        match self {
+            Governor::RecordAcc(r) => r.mark_useful(fill_id),
+            Governor::RecordKagura(r) => r.mark_useful(fill_id),
+            _ => {}
+        }
+    }
+
+    /// Oracle recording: extracts the trace (consumes the governor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this governor is not a recording variant.
+    pub fn into_oracle_trace(self) -> OracleTrace {
+        match self {
+            Governor::RecordAcc(r) => r.into_trace(),
+            Governor::RecordKagura(r) => r.into_trace(),
+            _ => panic!("not an oracle-recording governor"),
+        }
+    }
+}
+
+impl CompressionGovernor for Governor {
+    fn fill_mode(&mut self) -> FillMode {
+        delegate!(self, g => g.fill_mode())
+    }
+
+    fn compression_enabled(&self) -> bool {
+        delegate!(self, g => g.compression_enabled())
+    }
+
+    fn on_hit(&mut self, info: &HitInfo, ways: u32) {
+        delegate!(self, g => g.on_hit(info, ways))
+    }
+
+    fn on_fill(&mut self, stored_compressed: bool) {
+        delegate!(self, g => g.on_fill(stored_compressed))
+    }
+
+    fn on_mem_commit(&mut self) {
+        delegate!(self, g => g.on_mem_commit())
+    }
+
+    fn on_evictions(&mut self, count: u32) {
+        delegate!(self, g => g.on_evictions(count))
+    }
+
+    fn on_voltage(&mut self, v: f64, v_ckpt: f64, v_rst: f64) {
+        delegate!(self, g => g.on_voltage(v, v_ckpt, v_rst))
+    }
+
+    fn on_power_failure(&mut self) {
+        delegate!(self, g => g.on_power_failure())
+    }
+
+    fn on_reboot(&mut self) {
+        delegate!(self, g => g.on_reboot())
+    }
+
+    fn name(&self) -> &'static str {
+        delegate!(self, g => g.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_modes() {
+        assert_eq!(Governor::none().fill_mode(), FillMode::Bypass);
+        assert_eq!(Governor::always().fill_mode(), FillMode::Compress);
+        assert_eq!(Governor::acc().fill_mode(), FillMode::Compress);
+        assert_eq!(Governor::kagura(KaguraConfig::default()).fill_mode(), FillMode::Compress);
+    }
+
+    #[test]
+    fn oracle_record_and_replay_round_trip() {
+        let mut rec = Governor::record_acc();
+        // Cycle 0: a useful fill at mem position 2, then a useless one.
+        rec.on_mem_commit();
+        rec.on_mem_commit();
+        let id = rec.record_fill().expect("recorder records");
+        rec.mark_useful(id);
+        rec.on_mem_commit();
+        let _ = rec.record_fill();
+        let trace = rec.into_oracle_trace();
+        assert_eq!(trace.switch_point(0), Some(3));
+
+        let mut rep = Governor::replay_acc(trace);
+        assert_eq!(rep.fill_mode(), FillMode::Compress); // before switch point
+        for _ in 0..3 {
+            rep.on_mem_commit();
+        }
+        assert_eq!(rep.fill_mode(), FillMode::Bypass); // past switch point
+        assert_eq!(rep.record_fill(), None, "replayer does not record");
+    }
+
+    #[test]
+    fn voltage_trigger_detection() {
+        let mem = Governor::kagura(KaguraConfig::default());
+        assert!(!mem.uses_voltage_trigger());
+        let vol = Governor::kagura(KaguraConfig {
+            trigger: TriggerKind::Voltage { fraction: 0.2 },
+            ..KaguraConfig::default()
+        });
+        assert!(vol.uses_voltage_trigger());
+    }
+
+    #[test]
+    #[should_panic(expected = "not an oracle-recording governor")]
+    fn non_recorder_cannot_yield_trace() {
+        let _ = Governor::acc().into_oracle_trace();
+    }
+}

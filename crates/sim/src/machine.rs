@@ -1,0 +1,960 @@
+//! The instruction-granular EHS simulator.
+
+use std::collections::HashMap;
+
+use ehs_cache::{CacheConfig, CompressedCache, Evicted, FillOutcome};
+use ehs_energy::{Capacitor, EnergyBreakdown, EnergyCategory, PowerTrace, VoltageMonitor};
+use ehs_mem::Nvm;
+use ehs_model::inst::InstKind;
+use ehs_model::{Address, CompressorCost, Energy, SimTime};
+use ehs_workloads::KernelProgram;
+use kagura_core::{CompressionGovernor, Mode};
+
+use crate::config::{EhsDesign, Extension, SimConfig};
+use crate::governor::Governor;
+use crate::stats::{CycleRecord, SimStats};
+
+/// Trace-stepping granularity while hibernating (one trace window).
+const CHARGE_STEP: SimTime = SimTime::from_micros(10.0);
+
+/// Oracle attribution bookkeeping for one cache: which live compressed
+/// blocks were created by which recorded fills, grouped by set.
+///
+/// A compression is "useful" when a *deep* hit (LRU rank beyond the nominal
+/// ways) lands in a set while the compressed block is resident: the
+/// capacity saved by every compressed block in that set is what made the
+/// deep residency possible, so all of them are credited. This makes the
+/// replayed ideal an optimistic upper bound, as the paper's ideal is.
+#[derive(Debug, Default)]
+struct OracleMap {
+    /// block index -> (set index, fill id)
+    by_block: HashMap<u64, (u32, usize)>,
+    /// set index -> live (block index, fill id) pairs
+    by_set: HashMap<u32, Vec<(u64, usize)>>,
+}
+
+impl OracleMap {
+    fn insert(&mut self, set: u32, block: u64, id: usize) {
+        self.by_block.insert(block, (set, id));
+        self.by_set.entry(set).or_default().push((block, id));
+    }
+
+    fn remove(&mut self, block: u64) {
+        if let Some((set, _)) = self.by_block.remove(&block) {
+            if let Some(v) = self.by_set.get_mut(&set) {
+                v.retain(|&(b, _)| b != block);
+            }
+        }
+    }
+
+    fn ids_in_set(&self, set: u32) -> impl Iterator<Item = usize> + '_ {
+        self.by_set.get(&set).into_iter().flatten().map(|&(_, id)| id)
+    }
+
+    fn clear(&mut self) {
+        self.by_block.clear();
+        self.by_set.clear();
+    }
+}
+
+/// How often (committed instructions) the EDBP decay scan runs.
+const EDBP_SCAN_PERIOD: u64 = 128;
+
+/// A shadow tag directory simulating the *uncompressed* baseline cache's
+/// contents (LRU, nominal associativity). A real-cache hit that misses in
+/// the shadow is a hit that only compression made possible — the precise
+/// "would it have missed without compression" test the oracle needs.
+#[derive(Debug, Clone)]
+struct ShadowTags {
+    /// Per set: resident tags in LRU order (front = MRU).
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+}
+
+impl ShadowTags {
+    fn new(num_sets: u32, ways: u32) -> Self {
+        ShadowTags {
+            sets: vec![Vec::with_capacity(ways as usize); num_sets as usize],
+            ways: ways as usize,
+        }
+    }
+
+    /// Simulates one access; returns whether the baseline would have hit.
+    fn access(&mut self, set: u32, tag: u64) -> bool {
+        let lines = &mut self.sets[set as usize];
+        match lines.iter().position(|&t| t == tag) {
+            Some(i) => {
+                let t = lines.remove(i);
+                lines.insert(0, t);
+                true
+            }
+            None => {
+                lines.insert(0, tag);
+                lines.truncate(self.ways);
+                false
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+/// One full-system simulation: program + power trace + configuration.
+///
+/// Construct with [`Simulator::new`], execute with [`Simulator::run`]. A
+/// simulator is single-use: `run` consumes it and returns the statistics.
+#[derive(Debug)]
+pub struct Simulator<'p> {
+    cfg: SimConfig,
+    program: &'p KernelProgram,
+    trace: &'p PowerTrace,
+    gov: Governor,
+
+    icache: CompressedCache,
+    dcache: CompressedCache,
+    nvm: Nvm,
+    cap: Capacitor,
+    monitor: VoltageMonitor,
+    comp_cost: CompressorCost,
+
+    now: SimTime,
+    inst_index: u64,
+    last_persist: u64,
+    /// SweepCache's *live* region size. Regions adapt to energy conditions
+    /// (paper §VII-C): a cycle that dies before reaching any boundary would
+    /// otherwise livelock (rollback to the same point forever), so the
+    /// region halves; cycles that comfortably fit several regions let it
+    /// grow back toward the configured size.
+    sweep_region_live: u64,
+    sweeps_this_cycle: u32,
+    running: bool,
+
+    breakdown: EnergyBreakdown,
+    stats: SimStats,
+    cycle: CycleRecord,
+
+    /// Recently missed DCache block indices, for IPEX's stream detector.
+    recent_misses: Vec<u64>,
+    /// Oracle attribution per cache (I, D).
+    oracle_i: OracleMap,
+    oracle_d: OracleMap,
+    /// Shadow baseline tag directories per cache (I, D).
+    shadow_i: ShadowTags,
+    shadow_d: ShadowTags,
+    edbp_countdown: u64,
+}
+
+impl<'p> Simulator<'p> {
+    /// Builds a simulator over `program` and `trace`.
+    ///
+    /// The governor is instantiated from `cfg.governor`; oracle variants
+    /// must be driven through [`crate::runner::run_ideal_app`] /
+    /// [`Simulator::with_governor`] instead of used directly here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.governor` is an ideal (two-phase) spec — the runner
+    /// decomposes those into record and replay phases.
+    pub fn new(cfg: SimConfig, program: &'p KernelProgram, trace: &'p PowerTrace) -> Self {
+        use crate::config::GovernorSpec as GS;
+        let gov = match cfg.governor {
+            GS::NoCompression => Governor::none(),
+            GS::AlwaysCompress => Governor::always(),
+            GS::Acc => Governor::acc(),
+            GS::AccKagura(kcfg) => Governor::kagura(kcfg),
+            GS::IdealAcc | GS::IdealAccKagura(_) => {
+                panic!("ideal governors are two-phase: use run_ideal_app")
+            }
+        };
+        Self::with_governor(cfg, program, trace, gov)
+    }
+
+    /// Builds a simulator with an explicit governor instance (used by the
+    /// oracle runner for its record and replay phases).
+    pub fn with_governor(
+        cfg: SimConfig,
+        program: &'p KernelProgram,
+        trace: &'p PowerTrace,
+        gov: Governor,
+    ) -> Self {
+        let mut monitor = match cfg.design {
+            EhsDesign::NvsramCache => VoltageMonitor::jit_checkpoint(),
+            EhsDesign::Nvmr | EhsDesign::SweepCache => VoltageMonitor::none(),
+        };
+        if gov.uses_voltage_trigger() {
+            monitor = monitor.with_trigger_threshold();
+        }
+        let icache = CompressedCache::new(CacheConfig::new(cfg.system.icache, cfg.algorithm));
+        let dcache = CompressedCache::new(CacheConfig::new(cfg.system.dcache, cfg.algorithm));
+        let nvm = Nvm::new(cfg.system.nvm, cfg.system.dcache.block_size, program.image().clone());
+        let mut cap = Capacitor::new(cfg.capacitor);
+        // Boot condition: the EHS starts executing the moment the capacitor
+        // first crosses the restoration threshold (charging from v_rst to
+        // v_max would take far longer than the hysteresis window refill, so
+        // steady state begins immediately).
+        cap.set_voltage(cfg.capacitor.v_rst);
+        let comp_cost = cfg.algorithm.default_cost();
+        let shadow_i = ShadowTags::new(cfg.system.icache.num_sets(), cfg.system.icache.ways);
+        let shadow_d = ShadowTags::new(cfg.system.dcache.num_sets(), cfg.system.dcache.ways);
+        let sweep_region = cfg.costs.sweep_region;
+        Simulator {
+            cfg,
+            program,
+            trace,
+            gov,
+            icache,
+            dcache,
+            nvm,
+            cap,
+            monitor,
+            comp_cost,
+            now: SimTime::ZERO,
+            inst_index: 0,
+            last_persist: 0,
+            sweep_region_live: sweep_region,
+            sweeps_this_cycle: 0,
+            running: true,
+            breakdown: EnergyBreakdown::default(),
+            stats: SimStats::default(),
+            cycle: CycleRecord::default(),
+            recent_misses: Vec::new(),
+            oracle_i: OracleMap::default(),
+            oracle_d: OracleMap::default(),
+            shadow_i,
+            shadow_d,
+            edbp_countdown: EDBP_SCAN_PERIOD,
+        }
+    }
+
+    /// Runs to program completion (or the simulated-time guard) and
+    /// returns the statistics.
+    pub fn run(self) -> SimStats {
+        self.run_with_memory().0
+    }
+
+    /// Like [`Simulator::run`] but also returns the final NVM with all
+    /// dirty cache state flushed — the program's *architectural* memory
+    /// image, used by crash-consistency tests to check that hundreds of
+    /// power failures leave exactly the same bytes as a failure-free run.
+    pub fn run_with_memory(mut self) -> (SimStats, Nvm) {
+        while self.inst_index < self.program.len() {
+            if self.now >= self.cfg.max_sim_time {
+                break;
+            }
+            if !self.running {
+                if !self.hibernate_and_reboot() {
+                    break; // charge timeout
+                }
+                continue;
+            }
+            self.step();
+            if self.cap.below_checkpoint() {
+                self.power_failure();
+            }
+        }
+        // Flush residual dirty state so the NVM reflects architectural
+        // memory (free: this is an observation, not a simulated event).
+        let dirty = self.dcache.drain_dirty();
+        for d in dirty {
+            self.nvm.store_silent(d.addr, d.data);
+        }
+        let nvm = self.nvm.clone();
+        (self.finish(), nvm)
+    }
+
+    /// Extracts the oracle trace after a recording run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the governor is not a recorder.
+    pub fn run_recording(self) -> (SimStats, kagura_core::OracleTrace) {
+        let mut sim = self;
+        while sim.inst_index < sim.program.len() && sim.now < sim.cfg.max_sim_time {
+            if !sim.running {
+                if !sim.hibernate_and_reboot() {
+                    break;
+                }
+                continue;
+            }
+            sim.step();
+            if sim.cap.below_checkpoint() {
+                sim.power_failure();
+            }
+        }
+        let completed = sim.inst_index >= sim.program.len();
+        let gov = std::mem::replace(&mut sim.gov, Governor::none());
+        let mut stats = sim.finish();
+        stats.completed = completed;
+        (stats, gov.into_oracle_trace())
+    }
+
+    fn finish(mut self) -> SimStats {
+        if self.cycle.insts > 0 {
+            self.stats.power_cycles.push(self.cycle);
+        }
+        if let Governor::Kagura(k) = &self.gov {
+            self.stats.kagura_state = Some((k.registers(), k.rm_entries()));
+        }
+        self.stats.completed = self.inst_index >= self.program.len();
+        self.stats.committed_insts = self.inst_index.min(self.program.len());
+        self.stats.sim_time = self.now;
+        self.stats.icache = self.icache.stats();
+        self.stats.dcache = self.dcache.stats();
+        self.stats.nvm = self.nvm.stats();
+        self.stats.breakdown = self.breakdown;
+        self.stats
+    }
+
+    /// Spends `amount` from the capacitor and books it to `category`.
+    fn spend(&mut self, category: EnergyCategory, amount: Energy) {
+        self.cap.drain(amount);
+        self.breakdown.record(category, amount);
+    }
+
+    /// Advances simulated time by `dt`, integrating harvest and standby
+    /// draws.
+    fn advance(&mut self, dt: SimTime) {
+        let harvest = self.trace.power_at(self.now);
+        let before = self.cap.stored();
+        let cap_leak = self.cap.charge(harvest, dt);
+        let gained = (self.cap.stored() - before + cap_leak).clamp_non_negative();
+        self.stats.harvested += gained;
+        self.stats.cap_leak += cap_leak;
+        self.breakdown.record(EnergyCategory::Other, cap_leak);
+        // SRAM and monitor standby draw while powered (running only; the
+        // monitor also draws while hibernating, handled in the charge loop).
+        if self.running {
+            // EDBP power-gates decayed lines: leakage scales with the live
+            // fraction of each array (cache-decay's headline saving).
+            let dcache_scale = if matches!(self.cfg.extension, Extension::Edbp { .. }) {
+                let total =
+                    (self.cfg.system.dcache.size_bytes / self.cfg.system.dcache.block_size) as f64;
+                (self.dcache.resident_count() as f64 / total).min(1.0)
+            } else {
+                1.0
+            };
+            let cache_leak = (self.cfg.system.icache.leakage()
+                + self.cfg.system.dcache.leakage() * dcache_scale)
+                * dt;
+            self.spend(EnergyCategory::CacheOther, cache_leak);
+            let mon = self.monitor.standby_power() * dt;
+            self.spend(EnergyCategory::Other, mon);
+        }
+        self.now += dt;
+    }
+
+    /// Handles the side effects of a fill: compression energy/latency,
+    /// victim write-backs, oracle bookkeeping. Returns extra stall cycles.
+    fn absorb_fill(&mut self, outcome: &FillOutcome, addr: Address, is_dcache: bool) -> u64 {
+        let mut extra = 0u64;
+        if outcome.compressions > 0 {
+            self.spend(
+                EnergyCategory::Compress,
+                self.comp_cost.compress_energy * outcome.compressions as f64,
+            );
+            extra += self.comp_cost.compress_latency.get();
+        }
+        if outcome.compressions > 0 || outcome.stored_compressed {
+            self.gov.on_fill(outcome.stored_compressed);
+        }
+        if !outcome.evicted.is_empty() {
+            self.gov.on_evictions(outcome.evicted.len() as u32);
+        }
+        let block_size = self.cfg.system.dcache.block_size;
+        for e in &outcome.evicted {
+            self.forget_fill(e.addr, is_dcache);
+            if e.dirty {
+                if e.was_compressed {
+                    // The cache already counted the decompression op; pay it.
+                    self.spend(EnergyCategory::Decompress, self.comp_cost.decompress_energy);
+                }
+                self.writeback(e);
+            }
+        }
+        // Oracle attribution for the incoming block.
+        if outcome.stored_compressed {
+            if let Some(id) = self.gov.record_fill() {
+                let params =
+                    if is_dcache { self.cfg.system.dcache } else { self.cfg.system.icache };
+                let set = addr.set_index(block_size, params.num_sets());
+                let idx = addr.block_index(block_size);
+                if is_dcache {
+                    self.oracle_d.insert(set, idx, id);
+                } else {
+                    self.oracle_i.insert(set, idx, id);
+                }
+            }
+        }
+        // Kagura RM accounting: a bypassed fill while in RM is an averted
+        // compression.
+        if !outcome.stored_compressed && outcome.compressions == 0 && self.in_rm() {
+            self.stats.rm_bypassed_fills += 1;
+        }
+        extra
+    }
+
+    fn in_rm(&self) -> bool {
+        matches!(&self.gov, Governor::Kagura(k) if k.mode() == Mode::Regular)
+    }
+
+    fn forget_fill(&mut self, addr: Address, is_dcache: bool) {
+        let idx = addr.block_index(self.cfg.system.dcache.block_size);
+        if is_dcache {
+            self.oracle_d.remove(idx);
+        } else {
+            self.oracle_i.remove(idx);
+        }
+    }
+
+    /// A deep hit (rank beyond the nominal ways) landed at `addr`: credit
+    /// every live compressed fill in that set.
+    fn credit_deep_hit(&mut self, addr: Address, is_dcache: bool) {
+        let params = if is_dcache { self.cfg.system.dcache } else { self.cfg.system.icache };
+        let set = addr.set_index(params.block_size, params.num_sets());
+        let map = if is_dcache { &self.oracle_d } else { &self.oracle_i };
+        let ids: Vec<usize> = map.ids_in_set(set).collect();
+        for id in ids {
+            self.gov.mark_useful(id);
+        }
+    }
+
+    /// Writes an evicted dirty block back to NVM (demand traffic).
+    fn writeback(&mut self, e: &Evicted) {
+        match self.cfg.design {
+            EhsDesign::Nvmr => {
+                // Already persisted incrementally by the renaming buffer.
+                self.nvm.store_silent(e.addr, e.data.clone());
+            }
+            _ => {
+                let w = self.nvm.write_block(e.addr, e.data.clone());
+                self.spend(EnergyCategory::Memory, w.energy);
+            }
+        }
+    }
+
+    /// One committed instruction.
+    fn step(&mut self) {
+        let inst = self.program.inst_at(self.inst_index);
+        let mut cycles = 1u64; // base CPI of the in-order pipeline
+        let i_ways = self.cfg.system.icache.ways;
+        let d_ways = self.cfg.system.dcache.ways;
+        let block_size = self.cfg.system.dcache.block_size;
+
+        // --- Fetch through the ICache. ---
+        self.spend(EnergyCategory::CacheOther, self.cfg.system.icache.access_energy);
+        let i_sets = self.cfg.system.icache.num_sets();
+        let shadow_hit = self
+            .shadow_i
+            .access(inst.pc.set_index(block_size, i_sets), inst.pc.tag(block_size, i_sets));
+        match self.icache.read(inst.pc) {
+            Some(hit) => {
+                if hit.was_compressed {
+                    self.spend(EnergyCategory::Decompress, self.comp_cost.decompress_energy);
+                    cycles += self.comp_cost.decompress_latency.get();
+                }
+                if !shadow_hit || hit.lru_rank >= i_ways {
+                    // The uncompressed baseline would have missed here (or
+                    // the block sat beyond the nominal ways): compression
+                    // earned this hit.
+                    self.credit_deep_hit(inst.pc, false);
+                }
+                self.gov.on_hit(&hit, i_ways);
+            }
+            None => {
+                let read = self.nvm.read_block(inst.pc);
+                self.spend(EnergyCategory::Memory, read.energy);
+                cycles += read.latency.get();
+                let mode = self.gov.fill_mode();
+                let base = inst.pc.block_base(block_size);
+                let out = self.icache.fill(base, read.data, mode, None);
+                self.spend(EnergyCategory::CacheOther, self.cfg.system.icache.access_energy);
+                cycles += self.absorb_fill(&out, base, false);
+            }
+        }
+
+        // --- Execute / data access. ---
+        match inst.kind {
+            InstKind::Alu => {}
+            InstKind::Load { addr } => {
+                cycles += self.data_access(addr, None, d_ways, block_size);
+                self.cycle.loads += 1;
+                self.gov.on_mem_commit();
+            }
+            InstKind::Store { addr, value } => {
+                cycles += self.data_access(addr, Some(value), d_ways, block_size);
+                self.cycle.stores += 1;
+                self.gov.on_mem_commit();
+                if self.cfg.design == EhsDesign::Nvmr {
+                    // Renaming buffer persists the store incrementally.
+                    let e = self.cfg.system.nvm.write_energy * self.cfg.costs.nvmr_store_factor;
+                    self.spend(EnergyCategory::Memory, e);
+                }
+            }
+        }
+
+        // --- Pipeline energy, time, harvest. ---
+        self.spend(EnergyCategory::Other, self.cfg.system.core.inst_energy);
+        let dt = SimTime::from_seconds(cycles as f64 / self.cfg.system.core.clock_hz);
+        self.advance(dt);
+
+        self.cycle.insts += 1;
+        self.cycle.cycles += cycles;
+        self.stats.total_cycles += cycles;
+        self.stats.executed_insts += 1;
+        self.inst_index += 1;
+
+        // --- Voltage sample for voltage-triggered policies. ---
+        self.gov.on_voltage(
+            self.cap.voltage(),
+            self.cfg.capacitor.v_ckpt,
+            self.cfg.capacitor.v_rst,
+        );
+
+        // --- Extensions and region sweeping. ---
+        match self.cfg.extension {
+            Extension::Edbp { decay_ticks } => {
+                self.edbp_countdown -= 1;
+                if self.edbp_countdown == 0 {
+                    self.edbp_countdown = EDBP_SCAN_PERIOD;
+                    self.edbp_scan(decay_ticks);
+                }
+            }
+            Extension::Ipex { .. } | Extension::None => {}
+        }
+        if self.cfg.design == EhsDesign::SweepCache
+            && self.inst_index - self.last_persist >= self.sweep_region_live
+        {
+            self.sweep();
+        }
+    }
+
+    /// A load or store through the DCache; returns extra stall cycles.
+    fn data_access(
+        &mut self,
+        addr: Address,
+        store: Option<u32>,
+        d_ways: u32,
+        block_size: u32,
+    ) -> u64 {
+        let mut cycles = self.cfg.system.dcache.hit_latency.get();
+        self.spend(EnergyCategory::CacheOther, self.cfg.system.dcache.access_energy);
+        let d_sets = self.cfg.system.dcache.num_sets();
+        let shadow_hit =
+            self.shadow_d.access(addr.set_index(block_size, d_sets), addr.tag(block_size, d_sets));
+
+        let repack = self.gov.compression_enabled();
+        let hit = match store {
+            None => self.dcache.read(addr).map(|h| (h, Vec::new())),
+            Some(v) => self.dcache.write(addr, v, repack),
+        };
+        match hit {
+            Some((info, evicted)) => {
+                if info.was_compressed {
+                    self.spend(EnergyCategory::Decompress, self.comp_cost.decompress_energy);
+                    cycles += self.comp_cost.decompress_latency.get();
+                    if store.is_some() && repack {
+                        // A store to a compressed line repacks it.
+                        self.spend(EnergyCategory::Compress, self.comp_cost.compress_energy);
+                        cycles += self.comp_cost.compress_latency.get();
+                    }
+                    if store.is_some() && !repack {
+                        // The line just expanded: it is no longer a live
+                        // compressed fill for oracle purposes.
+                        self.forget_fill(addr.block_base(block_size), true);
+                    }
+                }
+                if !shadow_hit || info.lru_rank >= d_ways {
+                    self.credit_deep_hit(addr, true);
+                }
+                self.gov.on_hit(&info, d_ways);
+                if !evicted.is_empty() {
+                    self.gov.on_evictions(evicted.len() as u32);
+                    for e in &evicted {
+                        self.forget_fill(e.addr, true);
+                        if e.dirty {
+                            if e.was_compressed {
+                                self.spend(
+                                    EnergyCategory::Decompress,
+                                    self.comp_cost.decompress_energy,
+                                );
+                            }
+                            self.writeback(e);
+                        }
+                    }
+                }
+            }
+            None => {
+                // Miss: fetch from NVM, write-allocate with pending store.
+                let read = self.nvm.read_block(addr);
+                self.spend(EnergyCategory::Memory, read.energy);
+                cycles += read.latency.get();
+                let mode = self.gov.fill_mode();
+                let base = addr.block_base(block_size);
+                let apply = store.map(|v| (addr.block_offset(block_size), v));
+                let out = self.dcache.fill(base, read.data, mode, apply);
+                self.spend(EnergyCategory::CacheOther, self.cfg.system.dcache.access_energy);
+                cycles += self.absorb_fill(&out, base, true);
+
+                // IPEX: on a detected sequential stream, prefetch the next
+                // block when energy-rich.
+                if let Extension::Ipex { min_energy_fraction } = self.cfg.extension {
+                    let idx = base.block_index(block_size);
+                    // A tight window keeps the detector from firing on
+                    // random access patterns that happen to touch adjacent
+                    // blocks occasionally.
+                    let streaming = self.recent_misses.contains(&idx.wrapping_sub(1));
+                    self.recent_misses.push(idx);
+                    if self.recent_misses.len() > 4 {
+                        self.recent_misses.remove(0);
+                    }
+                    if store.is_none() && streaming {
+                        self.maybe_prefetch(base, block_size, min_energy_fraction);
+                    }
+                }
+            }
+        }
+        cycles
+    }
+
+    fn maybe_prefetch(&mut self, base: Address, block_size: u32, min_fraction: f64) {
+        let cfg = &self.cfg.capacitor;
+        let window = cfg.energy_at(cfg.v_rst) - cfg.energy_at(cfg.v_ckpt);
+        let above = (self.cap.stored() - cfg.energy_at(cfg.v_ckpt)).clamp_non_negative();
+        if window.is_zero() || above / window < min_fraction {
+            return;
+        }
+        let Some(next) = base.checked_add(block_size as u64) else {
+            return;
+        };
+        if self.dcache.contains(next) {
+            return;
+        }
+        let read = self.nvm.read_block(next);
+        self.spend(EnergyCategory::Memory, read.energy);
+        let mode = self.gov.fill_mode();
+        let out = self.dcache.fill(next.block_base(block_size), read.data, mode, None);
+        self.spend(EnergyCategory::CacheOther, self.cfg.system.dcache.access_energy);
+        // Prefetch overlaps execution: energy paid, no stall cycles.
+        let _ = self.absorb_fill(&out, next.block_base(block_size), true);
+    }
+
+    /// EDBP: retire blocks idle longer than the decay window.
+    fn edbp_scan(&mut self, decay_ticks: u64) {
+        let now = self.dcache.now();
+        let dead: Vec<Address> = self
+            .dcache
+            .resident_blocks()
+            .into_iter()
+            .filter(|b| now.saturating_sub(b.last_tick) > decay_ticks)
+            .map(|b| b.addr)
+            .collect();
+        for addr in dead {
+            if let Some(e) = self.dcache.invalidate_block(addr) {
+                self.forget_fill(e.addr, true);
+                if e.dirty {
+                    if e.was_compressed {
+                        self.spend(EnergyCategory::Decompress, self.comp_cost.decompress_energy);
+                    }
+                    self.writeback(&e);
+                }
+            }
+        }
+    }
+
+    /// SweepCache: persist dirty blocks at a region boundary.
+    fn sweep(&mut self) {
+        let dirty = self.dcache.drain_dirty();
+        for d in &dirty {
+            if d.was_compressed {
+                self.spend(EnergyCategory::Decompress, self.comp_cost.decompress_energy);
+            }
+            let w = self.nvm.write_block(d.addr, d.data.clone());
+            self.spend(EnergyCategory::CheckpointRestore, w.energy);
+        }
+        self.spend(EnergyCategory::CheckpointRestore, self.cfg.costs.sweep_boundary);
+        self.last_persist = self.inst_index;
+        self.sweeps_this_cycle += 1;
+    }
+
+    /// The voltage monitor fired (or the supply browned out): wind down.
+    fn power_failure(&mut self) {
+        match self.cfg.design {
+            EhsDesign::NvsramCache => {
+                // JIT checkpoint: dirty blocks + registers to NVM/NVFF.
+                let dirty = self.dcache.drain_dirty();
+                let mut ckpt_time = SimTime::ZERO;
+                for d in &dirty {
+                    if d.was_compressed {
+                        self.spend(EnergyCategory::Decompress, self.comp_cost.decompress_energy);
+                    }
+                    let w = self.nvm.write_block(d.addr, d.data.clone());
+                    self.spend(EnergyCategory::CheckpointRestore, w.energy);
+                    ckpt_time += SimTime::from_seconds(
+                        w.latency.get() as f64 / self.cfg.system.core.clock_hz,
+                    );
+                }
+                self.spend(EnergyCategory::CheckpointRestore, self.cfg.costs.checkpoint_fixed);
+                self.now += ckpt_time;
+            }
+            EhsDesign::Nvmr => {
+                // Stores are already persistent; write back silently for
+                // functional coherence only.
+                for d in self.dcache.drain_dirty() {
+                    self.nvm.store_silent(d.addr, d.data);
+                }
+            }
+            EhsDesign::SweepCache => {
+                // Work since the last boundary is lost; dirty blocks are
+                // dropped and those instructions re-execute after reboot.
+                self.inst_index = self.last_persist;
+                // Adaptive region sizing (§VII-C): never persisting within
+                // a cycle means zero forward progress — shrink; several
+                // boundaries per cycle means headroom — grow back.
+                if self.sweeps_this_cycle == 0 {
+                    self.sweep_region_live = (self.sweep_region_live / 2).max(32);
+                } else if self.sweeps_this_cycle >= 4
+                    && self.sweep_region_live < self.cfg.costs.sweep_region
+                {
+                    self.sweep_region_live =
+                        (self.sweep_region_live + self.sweep_region_live / 4 + 1)
+                            .min(self.cfg.costs.sweep_region);
+                }
+                self.sweeps_this_cycle = 0;
+            }
+        }
+        self.icache.invalidate_all();
+        self.dcache.invalidate_all();
+        self.oracle_i.clear();
+        self.oracle_d.clear();
+        self.shadow_i.clear();
+        self.shadow_d.clear();
+        self.gov.on_power_failure();
+        self.stats.checkpoints += 1;
+        self.stats.power_cycles.push(self.cycle);
+        self.cycle = CycleRecord::default();
+        self.running = false;
+    }
+
+    /// Charges until `V_rst`, then performs the reboot sequence. Returns
+    /// `false` on charge timeout.
+    fn hibernate_and_reboot(&mut self) -> bool {
+        while !self.cap.above_restore() {
+            if self.now >= self.cfg.max_sim_time {
+                return false;
+            }
+            let harvest = self.trace.power_at(self.now);
+            let before = self.cap.stored();
+            let cap_leak = self.cap.charge(harvest, CHARGE_STEP);
+            let gained = (self.cap.stored() - before + cap_leak).clamp_non_negative();
+            self.stats.harvested += gained;
+            self.stats.cap_leak += cap_leak;
+            self.breakdown.record(EnergyCategory::Other, cap_leak);
+            // The monitor keeps watching the capacitor while hibernating.
+            let mon = self.monitor.standby_power() * CHARGE_STEP;
+            self.cap.drain(mon);
+            self.breakdown.record(EnergyCategory::Other, mon);
+            self.now += CHARGE_STEP;
+        }
+        // Reboot: restore checkpointed state, re-init the monitor.
+        self.spend(EnergyCategory::CheckpointRestore, self.cfg.costs.restore_fixed);
+        self.spend(EnergyCategory::Other, self.monitor.init_energy());
+        let latency = self.cfg.costs.restore_latency + self.monitor.init_latency();
+        self.now += SimTime::from_seconds(latency.get() as f64 / self.cfg.system.core.clock_hz);
+        self.gov.on_reboot();
+        self.running = true;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GovernorSpec;
+    use ehs_energy::TraceKind;
+    use ehs_workloads::App;
+
+    fn run_small(app: App, governor: GovernorSpec) -> SimStats {
+        let cfg = SimConfig::table1().with_governor(governor);
+        let program = app.build(0.02);
+        let trace = PowerTrace::generate(cfg.trace_kind, cfg.trace_seed, 400_000);
+        Simulator::new(cfg, &program, &trace).run()
+    }
+
+    #[test]
+    fn baseline_completes_with_power_cycles() {
+        let stats = run_small(App::Sha, GovernorSpec::NoCompression);
+        assert!(stats.completed, "did not finish: {} insts", stats.committed_insts);
+        assert!(stats.power_cycles.len() >= 2, "cycles: {}", stats.power_cycles.len());
+        assert!(stats.checkpoints >= 1);
+        assert!(stats.total_energy().picojoules() > 0.0);
+        assert_eq!(stats.dcache.compressions, 0, "baseline must not compress");
+    }
+
+    #[test]
+    fn acc_compresses_and_completes() {
+        let stats = run_small(App::Jpegd, GovernorSpec::Acc);
+        assert!(stats.completed);
+        assert!(stats.compression_ops() > 0, "ACC should compress sometimes");
+        assert!(stats.breakdown[EnergyCategory::Compress].picojoules() > 0.0);
+    }
+
+    #[test]
+    fn kagura_averts_compressions() {
+        // g721d keeps ACC's predictor positive all cycle (table reuse), so
+        // end-of-cycle compressions exist for Kagura's RM mode to avert.
+        let acc = run_small(App::G721d, GovernorSpec::Acc);
+        let kag = run_small(App::G721d, GovernorSpec::AccKagura(Default::default()));
+        assert!(kag.completed);
+        assert!(
+            kag.compression_ops() < acc.compression_ops(),
+            "Kagura ({}) should compress less than ACC ({})",
+            kag.compression_ops(),
+            acc.compression_ops()
+        );
+    }
+
+    #[test]
+    fn energy_conservation_within_budget() {
+        // Total consumed energy cannot exceed harvested + initial charge.
+        let stats = run_small(App::Gsm, GovernorSpec::Acc);
+        let initial = {
+            let c = SimConfig::table1().capacitor;
+            c.energy_at(c.v_max)
+        };
+        let budget = stats.harvested + initial;
+        assert!(
+            stats.total_energy().picojoules() <= budget.picojoules() * 1.001,
+            "consumed {} > budget {}",
+            stats.total_energy(),
+            budget
+        );
+    }
+
+    #[test]
+    fn power_cycles_are_in_the_paper_regime() {
+        let stats = run_small(App::Sha, GovernorSpec::NoCompression);
+        let avg = stats.avg_insts_per_cycle();
+        assert!((500.0..50_000.0).contains(&avg), "avg insts/cycle = {avg}");
+    }
+
+    #[test]
+    fn nvmr_and_sweepcache_complete() {
+        for design in [EhsDesign::Nvmr, EhsDesign::SweepCache] {
+            let cfg = SimConfig::table1().with_design(design).with_governor(GovernorSpec::Acc);
+            let program = App::Gsm.build(0.02);
+            let trace = PowerTrace::generate(cfg.trace_kind, cfg.trace_seed, 400_000);
+            let stats = Simulator::new(cfg, &program, &trace).run();
+            assert!(stats.completed, "{design} did not complete");
+        }
+    }
+
+    #[test]
+    fn sweepcache_reexecutes_lost_work() {
+        let cfg = SimConfig::table1().with_design(EhsDesign::SweepCache);
+        let program = App::Gsm.build(0.02);
+        let trace = PowerTrace::generate(cfg.trace_kind, cfg.trace_seed, 400_000);
+        let stats = Simulator::new(cfg, &program, &trace).run();
+        assert!(stats.completed);
+        assert!(
+            stats.executed_insts > stats.committed_insts,
+            "rollback must cause re-execution ({} executed vs {} committed)",
+            stats.executed_insts,
+            stats.committed_insts
+        );
+    }
+
+    #[test]
+    fn extensions_run_to_completion() {
+        for ext in [Extension::edbp(), Extension::ipex()] {
+            let mut cfg = SimConfig::table1().with_governor(GovernorSpec::Acc);
+            cfg.extension = ext;
+            let program = App::Jpegd.build(0.02);
+            let trace = PowerTrace::generate(cfg.trace_kind, cfg.trace_seed, 400_000);
+            let stats = Simulator::new(cfg, &program, &trace).run();
+            assert!(stats.completed, "{ext:?} did not complete");
+        }
+    }
+
+    #[test]
+    fn dead_trace_hits_time_guard() {
+        let mut cfg = SimConfig::table1();
+        cfg.max_sim_time = SimTime::from_seconds(0.5);
+        let program = App::Sha.build(1.0);
+        let trace = PowerTrace::constant(ehs_model::Power::from_microwatts(0.001), 100);
+        let stats = Simulator::new(cfg, &program, &trace).run();
+        assert!(!stats.completed);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_small(App::Dijkstra, GovernorSpec::AccKagura(Default::default()));
+        let b = run_small(App::Dijkstra, GovernorSpec::AccKagura(Default::default()));
+        assert_eq!(a.sim_time, b.sim_time);
+        assert_eq!(a.committed_insts, b.committed_insts);
+        assert_eq!(a.compression_ops(), b.compression_ops());
+    }
+
+    #[test]
+    fn trace_kinds_all_work() {
+        for kind in TraceKind::ALL {
+            let mut cfg = SimConfig::table1();
+            cfg.trace_kind = kind;
+            let program = App::Crc32.build(0.01);
+            let trace = PowerTrace::generate(kind, 1, 400_000);
+            let stats = Simulator::new(cfg, &program, &trace).run();
+            assert!(stats.completed, "{kind} failed");
+        }
+    }
+}
+
+#[cfg(test)]
+mod debug_tests {
+    use super::*;
+    use crate::config::GovernorSpec;
+    use ehs_workloads::App;
+
+    #[test]
+    #[ignore]
+    fn dump_stats() {
+        let app = App::from_name(&std::env::var("DUMP_APP").unwrap_or("jpeg".into())).unwrap();
+        let scale: f64 =
+            std::env::var("DUMP_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.1);
+        for gov in [
+            GovernorSpec::NoCompression,
+            GovernorSpec::Acc,
+            GovernorSpec::AccKagura(Default::default()),
+        ] {
+            let mut cfg = SimConfig::table1().with_governor(gov);
+            if std::env::var("DUMP_SWEEP").is_ok() {
+                cfg.design = EhsDesign::SweepCache;
+                cfg.costs.sweep_region =
+                    std::env::var("DUMP_SWEEP").unwrap().parse().unwrap_or(512);
+            }
+            let program = app.build(scale);
+            let trace = PowerTrace::generate(cfg.trace_kind, cfg.trace_seed, 4_000_000);
+            let stats = Simulator::new(cfg, &program, &trace).run();
+            println!("== {:?}", gov.label());
+            println!(
+                "completed={} insts={} cycles={} time={} ckpts={}",
+                stats.completed,
+                stats.committed_insts,
+                stats.power_cycles.len(),
+                stats.sim_time,
+                stats.checkpoints
+            );
+            println!("dcache: {:?}", stats.dcache);
+            println!("icache hits/misses: {}/{}", stats.icache.hits(), stats.icache.misses());
+            println!(
+                "rm_bypassed={} comp_ops={} kagura={:?}",
+                stats.rm_bypassed_fills,
+                stats.compression_ops(),
+                stats.kagura_state
+            );
+            println!("breakdown: {}", stats.breakdown);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Convenience entry points used by examples, tests and the bench harness.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use ehs_energy::{PowerTrace, TraceKind};
+use ehs_workloads::{App, KernelProgram};
+
+use crate::config::{GovernorSpec, SimConfig};
+use crate::governor::Governor;
+use crate::machine::Simulator;
+use crate::stats::SimStats;
+
+/// Default generated-trace length in 10 µs windows (≈ 40 s of ambient
+/// input, far more than any run consumes before wrapping).
+const DEFAULT_TRACE_LEN: usize = 4_000_000;
+
+/// Generates (or fetches from a process-wide cache) the configuration's
+/// default power trace. Generation is deterministic per `(kind, seed)`, so
+/// sharing one copy across the many runs of an experiment sweep is both
+/// safe and substantially faster.
+pub fn default_trace(cfg: &SimConfig) -> Arc<PowerTrace> {
+    static CACHE: OnceLock<Mutex<HashMap<(TraceKind, u64), Arc<PowerTrace>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (cfg.trace_kind, cfg.trace_seed);
+    if let Some(trace) = cache.lock().expect("trace cache poisoned").get(&key) {
+        return Arc::clone(trace);
+    }
+    let trace = Arc::new(PowerTrace::generate(cfg.trace_kind, cfg.trace_seed, DEFAULT_TRACE_LEN));
+    cache.lock().expect("trace cache poisoned").insert(key, Arc::clone(&trace));
+    trace
+}
+
+/// Runs `program` under `cfg` with the given trace.
+///
+/// Ideal (two-phase) governor specs are decomposed automatically.
+pub fn run_program(program: &KernelProgram, trace: &PowerTrace, cfg: &SimConfig) -> SimStats {
+    match cfg.governor {
+        GovernorSpec::IdealAcc => run_ideal(program, trace, cfg, Governor::record_acc()),
+        GovernorSpec::IdealAccKagura(kcfg) => {
+            run_ideal(program, trace, cfg, Governor::record_kagura(kcfg))
+        }
+        _ => Simulator::new(cfg.clone(), program, trace).run(),
+    }
+}
+
+/// Runs `app` at workload `scale` under `cfg` with the config's default
+/// generated trace.
+///
+/// # Panics
+///
+/// Panics if `scale` is not positive.
+pub fn run_app(app: App, scale: f64, cfg: &SimConfig) -> SimStats {
+    let program = app.build(scale);
+    let trace = default_trace(cfg);
+    run_program(&program, &trace, cfg)
+}
+
+/// Explicit two-phase ideal run (paper Fig 13's "ideal" methodology):
+/// record which compressions pay off, then replay compressing only those.
+pub fn run_ideal_app(app: App, scale: f64, cfg: &SimConfig, recorder: Governor) -> SimStats {
+    let program = app.build(scale);
+    let trace = default_trace(cfg);
+    run_ideal(&program, &trace, cfg, recorder)
+}
+
+fn run_ideal(
+    program: &KernelProgram,
+    trace: &PowerTrace,
+    cfg: &SimConfig,
+    recorder: Governor,
+) -> SimStats {
+    let is_kagura = matches!(recorder, Governor::RecordKagura(_));
+    let (_, oracle_trace) =
+        Simulator::with_governor(cfg.clone(), program, trace, recorder).run_recording();
+    let replayer = if is_kagura {
+        let kcfg = match cfg.governor {
+            GovernorSpec::IdealAccKagura(k) | GovernorSpec::AccKagura(k) => k,
+            _ => Default::default(),
+        };
+        Governor::replay_kagura(kcfg, oracle_trace)
+    } else {
+        Governor::replay_acc(oracle_trace)
+    };
+    Simulator::with_governor(cfg.clone(), program, trace, replayer).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GovernorSpec;
+    use ehs_workloads::App;
+
+    #[test]
+    fn ideal_runs_complete_and_avoid_useless_compressions() {
+        let acc = run_app(App::Jpegd, 0.02, &SimConfig::table1().with_governor(GovernorSpec::Acc));
+        let ideal =
+            run_app(App::Jpegd, 0.02, &SimConfig::table1().with_governor(GovernorSpec::IdealAcc));
+        assert!(ideal.completed);
+        assert!(
+            ideal.compression_ops() <= acc.compression_ops(),
+            "ideal ({}) must not compress more than ACC ({})",
+            ideal.compression_ops(),
+            acc.compression_ops()
+        );
+    }
+
+    #[test]
+    fn ideal_kagura_completes() {
+        let cfg =
+            SimConfig::table1().with_governor(GovernorSpec::IdealAccKagura(Default::default()));
+        let stats = run_app(App::Gsm, 0.02, &cfg);
+        assert!(stats.completed);
+    }
+
+    #[test]
+    fn run_app_matches_run_program() {
+        let cfg = SimConfig::table1().with_governor(GovernorSpec::Acc);
+        let a = run_app(App::Sha, 0.01, &cfg);
+        let program = App::Sha.build(0.01);
+        let trace = default_trace(&cfg);
+        let b = run_program(&program, &trace, &cfg);
+        assert_eq!(a.sim_time, b.sim_time);
+    }
+}

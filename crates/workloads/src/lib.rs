@@ -1,0 +1,41 @@
+//! Deterministic synthetic workloads standing in for the paper's 20
+//! MiBench/MediaBench applications.
+//!
+//! The paper compiles real embedded benchmarks to ARMv7-M and runs them
+//! under gem5. We cannot ship those binaries or that ISA — instead, each
+//! application is modelled as a [`KernelProgram`]: a deterministic,
+//! randomly-addressable instruction stream with the four properties that
+//! actually drive Kagura's behaviour (see DESIGN.md):
+//!
+//! 1. **Memory-op density** (arithmetic intensity) — calibrated per app to
+//!    the paper's Fig 17 ordering (jpegd lowest, strings highest).
+//! 2. **Locality vs the 256 B caches** — loop working sets sized from
+//!    well-under to well-over cache capacity.
+//! 3. **Data compressibility** — each app initialises its address space
+//!    with a [`MemoryImage`](ehs_mem::MemoryImage) matching its domain (gradient pixels for
+//!    jpeg/epic, random state for crypto, ASCII for strings/typeset,
+//!    small-int coefficient tables for codecs).
+//! 4. **Phase consistency across power cycles** — kernels are steady
+//!    loops, so neighbouring power cycles see similar behaviour (Fig 12),
+//!    which is the property Kagura's history predictor relies on.
+//!
+//! Programs are *pure functions of the instruction index*
+//! ([`KernelProgram::inst_at`]), so JIT-checkpoint resume is exact: the
+//! simulator restores the committed-instruction count and continues.
+//!
+//! # Examples
+//!
+//! ```
+//! use ehs_workloads::App;
+//!
+//! let prog = App::Jpegd.build(1.0);
+//! assert!(prog.len() > 100_000);
+//! let first = prog.inst_at(0);
+//! assert_eq!(first, prog.inst_at(0)); // deterministic
+//! ```
+
+pub mod apps;
+pub mod kernel;
+
+pub use apps::App;
+pub use kernel::{AddrGen, KernelProgram, KernelSpec, Op, Phase, ValGen};

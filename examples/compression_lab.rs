@@ -1,0 +1,73 @@
+//! Compression lab: run all four cache-compression algorithms over
+//! representative data classes and print sizes, then apply the paper's
+//! §III break-even analysis to each class.
+//!
+//! ```text
+//! cargo run --release --example compression_lab
+//! ```
+
+use kagura::compress::{Algorithm, Compressor};
+use kagura::core::analysis::{min_delta_rhit, CompressionMix};
+use kagura::model::Energy;
+
+fn data_classes() -> Vec<(&'static str, Vec<u8>)> {
+    let zeros = vec![0u8; 32];
+    let pixels: Vec<u8> = (0..8u32).flat_map(|i| (0x0040_1000 + i * 3).to_le_bytes()).collect();
+    let coeffs: Vec<u8> =
+        [3i32, -1, 0, 7, -4, 2, 0, -6].iter().flat_map(|v| v.to_le_bytes()).collect();
+    let text = b"static int quantize(int level);\n".to_vec();
+    let mut x = 0xDEAD_BEEFu32;
+    let crypto: Vec<u8> = (0..8)
+        .flat_map(|_| {
+            x = x.wrapping_mul(0x9E3779B9).wrapping_add(0x85EB_CA6B);
+            x.to_le_bytes()
+        })
+        .collect();
+    vec![
+        ("zeroed BSS", zeros),
+        ("pixel row", pixels),
+        ("DCT coeffs", coeffs),
+        ("source text", text),
+        ("crypto state", crypto),
+    ]
+}
+
+fn main() {
+    println!("compressed size of a 32B block (bytes; 33 = passthrough):");
+    print!("{:>14}", "");
+    for alg in Algorithm::ALL {
+        print!("{:>9}", alg.name());
+    }
+    println!();
+    for (label, block) in data_classes() {
+        print!("{label:>14}");
+        for alg in Algorithm::ALL {
+            let engine = alg.compressor();
+            let enc = engine.compress(&block);
+            assert_eq!(engine.decompress(&enc), block, "lossless check");
+            print!("{:>9}", enc.compressed_bytes());
+        }
+        println!();
+    }
+
+    println!();
+    println!("break-even hit-rate improvement (paper Eq. 4) per algorithm,");
+    println!("for a workload with a=0.5, e=0.25, f=0.5 and E_miss = 150 pJ:");
+    let mix = CompressionMix::new(0.5, 0.25, 0.5);
+    for alg in Algorithm::ALL {
+        let cost = alg.default_cost();
+        let threshold = min_delta_rhit(
+            mix,
+            cost.compress_energy,
+            cost.decompress_energy,
+            Energy::from_picojoules(150.0),
+        );
+        println!(
+            "  {:>7}: compression pays off above dR_hit = {:.3}% (comp {}, decomp {})",
+            alg.name(),
+            threshold * 100.0,
+            cost.compress_energy,
+            cost.decompress_energy,
+        );
+    }
+}

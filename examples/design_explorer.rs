@@ -1,0 +1,56 @@
+//! Design explorer: compare the three EHS runtimes (NVSRAMCache, NvMR,
+//! SweepCache) with and without intermittence-aware compression, plus the
+//! EDBP/IPEX cache-management extensions (paper §VIII-H1/H3).
+//!
+//! ```text
+//! cargo run --release --example design_explorer
+//! ```
+
+use kagura::sim::{EhsDesign, Extension, GovernorSpec, SimConfig};
+use kagura::workloads::App;
+
+fn main() {
+    let app = App::Gsm;
+    let scale = 0.4;
+    println!("workload: {app} (scale {scale})\n");
+
+    println!("=== EHS designs (each normalized to its own compressor-free baseline) ===");
+    for design in EhsDesign::ALL {
+        let base_cfg = SimConfig::table1().with_design(design);
+        let base = kagura::sim::run_app(app, scale, &base_cfg);
+        let kag = kagura::sim::run_app(
+            app,
+            scale,
+            &base_cfg.clone().with_governor(GovernorSpec::AccKagura(Default::default())),
+        );
+        println!(
+            "{:>12}: baseline {:>12} | +ACC+Kagura {:>12} ({:+.2}%), {} checkpoints, re-executed {} insts",
+            design.name(),
+            base.sim_time,
+            kag.sim_time,
+            (kag.speedup_over(&base) - 1.0) * 100.0,
+            kag.checkpoints,
+            kag.executed_insts - kag.committed_insts,
+        );
+    }
+
+    println!();
+    println!("=== cache-management extensions on NVSRAMCache ===");
+    let plain = kagura::sim::run_app(app, scale, &SimConfig::table1());
+    for (label, ext, gov) in [
+        ("EDBP", Extension::edbp(), GovernorSpec::NoCompression),
+        ("EDBP+Kagura", Extension::edbp(), GovernorSpec::AccKagura(Default::default())),
+        ("IPEX", Extension::ipex(), GovernorSpec::NoCompression),
+        ("IPEX+Kagura", Extension::ipex(), GovernorSpec::AccKagura(Default::default())),
+    ] {
+        let mut cfg = SimConfig::table1().with_governor(gov);
+        cfg.extension = ext;
+        let stats = kagura::sim::run_app(app, scale, &cfg);
+        println!(
+            "{label:>12}: {:>12} ({:+.2}% vs plain baseline), dcache miss {:.1}%",
+            stats.sim_time,
+            (stats.speedup_over(&plain) - 1.0) * 100.0,
+            stats.dcache.miss_rate() * 100.0,
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: run one benchmark on the paper's Table-I platform under
+//! three policies — no compression, ACC, and ACC+Kagura — and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use kagura::sim::{GovernorSpec, SimConfig};
+use kagura::workloads::App;
+
+fn main() {
+    // The paper's default platform: NVSRAMCache EHS, 4.7 uF capacitor,
+    // 256B I/D caches, BDI compression, RFHome ambient trace.
+    let base_cfg = SimConfig::table1();
+    let app = App::Jpegd;
+    let scale = 0.5; // half-length workload for a fast demo
+
+    println!("platform : NVSRAMCache, 4.7uF, 256B caches, BDI, RFHome trace");
+    println!("workload : {app} (scale {scale})");
+    println!();
+
+    let baseline = kagura::sim::run_app(app, scale, &base_cfg);
+    println!(
+        "baseline     : {:>10} insts in {:>12}, {} power cycles, {} consumed",
+        baseline.committed_insts,
+        baseline.sim_time,
+        baseline.power_cycles.len(),
+        baseline.total_energy(),
+    );
+
+    for gov in [GovernorSpec::Acc, GovernorSpec::AccKagura(Default::default())] {
+        let cfg = base_cfg.clone().with_governor(gov);
+        let stats = kagura::sim::run_app(app, scale, &cfg);
+        println!(
+            "{:<13}: {:>10} insts in {:>12}, {} power cycles, {} consumed",
+            gov.label(),
+            stats.committed_insts,
+            stats.sim_time,
+            stats.power_cycles.len(),
+            stats.total_energy(),
+        );
+        println!(
+            "               speedup {:+.2}%, {} compressions ({} averted in RM), miss rate {:.1}%",
+            (stats.speedup_over(&baseline) - 1.0) * 100.0,
+            stats.compression_ops(),
+            stats.rm_bypassed_fills,
+            stats.dcache.miss_rate() * 100.0,
+        );
+    }
+
+    println!();
+    println!("Try other apps: {}", App::ALL.map(|a| a.name()).join(" "));
+}

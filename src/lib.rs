@@ -1,0 +1,32 @@
+//! Facade crate for the Kagura reproduction: re-exports every subsystem
+//! crate under one roof so examples, integration tests and downstream users
+//! can depend on a single package.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! # Examples
+//!
+//! Run one of the paper's benchmarks on the Table-I platform with and
+//! without intermittence-aware compression:
+//!
+//! ```
+//! use kagura::sim::{run_app, GovernorSpec, SimConfig};
+//! use kagura::workloads::App;
+//!
+//! let baseline = run_app(App::Sha, 0.02, &SimConfig::table1());
+//! let cfg = SimConfig::table1()
+//!     .with_governor(GovernorSpec::AccKagura(Default::default()));
+//! let kagura = run_app(App::Sha, 0.02, &cfg);
+//! assert!(baseline.completed && kagura.completed);
+//! assert!(kagura.power_cycles.len() > 1, "intermittent execution");
+//! ```
+
+pub use ehs_cache as cache;
+pub use ehs_compress as compress;
+pub use ehs_energy as energy;
+pub use ehs_mem as mem;
+pub use ehs_model as model;
+pub use ehs_sim as sim;
+pub use ehs_workloads as workloads;
+pub use kagura_core as core;
