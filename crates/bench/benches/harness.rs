@@ -1,0 +1,33 @@
+//! Criterion end-to-end benchmark of [`ehs_sim::run_app`] — the leaf job
+//! the parallel harness executes. Unlike the raw `Simulator` bench this
+//! includes the full entry path a worker pays per grid cell: workload
+//! construction, the shared power-trace cache, governor dispatch and
+//! stats assembly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ehs_sim::{run_app, GovernorSpec, SimConfig};
+use ehs_workloads::App;
+
+fn bench_run_app(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_app");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let scale = 0.05;
+    for (label, gov) in [
+        ("baseline", GovernorSpec::NoCompression),
+        ("acc", GovernorSpec::Acc),
+        ("acc_kagura", GovernorSpec::AccKagura(Default::default())),
+    ] {
+        let cfg = SimConfig::table1().with_governor(gov);
+        let insts = App::Gsm.build(scale).len();
+        group.throughput(Throughput::Elements(insts));
+        group.bench_with_input(BenchmarkId::new("gsm", label), &cfg, |b, cfg| {
+            b.iter(|| run_app(App::Gsm, scale, cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_run_app);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! `bench` — wall-clock benchmark of the parallel experiment harness.
+//!
+//! ```text
+//! bench [--scale S] [--jobs N] [--out FILE]
+//! ```
+//!
+//! Runs the `summary` experiment (the full app × governor grid) once to
+//! warm the shared power-trace cache, then times it with one worker and
+//! with N workers (default: the machine's available parallelism), and
+//! writes the timings, the measured speedup and the host core count to
+//! `BENCH_harness.json`. The speedup is whatever the host actually
+//! delivers — on a single-core container it is ~1.0 by construction.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use kagura_bench::experiments::find;
+use kagura_bench::ExpContext;
+use serde_json::json;
+
+fn time_summary(ctx: &ExpContext, jobs: usize) -> f64 {
+    ehs_sim::parallel::set_max_workers(jobs);
+    let f = find("summary").expect("summary experiment registered");
+    let start = Instant::now();
+    let _ = f(ctx);
+    start.elapsed().as_secs_f64()
+}
+
+fn main() -> ExitCode {
+    let mut scale = 0.05f64;
+    let mut out = String::from("BENCH_harness.json");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut jobs = cores;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
+                    Some(v) if v > 0.0 => scale = v,
+                    _ => {
+                        eprintln!("--scale needs a positive number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => jobs = n,
+                    _ => {
+                        eprintln!("--jobs needs a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(f) => out = f.clone(),
+                    None => {
+                        eprintln!("--out needs a file path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: bench [--scale S] [--jobs N] [--out FILE]");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let mut ctx = ExpContext::default();
+    ctx.scale = scale;
+    ctx.out_dir = std::env::temp_dir().join("kagura-bench-harness");
+
+    println!("harness benchmark: summary at scale {scale}, {cores} host core(s)");
+    println!("warm-up run (populates the power-trace cache)...");
+    let warmup = time_summary(&ctx, jobs);
+    println!("  warm-up: {warmup:.1}s");
+    println!("timed run, 1 job...");
+    let serial = time_summary(&ctx, 1);
+    println!("  1 job: {serial:.1}s");
+    println!("timed run, {jobs} job(s)...");
+    let parallel = time_summary(&ctx, jobs);
+    println!("  {jobs} job(s): {parallel:.1}s");
+    let speedup = serial / parallel;
+    println!("speedup at {jobs} job(s): {speedup:.2}x on {cores} core(s)");
+
+    let report = json!({
+        "benchmark": "experiment harness wall-clock",
+        "experiment": "summary",
+        "scale": scale,
+        "host_cores": cores,
+        "grid_cells": ctx.apps.len() * 2,
+        "serial_jobs": 1,
+        "serial_seconds": serial,
+        "parallel_jobs": jobs,
+        "parallel_seconds": parallel,
+        "speedup": speedup,
+    });
+    let text = serde_json::to_string_pretty(&report).expect("serializable");
+    if let Err(e) = std::fs::write(&out, text) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("[saved {out}]");
+    ExitCode::SUCCESS
+}

@@ -1,22 +1,31 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment-id>... [--scale S] [--apps a,b,c] [--out DIR]
+//! repro <experiment-id>... [--scale S] [--apps a,b,c] [--out DIR] [--jobs N]
 //! repro all                # every experiment
 //! repro list               # show available experiments
 //! ```
 //!
 //! Results print as tables (with the paper's reference numbers quoted
 //! underneath) and are written as JSON under `results/`.
+//!
+//! `--jobs N` caps concurrent simulations process-wide (default: the
+//! machine's available parallelism). Independent experiments run
+//! concurrently and each submits its whole app × governor grid to the
+//! shared worker pool, so N simulations stay in flight until the batch
+//! drains. Simulations are deterministic and results are collected in
+//! submission order, so every JSON file is byte-identical at any `--jobs`
+//! value; only the interleaving of progress lines differs. `--jobs 1`
+//! runs everything inline for cleanly grouped output.
 
 use std::process::ExitCode;
 
 use ehs_workloads::App;
-use kagura_bench::experiments::{find, REGISTRY};
+use kagura_bench::experiments::{find, ExpFn, REGISTRY};
 use kagura_bench::ExpContext;
 
 fn usage() {
-    println!("usage: repro <experiment-id>... [--scale S] [--apps a,b,c] [--out DIR]");
+    println!("usage: repro <experiment-id>... [--scale S] [--apps a,b,c] [--out DIR] [--jobs N]");
     println!("       repro all | list");
     println!();
     list();
@@ -76,6 +85,18 @@ fn main() -> ExitCode {
                 ctx.apps = apps.clone();
                 ctx.sens_apps = apps;
             }
+            "--jobs" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                if n == 0 {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+                ehs_sim::parallel::set_max_workers(n);
+            }
             "--out" => {
                 i += 1;
                 let Some(dir) = args.get(i) else {
@@ -105,22 +126,39 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    println!(
-        "running {} experiment(s) at workload scale {} over {} apps ({} for sweeps)\n",
-        ids.len(),
-        ctx.scale,
-        ctx.apps.len(),
-        ctx.sens_apps.len()
-    );
+    // Resolve every id before running anything, so a typo fails fast
+    // instead of after hours of simulation.
+    let mut runs: Vec<(&str, ExpFn)> = Vec::new();
     for id in &ids {
         let Some(f) = find(id) else {
             eprintln!("unknown experiment {id:?} (try `repro list`)");
             return ExitCode::FAILURE;
         };
-        let start = std::time::Instant::now();
+        runs.push((id, f));
+    }
+
+    let jobs = ehs_sim::parallel::max_workers();
+    println!(
+        "running {} experiment(s) at workload scale {} over {} apps ({} for sweeps), {} job(s)\n",
+        runs.len(),
+        ctx.scale,
+        ctx.apps.len(),
+        ctx.sens_apps.len(),
+        jobs,
+    );
+    if jobs > 1 && runs.len() > 1 {
+        println!("experiments run concurrently; progress lines may interleave (use --jobs 1 for grouped output)\n");
+    }
+    let start = std::time::Instant::now();
+    // Experiments are independent coordinators: they hold no worker
+    // permits themselves, so however many overlap, at most `jobs`
+    // simulations execute at once.
+    ehs_sim::parallel::run_concurrent(runs, |(id, f)| {
+        let t = std::time::Instant::now();
         println!("=== {id} ===");
         let _ = f(&ctx);
-        println!("  [{id} done in {:.1}s]\n", start.elapsed().as_secs_f64());
-    }
+        println!("  [{id} done in {:.1}s]\n", t.elapsed().as_secs_f64());
+    });
+    println!("all experiments done in {:.1}s", start.elapsed().as_secs_f64());
     ExitCode::SUCCESS
 }

@@ -113,6 +113,64 @@ fn build_config(args: &Args) -> Result<SimConfig, String> {
     Ok(cfg)
 }
 
+/// Machine-readable counterpart of [`print_report`]: a JSON tree built
+/// field-by-field from the stats (energies in picojoules, time in
+/// seconds), stable across runs for identical inputs.
+fn json_report(stats: &SimStats) -> serde_json::Value {
+    use serde_json::json;
+    let breakdown: Vec<_> = stats
+        .breakdown
+        .iter()
+        .map(|(cat, e)| {
+            json!({
+                "category": cat.label(),
+                "picojoules": e.picojoules(),
+                "fraction": stats.breakdown.fraction(cat),
+            })
+        })
+        .collect();
+    let mut out = json!({
+        "progress": {
+            "completed": stats.completed,
+            "committed_insts": stats.committed_insts,
+            "executed_insts": stats.executed_insts,
+            "total_cycles": stats.total_cycles,
+            "cpi": stats.cpi(),
+            "sim_seconds": stats.sim_time.seconds(),
+        },
+        "intermittence": {
+            "power_cycles": stats.power_cycles.len(),
+            "checkpoints": stats.checkpoints,
+            "avg_insts_per_cycle": stats.avg_insts_per_cycle(),
+        },
+        "caches": {
+            "icache_miss_rate": stats.icache.miss_rate(),
+            "icache_accesses": stats.icache.accesses(),
+            "dcache_miss_rate": stats.dcache.miss_rate(),
+            "dcache_accesses": stats.dcache.accesses(),
+            "compressions": stats.compression_ops(),
+            "rm_bypassed_fills": stats.rm_bypassed_fills,
+            "decompressions": stats.icache.decompressions + stats.dcache.decompressions,
+        },
+        "nvm": { "reads": stats.nvm.reads, "writes": stats.nvm.writes },
+        "energy": {
+            "total_picojoules": stats.total_energy().picojoules(),
+            "harvested_picojoules": stats.harvested.picojoules(),
+            "breakdown": breakdown,
+        },
+    });
+    if let Some((regs, rm)) = stats.kagura_state {
+        let kagura = json!({
+            "r_prev": regs.0, "r_mem": regs.1, "r_adjust": regs.2,
+            "r_thres": regs.3, "r_evict": regs.4, "rm_entries": rm,
+        });
+        if let serde_json::Value::Object(members) = &mut out {
+            members.push(("kagura".to_string(), kagura));
+        }
+    }
+    out
+}
+
 fn print_report(stats: &SimStats) {
     println!("progress");
     println!("  committed insts : {}", stats.committed_insts);
@@ -208,7 +266,7 @@ fn run() -> Result<(), String> {
     );
     let stats = run_program(&program, &trace, &cfg);
     if args.has("--json") {
-        println!("{}", serde_json::to_string_pretty(&stats).expect("stats serialize"));
+        println!("{}", serde_json::to_string_pretty(&json_report(&stats)).expect("stats serialize"));
     } else {
         print_report(&stats);
     }

@@ -5,14 +5,19 @@ use ehs_sim::GovernorSpec;
 use ehs_workloads::App;
 use serde_json::{json, Value};
 
-use super::{cfg, gain_pct, run};
-use crate::{amean, parallel_map, print_table, ExpContext};
+use super::{cfg, gain_pct, run_grid};
+use crate::{amean, print_table, ExpContext};
 
 /// Fig 12: program behaviour between neighbouring power cycles.
 pub fn fig12(ctx: &ExpContext) -> Value {
     println!("Fig 12: consistency across neighbouring power cycles (baseline EHS)");
-    let base = cfg(GovernorSpec::NoCompression);
-    let results = parallel_map(ctx.apps.clone(), |&app| (app, run(ctx, app, &base)));
+    let grid = run_grid(ctx, &ctx.apps, &[cfg(GovernorSpec::NoCompression)]);
+    let results: Vec<_> = ctx
+        .apps
+        .iter()
+        .zip(grid)
+        .map(|(&app, mut row)| (app, row.pop().expect("one config")))
+        .collect();
     let mut rows = Vec::new();
     let mut out_rows = Vec::new();
     let (mut dl, mut ds, mut dc) = (Vec::new(), Vec::new(), Vec::new());
@@ -80,19 +85,28 @@ fn fig13_specs() -> Vec<(&'static str, GovernorSpec)> {
 pub fn fig13(ctx: &ExpContext) -> Value {
     println!("Fig 13: speedup and committed-inst/cycle increase over baseline");
     let specs = fig13_specs();
-    let results = parallel_map(ctx.apps.clone(), |&app| {
-        let base = run(ctx, app, &cfg(GovernorSpec::NoCompression));
-        let variants: Vec<_> = specs
-            .iter()
-            .map(|&(label, gov)| {
-                let s = run(ctx, app, &cfg(gov));
-                let speed = gain_pct(&base, &s);
-                let inst_inc = (s.avg_insts_per_cycle() / base.avg_insts_per_cycle() - 1.0) * 100.0;
-                (label, speed, inst_inc)
-            })
-            .collect();
-        (app, variants)
-    });
+    let mut configs = vec![cfg(GovernorSpec::NoCompression)];
+    configs.extend(specs.iter().map(|&(_, gov)| cfg(gov)));
+    let grid = run_grid(ctx, &ctx.apps, &configs);
+    let results: Vec<_> = ctx
+        .apps
+        .iter()
+        .zip(&grid)
+        .map(|(&app, row)| {
+            let base = &row[0];
+            let variants: Vec<_> = specs
+                .iter()
+                .zip(&row[1..])
+                .map(|(&(label, _), s)| {
+                    let speed = gain_pct(base, s);
+                    let inst_inc =
+                        (s.avg_insts_per_cycle() / base.avg_insts_per_cycle() - 1.0) * 100.0;
+                    (label, speed, inst_inc)
+                })
+                .collect();
+            (app, variants)
+        })
+        .collect();
     let mut rows = Vec::new();
     let mut out_rows = Vec::new();
     let mut means: Vec<Vec<f64>> = vec![Vec::new(); specs.len()];
@@ -138,8 +152,13 @@ pub fn fig13(ctx: &ExpContext) -> Value {
 /// Fig 14: power-cycle length distribution per application.
 pub fn fig14(ctx: &ExpContext) -> Value {
     println!("Fig 14: power-cycle length distribution (committed instructions)");
-    let base = cfg(GovernorSpec::NoCompression);
-    let results = parallel_map(ctx.apps.clone(), |&app| (app, run(ctx, app, &base)));
+    let grid = run_grid(ctx, &ctx.apps, &[cfg(GovernorSpec::NoCompression)]);
+    let results: Vec<_> = ctx
+        .apps
+        .iter()
+        .zip(grid)
+        .map(|(&app, mut row)| (app, row.pop().expect("one config")))
+        .collect();
     let mut out_rows = Vec::new();
     let mut rows = Vec::new();
     for (app, stats) in &results {
@@ -173,10 +192,17 @@ pub fn fig15(ctx: &ExpContext) -> Value {
         ("ACC", GovernorSpec::Acc),
         ("ACC+Kagura", GovernorSpec::AccKagura(Default::default())),
     ];
-    let results = parallel_map(ctx.apps.clone(), |&app| {
-        let per: Vec<_> = specs.iter().map(|&(l, g)| (l, run(ctx, app, &cfg(g)))).collect();
-        (app, per)
-    });
+    let configs: Vec<_> = specs.iter().map(|&(_, g)| cfg(g)).collect();
+    let grid = run_grid(ctx, &ctx.apps, &configs);
+    let results: Vec<_> = ctx
+        .apps
+        .iter()
+        .zip(grid)
+        .map(|(&app, row)| {
+            let per: Vec<_> = specs.iter().map(|&(l, _)| l).zip(row).collect();
+            (app, per)
+        })
+        .collect();
     let mut rows = Vec::new();
     let mut out_rows = Vec::new();
     let mut means: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); specs.len()];
@@ -215,10 +241,17 @@ pub fn fig16(ctx: &ExpContext) -> Value {
         ("ACC", GovernorSpec::Acc),
         ("ACC+Kagura", GovernorSpec::AccKagura(Default::default())),
     ];
-    let results = parallel_map(ctx.apps.clone(), |&app| {
-        let per: Vec<_> = specs.iter().map(|&(l, g)| (l, run(ctx, app, &cfg(g)))).collect();
-        (app, per)
-    });
+    let configs: Vec<_> = specs.iter().map(|&(_, g)| cfg(g)).collect();
+    let grid = run_grid(ctx, &ctx.apps, &configs);
+    let results: Vec<_> = ctx
+        .apps
+        .iter()
+        .zip(grid)
+        .map(|(&app, row)| {
+            let per: Vec<_> = specs.iter().map(|&(l, _)| l).zip(row).collect();
+            (app, per)
+        })
+        .collect();
     let mut out_rows = Vec::new();
     let mut totals: Vec<Vec<f64>> = vec![Vec::new(); specs.len()];
     let mut comp_over: Vec<f64> = Vec::new();
@@ -277,12 +310,17 @@ pub fn fig16(ctx: &ExpContext) -> Value {
 pub fn fig17(ctx: &ExpContext) -> Value {
     println!("Fig 17: performance gain vs arithmetic intensity");
     let apps: Vec<App> = App::FIG17.to_vec();
-    let results = parallel_map(apps, |&app| {
-        let base = run(ctx, app, &cfg(GovernorSpec::NoCompression));
-        let kag = run(ctx, app, &cfg(GovernorSpec::AccKagura(Default::default())));
-        let ai = app.build(0.05).arithmetic_intensity();
-        (app, ai, gain_pct(&base, &kag))
-    });
+    let configs =
+        [cfg(GovernorSpec::NoCompression), cfg(GovernorSpec::AccKagura(Default::default()))];
+    let grid = run_grid(ctx, &apps, &configs);
+    let results: Vec<_> = apps
+        .iter()
+        .zip(&grid)
+        .map(|(&app, row)| {
+            let ai = app.build(0.05).arithmetic_intensity();
+            (app, ai, gain_pct(&row[0], &row[1]))
+        })
+        .collect();
     let mut rows = Vec::new();
     let mut out_rows = Vec::new();
     for (app, ai, gain) in &results {
@@ -299,13 +337,18 @@ pub fn fig17(ctx: &ExpContext) -> Value {
 /// Fig 18: compression-operation reduction ratio by Kagura.
 pub fn fig18(ctx: &ExpContext) -> Value {
     println!("Fig 18: compression operations eliminated by Kagura (vs ACC)");
-    let results = parallel_map(ctx.apps.clone(), |&app| {
-        let acc = run(ctx, app, &cfg(GovernorSpec::Acc));
-        let kag = run(ctx, app, &cfg(GovernorSpec::AccKagura(Default::default())));
-        let (a, k) = (acc.compression_ops(), kag.compression_ops());
-        let reduction = if a == 0 { 0.0 } else { (a.saturating_sub(k)) as f64 / a as f64 };
-        (app, a, k, reduction)
-    });
+    let configs = [cfg(GovernorSpec::Acc), cfg(GovernorSpec::AccKagura(Default::default()))];
+    let grid = run_grid(ctx, &ctx.apps, &configs);
+    let results: Vec<_> = ctx
+        .apps
+        .iter()
+        .zip(&grid)
+        .map(|(&app, row)| {
+            let (a, k) = (row[0].compression_ops(), row[1].compression_ops());
+            let reduction = if a == 0 { 0.0 } else { (a.saturating_sub(k)) as f64 / a as f64 };
+            (app, a, k, reduction)
+        })
+        .collect();
     let mut rows = Vec::new();
     let mut out_rows = Vec::new();
     let mut reductions = Vec::new();

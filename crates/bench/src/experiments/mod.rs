@@ -5,7 +5,7 @@ pub mod headline;
 pub mod sensitivity;
 pub mod summary;
 
-use ehs_sim::{GovernorSpec, SimConfig, SimStats};
+use ehs_sim::{GovernorSpec, SimConfig, SimJob, SimStats};
 use ehs_workloads::App;
 use serde_json::Value;
 
@@ -65,16 +65,37 @@ pub(crate) fn cfg(gov: GovernorSpec) -> SimConfig {
     SimConfig::table1().with_governor(gov)
 }
 
-/// Runs one app under one config at the context's scale.
-pub(crate) fn run(ctx: &ExpContext, app: App, config: &SimConfig) -> SimStats {
-    let stats = ehs_sim::run_app(app, ctx.scale, config);
-    assert!(
-        stats.completed,
-        "{app} did not complete under {} (design {}) — raise max_sim_time or check the trace",
-        config.governor.label(),
-        config.design
-    );
-    stats
+/// Runs the full `apps × configs` grid as one flat batch on the shared
+/// worker pool and regroups the results into one row per app, column
+/// order matching `configs`.
+///
+/// Submitting the whole grid at once (rather than one app or one config
+/// at a time) keeps every worker busy until the last cell finishes; with
+/// `--jobs 1` the cells run inline in submission order, so results are
+/// identical at any job count.
+pub(crate) fn run_grid(ctx: &ExpContext, apps: &[App], configs: &[SimConfig]) -> Vec<Vec<SimStats>> {
+    let jobs: Vec<SimJob> = apps
+        .iter()
+        .flat_map(|&app| configs.iter().map(move |c| SimJob::new(app, ctx.scale, c.clone())))
+        .collect();
+    let mut stats = ehs_sim::run_batch(jobs).into_iter();
+    apps.iter()
+        .map(|&app| {
+            configs
+                .iter()
+                .map(|c| {
+                    let s = stats.next().expect("one result per grid cell");
+                    assert!(
+                        s.completed,
+                        "{app} did not complete under {} (design {}) — raise max_sim_time or check the trace",
+                        c.governor.label(),
+                        c.design
+                    );
+                    s
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// Percentage gain of `t` over `base` where both are completion times.

@@ -8,39 +8,37 @@ use ehs_workloads::App;
 use kagura_core::{AdaptScheme, EstimatorKind, KaguraConfig, ThresholdAdapter, TriggerKind};
 use serde_json::{json, Value};
 
-use super::{cfg, run};
-use crate::{amean, parallel_map, print_table, ExpContext};
+use super::{cfg, run_grid};
+use crate::{amean, print_table, ExpContext};
 
-/// Mean percentage gain of `variant` over `base` across `apps`, computed
-/// app-parallel.
+/// Mean percentage gain of `variant` over `base` across `apps`, run as
+/// one batch on the worker pool.
 fn mean_gain(ctx: &ExpContext, apps: &[App], base: &SimConfig, variant: &SimConfig) -> f64 {
-    let gains = parallel_map(apps.to_vec(), |&app| {
-        let b = run(ctx, app, base);
-        let v = run(ctx, app, variant);
-        (v.speedup_over(&b) - 1.0) * 100.0
-    });
-    amean(&gains)
+    mean_gains(ctx, apps, base, &[("", variant.clone())])[0].1
 }
 
 /// Mean percentage gains of several variants against one shared baseline,
-/// evaluated with a single baseline run per app.
+/// with a single baseline run per app; the whole
+/// `apps × (base + variants)` grid goes to the pool as one batch.
 fn mean_gains(
     ctx: &ExpContext,
     apps: &[App],
     base: &SimConfig,
     variants: &[(&'static str, SimConfig)],
 ) -> Vec<(&'static str, f64)> {
-    let per_app = parallel_map(apps.to_vec(), |&app| {
-        let b = run(ctx, app, base);
-        variants
-            .iter()
-            .map(|(_, v)| (run(ctx, app, v).speedup_over(&b) - 1.0) * 100.0)
-            .collect::<Vec<f64>>()
-    });
+    let mut configs = vec![base.clone()];
+    configs.extend(variants.iter().map(|(_, v)| v.clone()));
+    let grid = run_grid(ctx, apps, &configs);
     variants
         .iter()
         .enumerate()
-        .map(|(i, &(label, _))| (label, amean(&per_app.iter().map(|g| g[i]).collect::<Vec<_>>())))
+        .map(|(i, &(label, _))| {
+            let gains: Vec<f64> = grid
+                .iter()
+                .map(|row| (row[i + 1].speedup_over(&row[0]) - 1.0) * 100.0)
+                .collect();
+            (label, amean(&gains))
+        })
         .collect()
 }
 
@@ -53,16 +51,24 @@ pub fn fig1(ctx: &ExpContext) -> Value {
     println!("Fig 1: baseline EHS speedup vs cache size (normalized to 256B)");
     let sizes = [128u32, 256, 512, 1024, 2048, 4096];
     let apps = &ctx.sens_apps;
-    let results = parallel_map(apps.clone(), |&app| {
-        let time_at = |size: u32| {
+    let configs: Vec<SimConfig> = sizes
+        .iter()
+        .map(|&size| {
             let mut c = cfg(GovernorSpec::NoCompression);
             c.system.icache = c.system.icache.with_size(size);
             c.system.dcache = c.system.dcache.with_size(size);
-            run(ctx, app, &c).sim_time.seconds()
-        };
-        let reference = time_at(256);
-        sizes.iter().map(|&s| reference / time_at(s)).collect::<Vec<f64>>()
-    });
+            c
+        })
+        .collect();
+    let ref_col = sizes.iter().position(|&s| s == 256).expect("256B column");
+    let grid = run_grid(ctx, apps, &configs);
+    let results: Vec<Vec<f64>> = grid
+        .iter()
+        .map(|row| {
+            let reference = row[ref_col].sim_time.seconds();
+            row.iter().map(|s| reference / s.sim_time.seconds()).collect()
+        })
+        .collect();
     let mut rows = Vec::new();
     let mut out_rows = Vec::new();
     for (i, &size) in sizes.iter().enumerate() {
@@ -237,23 +243,32 @@ pub fn fig24(ctx: &ExpContext) -> Value {
     println!("Fig 24: cache size sweep (normalized to 128B baseline)");
     let sizes = [128u32, 256, 512, 1024, 2048, 4096];
     let apps = &ctx.sens_apps;
-    let results = parallel_map(apps.clone(), |&app| {
-        let sized = |size: u32, gov: GovernorSpec| {
-            let mut c = cfg(gov);
-            c.system.icache = c.system.icache.with_size(size);
-            c.system.dcache = c.system.dcache.with_size(size);
-            run(ctx, app, &c).sim_time.seconds()
-        };
-        let reference = sized(128, GovernorSpec::NoCompression);
-        sizes
-            .iter()
-            .map(|&s| {
-                let b = reference / sized(s, GovernorSpec::NoCompression);
-                let k = reference / sized(s, kagura_default());
-                (b, k)
-            })
-            .collect::<Vec<_>>()
-    });
+    let sized = |size: u32, gov: GovernorSpec| {
+        let mut c = cfg(gov);
+        c.system.icache = c.system.icache.with_size(size);
+        c.system.dcache = c.system.dcache.with_size(size);
+        c
+    };
+    // Two columns per size: baseline then ACC+Kagura. The 128 B baseline
+    // (column 0) is the normalization reference.
+    let configs: Vec<SimConfig> = sizes
+        .iter()
+        .flat_map(|&s| [sized(s, GovernorSpec::NoCompression), sized(s, kagura_default())])
+        .collect();
+    let grid = run_grid(ctx, apps, &configs);
+    let results: Vec<Vec<(f64, f64)>> = grid
+        .iter()
+        .map(|row| {
+            let reference = row[0].sim_time.seconds();
+            (0..sizes.len())
+                .map(|i| {
+                    let b = reference / row[2 * i].sim_time.seconds();
+                    let k = reference / row[2 * i + 1].sim_time.seconds();
+                    (b, k)
+                })
+                .collect()
+        })
+        .collect();
     let mut rows = Vec::new();
     let mut out_rows = Vec::new();
     for (i, &size) in sizes.iter().enumerate() {
@@ -393,23 +408,38 @@ pub fn fig29(ctx: &ExpContext) -> Value {
     println!("Fig 29: capacitor size sweep (normalized to 0.47uF baseline)");
     let caps_uf = [0.47f64, 1.0, 4.7, 10.0, 100.0];
     let apps = &ctx.sens_apps;
-    let results = parallel_map(apps.clone(), |&app| {
-        let with_cap = |uf: f64, gov: GovernorSpec| {
-            let mut c = cfg(gov);
-            c.capacitor = CapacitorConfig::with_capacitance_uf(uf);
-            run(ctx, app, &c).sim_time.seconds()
-        };
-        let reference = with_cap(0.47, GovernorSpec::NoCompression);
-        caps_uf
-            .iter()
-            .map(|&uf| {
-                let b = reference / with_cap(uf, GovernorSpec::NoCompression);
-                let a = reference / with_cap(uf, GovernorSpec::Acc);
-                let k = reference / with_cap(uf, kagura_default());
-                (b, a, k)
-            })
-            .collect::<Vec<_>>()
-    });
+    let with_cap = |uf: f64, gov: GovernorSpec| {
+        let mut c = cfg(gov);
+        c.capacitor = CapacitorConfig::with_capacitance_uf(uf);
+        c
+    };
+    // Three columns per capacitor: baseline, ACC, ACC+Kagura; the 0.47 uF
+    // baseline (column 0) is the normalization reference.
+    let configs: Vec<SimConfig> = caps_uf
+        .iter()
+        .flat_map(|&uf| {
+            [
+                with_cap(uf, GovernorSpec::NoCompression),
+                with_cap(uf, GovernorSpec::Acc),
+                with_cap(uf, kagura_default()),
+            ]
+        })
+        .collect();
+    let grid = run_grid(ctx, apps, &configs);
+    let results: Vec<Vec<(f64, f64, f64)>> = grid
+        .iter()
+        .map(|row| {
+            let reference = row[0].sim_time.seconds();
+            (0..caps_uf.len())
+                .map(|i| {
+                    let b = reference / row[3 * i].sim_time.seconds();
+                    let a = reference / row[3 * i + 1].sim_time.seconds();
+                    let k = reference / row[3 * i + 2].sim_time.seconds();
+                    (b, a, k)
+                })
+                .collect()
+        })
+        .collect();
     let mut rows = Vec::new();
     let mut out_rows = Vec::new();
     for (i, &uf) in caps_uf.iter().enumerate() {
@@ -502,15 +532,20 @@ pub fn table3(ctx: &ExpContext) -> Value {
     // few times — run this table at an enlarged scale.
     let ctx = ExpContext { scale: ctx.scale.max(1.0) * 6.0, ..ctx.clone() };
     let ctx = &ctx;
-    let mut rows = Vec::new();
-    let mut out_rows = Vec::new();
-    for &uf in &caps_uf {
-        let shares = parallel_map(ctx.sens_apps.clone(), |&app| {
+    let configs: Vec<SimConfig> = caps_uf
+        .iter()
+        .map(|&uf| {
             let mut c = cfg(GovernorSpec::NoCompression);
             c.capacitor = CapacitorConfig::with_capacitance_uf(uf);
-            let stats = run(ctx, app, &c);
-            stats.cap_leak / stats.total_energy()
-        });
+            c
+        })
+        .collect();
+    let grid = run_grid(ctx, &ctx.sens_apps, &configs);
+    let mut rows = Vec::new();
+    let mut out_rows = Vec::new();
+    for (i, &uf) in caps_uf.iter().enumerate() {
+        let shares: Vec<f64> =
+            grid.iter().map(|row| row[i].cap_leak / row[i].total_energy()).collect();
         let share = amean(&shares);
         rows.push(vec![format!("{uf}uF"), format!("{:.4}%", share * 100.0)]);
         out_rows.push(json!({ "cap_uf": uf, "leak_share": share }));

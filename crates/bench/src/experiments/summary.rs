@@ -5,8 +5,8 @@
 use ehs_sim::GovernorSpec;
 use serde_json::{json, Value};
 
-use super::{cfg, run};
-use crate::{amean, parallel_map, print_table, ExpContext};
+use super::{cfg, run_grid};
+use crate::{amean, print_table, ExpContext};
 
 /// Reproduces the abstract: "Kagura reduces the total energy consumption
 /// by an average of 4.53% (up to 16.21%) and improves the performance by
@@ -14,13 +14,20 @@ use crate::{amean, parallel_map, print_table, ExpContext};
 /// without cache compression."
 pub fn summary(ctx: &ExpContext) -> Value {
     println!("Headline numbers (paper abstract)");
-    let results = parallel_map(ctx.apps.clone(), |&app| {
-        let base = run(ctx, app, &cfg(GovernorSpec::NoCompression));
-        let kag = run(ctx, app, &cfg(GovernorSpec::AccKagura(Default::default())));
-        let speedup = (kag.speedup_over(&base) - 1.0) * 100.0;
-        let energy = (1.0 - kag.total_energy() / base.total_energy()) * 100.0;
-        (app, speedup, energy)
-    });
+    let configs =
+        [cfg(GovernorSpec::NoCompression), cfg(GovernorSpec::AccKagura(Default::default()))];
+    let grid = run_grid(ctx, &ctx.apps, &configs);
+    let results: Vec<_> = ctx
+        .apps
+        .iter()
+        .zip(&grid)
+        .map(|(&app, row)| {
+            let (base, kag) = (&row[0], &row[1]);
+            let speedup = (kag.speedup_over(base) - 1.0) * 100.0;
+            let energy = (1.0 - kag.total_energy() / base.total_energy()) * 100.0;
+            (app, speedup, energy)
+        })
+        .collect();
     let mut rows = Vec::new();
     let mut out_rows = Vec::new();
     let mut speeds = Vec::new();

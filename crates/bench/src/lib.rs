@@ -75,30 +75,20 @@ impl Default for ExpContext {
     }
 }
 
-/// Maps `f` over `items` on all available cores, preserving order.
+/// Maps `f` over `items` on the shared simulation worker pool
+/// ([`ehs_sim::parallel`]), preserving order.
+///
+/// Each item counts against the process-wide `--jobs` budget, so nesting
+/// this inside concurrently-running experiments cannot oversubscribe the
+/// machine. Result order is always submission order — output is
+/// byte-identical for any job count.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let results: Vec<parking_lot::Mutex<Option<R>>> =
-        items.iter().map(|_| parking_lot::Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|s| {
-        for _ in 0..n_threads.min(items.len().max(1)) {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                *results[i].lock() = Some(f(&items[i]));
-            });
-        }
-    })
-    .expect("worker panicked");
-    results.into_iter().map(|m| m.into_inner().expect("slot filled")).collect()
+    ehs_sim::parallel::map(items, |item| f(&item))
 }
 
 /// Geometric mean (items must be positive).

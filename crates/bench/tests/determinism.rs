@@ -1,0 +1,47 @@
+//! The harness determinism guarantee: experiment output is byte-identical
+//! at any `--jobs` value.
+//!
+//! Simulations are pure functions of their inputs and the worker pool
+//! collects results in submission order, so the JSON an experiment saves
+//! must not depend on how many workers raced to produce it. This runs two
+//! representative experiments — `summary` (a plain app × governor grid)
+//! and `fig23` (nested `mean_gains` batches per algorithm) — at one and
+//! at four workers and compares the saved files byte for byte.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ehs_workloads::App;
+use kagura_bench::experiments::find;
+use kagura_bench::ExpContext;
+
+/// Runs `id` with `jobs` workers into a fresh directory and returns the
+/// saved JSON bytes.
+fn run_at(jobs: usize, id: &str) -> Vec<u8> {
+    let out_dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("{id}-jobs{jobs}"));
+    let ctx = ExpContext {
+        scale: 0.02,
+        apps: vec![App::Sha, App::Crc32, App::G721d],
+        sens_apps: vec![App::Sha, App::G721d],
+        out_dir: out_dir.clone(),
+    };
+    ehs_sim::parallel::set_max_workers(jobs);
+    let f = find(id).expect("known experiment");
+    let _ = f(&ctx);
+    fs::read(out_dir.join(format!("{id}.json"))).expect("experiment saved its JSON")
+}
+
+#[test]
+fn experiment_json_is_byte_identical_across_job_counts() {
+    for id in ["summary", "fig23"] {
+        let serial = run_at(1, id);
+        let parallel = run_at(4, id);
+        assert!(
+            serial == parallel,
+            "{id}.json differs between --jobs 1 and --jobs 4:\n--- jobs 1 ---\n{}\n--- jobs 4 ---\n{}",
+            String::from_utf8_lossy(&serial),
+            String::from_utf8_lossy(&parallel),
+        );
+        assert!(!serial.is_empty(), "{id}.json is empty");
+    }
+}

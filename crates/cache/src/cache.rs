@@ -405,10 +405,16 @@ impl CompressedCache {
         })
     }
 
-    /// Drains every dirty block (for JIT checkpointing), marking them
+    /// Visits every dirty block (for JIT checkpointing), marking each
     /// clean. Compressed dirty blocks pay a decompression each.
-    pub fn drain_dirty(&mut self) -> Vec<DirtyBlock> {
-        let mut out = Vec::new();
+    ///
+    /// The visitor receives `(block address, contents, was_compressed)`.
+    /// Contents are borrowed in place from the resident line, so the
+    /// checkpoint path copies nothing per block — this is the simulator's
+    /// hot drain primitive ([`CompressedCache::drain_dirty`] is the
+    /// allocating convenience wrapper).
+    pub fn for_each_dirty(&mut self, mut visit: impl FnMut(Address, &BlockData, bool)) {
+        let block_size = self.config.params.block_size as u64;
         for si in 0..self.sets.len() {
             for line in &mut self.sets[si].lines {
                 if line.dirty {
@@ -416,17 +422,23 @@ impl CompressedCache {
                     if line.compressed {
                         self.stats.decompressions += 1;
                     }
-                    out.push(DirtyBlock {
-                        addr: Address::new(
-                            (line.tag * self.num_sets as u64 + si as u64)
-                                * self.config.params.block_size as u64,
-                        ),
-                        data: line.data.clone(),
-                        was_compressed: line.compressed,
-                    });
+                    visit(
+                        Address::new((line.tag * self.num_sets as u64 + si as u64) * block_size),
+                        &line.data,
+                        line.compressed,
+                    );
                 }
             }
         }
+    }
+
+    /// Drains every dirty block (for JIT checkpointing), marking them
+    /// clean. Compressed dirty blocks pay a decompression each.
+    pub fn drain_dirty(&mut self) -> Vec<DirtyBlock> {
+        let mut out = Vec::new();
+        self.for_each_dirty(|addr, data, was_compressed| {
+            out.push(DirtyBlock { addr, data: data.clone(), was_compressed });
+        });
         out
     }
 

@@ -174,42 +174,47 @@ impl Compressor for Bdi {
         }
     }
 
-    fn decompress(&self, block: &CompressedBlock) -> Vec<u8> {
-        assert_eq!(block.algorithm(), Algorithm::Bdi, "not a BDI block");
-        let len = block.original_bytes() as usize;
+    fn decompress_into(&self, block: &CompressedBlock, out: &mut [u8]) {
+        crate::validate_out(block, Algorithm::Bdi, out);
+        let len = out.len();
         let payload = block.payload();
         // Uncompressed passthrough stores a whole flag byte.
         if payload.first() == Some(&(TAG_UNCOMPRESSED as u8)) && payload.len() == len + 1 {
-            return payload[1..].to_vec();
+            out.copy_from_slice(&payload[1..]);
+            return;
         }
         let mut r = BitReader::new(payload);
         let tag = r.read_bits(HEADER_BITS);
         match tag {
-            TAG_ZEROS => vec![0u8; len],
+            TAG_ZEROS => out.fill(0),
             TAG_REPEAT => {
                 let v = r.read_bits(64);
-                let mut out = Vec::with_capacity(len);
-                for _ in 0..len / 8 {
-                    out.extend_from_slice(&v.to_le_bytes());
+                for chunk in out.chunks_exact_mut(8) {
+                    chunk.copy_from_slice(&v.to_le_bytes());
                 }
-                out
             }
             t => {
                 let ci = (t - TAG_CONFIG_BASE) as usize;
                 assert!(ci < CONFIGS.len(), "corrupt BDI tag {t}");
                 let (bs, ds) = CONFIGS[ci];
                 let n = len / bs as usize;
+                // The mask fits a register: at most len/2 values per block.
+                assert!(n <= 64, "block too large for BDI");
                 let base = r.read_bits(8 * bs);
-                let mask: Vec<bool> = (0..n).map(|_| r.read_bits(1) == 1).collect();
-                let mut out = Vec::with_capacity(len);
-                for &against_base in mask.iter().take(n) {
+                let mut mask = 0u64;
+                for i in 0..n {
+                    mask |= r.read_bits(1) << i;
+                }
+                for (i, chunk) in out.chunks_exact_mut(bs as usize).enumerate() {
                     let raw = r.read_bits(8 * ds);
                     let delta = sign_extend(raw, 8 * ds);
-                    let v =
-                        if against_base { base.wrapping_add(delta as u64) } else { delta as u64 };
-                    out.extend_from_slice(&v.to_le_bytes()[..bs as usize]);
+                    let v = if (mask >> i) & 1 == 1 {
+                        base.wrapping_add(delta as u64)
+                    } else {
+                        delta as u64
+                    };
+                    chunk.copy_from_slice(&v.to_le_bytes()[..bs as usize]);
                 }
-                out
             }
         }
     }

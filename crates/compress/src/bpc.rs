@@ -77,7 +77,9 @@ fn bit_planes(deltas: &[u64]) -> Vec<u64> {
     planes
 }
 
-/// Inverse of [`bit_planes`].
+/// Inverse of [`bit_planes`] (the decoder re-transposes in place; this
+/// exists to property-test the transform pair).
+#[cfg(test)]
 fn un_bit_planes(planes: &[u64], n: usize) -> Vec<u64> {
     let mut deltas = vec![0u64; n];
     for (p, &plane) in planes.iter().enumerate() {
@@ -133,22 +135,25 @@ impl Compressor for Bpc {
         CompressedBlock::new(Algorithm::Bpc, data.len() as u32, payload, bits)
     }
 
-    fn decompress(&self, block: &CompressedBlock) -> Vec<u8> {
-        assert_eq!(block.algorithm(), Algorithm::Bpc, "not a BPC block");
-        let len = block.original_bytes() as usize;
+    fn decompress_into(&self, block: &CompressedBlock, out: &mut [u8]) {
+        crate::validate_out(block, Algorithm::Bpc, out);
+        let len = out.len();
         let payload = block.payload();
         let mut r = BitReader::new(payload);
         if r.read_bits(1) == 0 {
             // Passthrough: flag byte (0) + raw bytes.
-            return payload[1..len + 1].to_vec();
+            out.copy_from_slice(&payload[1..len + 1]);
+            return;
         }
         let n_words = len / 4;
         let n = n_words - 1;
         let ones_mask = (1u64 << n) - 1;
         let base = r.read_bits(32) as u32;
-        let mut planes = Vec::with_capacity(PLANES as usize);
+        // The plane set is a fixed register file, like the hardware's
+        // transpose network — no heap allocation.
+        let mut planes = [0u64; PLANES as usize];
         let mut prev = 0u64;
-        for _ in 0..PLANES {
+        for plane in planes.iter_mut() {
             let first = r.read_bits(1);
             let dbx = if first == 0 {
                 if r.read_bits(1) == 0 {
@@ -159,22 +164,22 @@ impl Compressor for Bpc {
             } else {
                 r.read_bits(n as u32)
             };
-            let plane = dbx ^ prev;
-            prev = plane;
-            planes.push(plane);
+            *plane = dbx ^ prev;
+            prev = *plane;
         }
-        let deltas = un_bit_planes(&planes, n);
-        let mut words = Vec::with_capacity(n_words);
-        words.push(base);
+        crate::put_word(out, 0, base);
         let mut cur = base as i64;
-        for d in deltas {
-            // Sign-extend the 33-bit delta.
+        for i in 0..n {
+            // Re-transpose delta `i` out of the planes and sign-extend it.
+            let mut d = 0u64;
+            for (p, &plane) in planes.iter().enumerate() {
+                d |= ((plane >> i) & 1) << p;
+            }
             let shift = 64 - PLANES;
             let sd = ((d << shift) as i64) >> shift;
             cur += sd;
-            words.push(cur as u32);
+            crate::put_word(out, i + 1, cur as u32);
         }
-        words.into_iter().flat_map(|v| v.to_le_bytes()).collect()
     }
 }
 

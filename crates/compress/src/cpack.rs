@@ -53,16 +53,21 @@ impl CPack {
 }
 
 /// FIFO dictionary shared (structurally) by encoder and decoder.
+///
+/// Fixed-size, like the hardware CAM it models — no heap allocation per
+/// compression or decompression.
 #[derive(Debug, Default)]
 struct Dictionary {
-    words: Vec<u32>,
+    words: [u32; DICT_ENTRIES],
+    len: usize,
     next: usize,
 }
 
 impl Dictionary {
     fn push(&mut self, word: u32) {
-        if self.words.len() < DICT_ENTRIES {
-            self.words.push(word);
+        if self.len < DICT_ENTRIES {
+            self.words[self.len] = word;
+            self.len += 1;
         } else {
             self.words[self.next] = word;
             self.next = (self.next + 1) % DICT_ENTRIES;
@@ -72,7 +77,7 @@ impl Dictionary {
     /// Finds the best match, preferring full > 3-byte > 2-byte.
     fn best_match(&self, word: u32) -> Option<(usize, MatchKind)> {
         let mut best: Option<(usize, MatchKind)> = None;
-        for (i, &d) in self.words.iter().enumerate() {
+        for (i, &d) in self.words[..self.len].iter().enumerate() {
             let kind = if d == word {
                 MatchKind::Full
             } else if (d ^ word) & 0xFFFF_FF00 == 0 {
@@ -152,13 +157,12 @@ impl Compressor for CPack {
         CompressedBlock::new(Algorithm::CPack, data.len() as u32, payload, bits)
     }
 
-    fn decompress(&self, block: &CompressedBlock) -> Vec<u8> {
-        assert_eq!(block.algorithm(), Algorithm::CPack, "not a C-Pack block");
-        let n_words = block.original_bytes() as usize / 4;
+    fn decompress_into(&self, block: &CompressedBlock, out: &mut [u8]) {
+        crate::validate_out(block, Algorithm::CPack, out);
+        let n_words = out.len() / 4;
         let mut dict = Dictionary::default();
         let mut r = BitReader::new(block.payload());
-        let mut out: Vec<u32> = Vec::with_capacity(n_words);
-        while out.len() < n_words {
+        for i in 0..n_words {
             let word = match r.read_bits(2) {
                 0b00 => 0,
                 0b01 => {
@@ -188,9 +192,8 @@ impl Compressor for CPack {
                     code => panic!("corrupt C-Pack stream: code 11{code:02b}"),
                 },
             };
-            out.push(word);
+            crate::put_word(out, i, word);
         }
-        out.into_iter().flat_map(|v| v.to_le_bytes()).collect()
     }
 }
 

@@ -59,12 +59,19 @@ impl Compressor for Dzc {
         CompressedBlock::new(Algorithm::Dzc, data.len() as u32, payload, bits)
     }
 
-    fn decompress(&self, block: &CompressedBlock) -> Vec<u8> {
-        assert_eq!(block.algorithm(), Algorithm::Dzc, "not a DZC block");
-        let len = block.original_bytes() as usize;
+    fn decompress_into(&self, block: &CompressedBlock, out: &mut [u8]) {
+        crate::validate_out(block, Algorithm::Dzc, out);
+        let len = out.len();
+        // The ZIB vector fits a register pair: blocks are at most 128 B.
+        assert!(len <= 128, "block too large for DZC");
         let mut r = BitReader::new(block.payload());
-        let zibs: Vec<bool> = (0..len).map(|_| r.read_bits(1) == 1).collect();
-        zibs.into_iter().map(|is_zero| if is_zero { 0 } else { r.read_bits(8) as u8 }).collect()
+        let mut zibs = 0u128;
+        for i in 0..len {
+            zibs |= (r.read_bits(1) as u128) << i;
+        }
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = if (zibs >> i) & 1 == 1 { 0 } else { r.read_bits(8) as u8 };
+        }
     }
 }
 

@@ -119,37 +119,42 @@ impl Compressor for Fpc {
         CompressedBlock::new(Algorithm::Fpc, data.len() as u32, payload, bits)
     }
 
-    fn decompress(&self, block: &CompressedBlock) -> Vec<u8> {
-        assert_eq!(block.algorithm(), Algorithm::Fpc, "not an FPC block");
-        let n_words = block.original_bytes() as usize / 4;
+    fn decompress_into(&self, block: &CompressedBlock, out: &mut [u8]) {
+        crate::validate_out(block, Algorithm::Fpc, out);
+        let n_words = out.len() / 4;
         let mut r = BitReader::new(block.payload());
-        let mut out: Vec<u32> = Vec::with_capacity(n_words);
-        while out.len() < n_words {
+        let mut i = 0usize;
+        while i < n_words {
             let prefix = r.read_bits(3);
-            match prefix {
+            let word = match prefix {
                 P_ZERO_RUN => {
                     let run = r.read_bits(3) as usize + 1;
-                    out.extend(std::iter::repeat_n(0u32, run));
+                    assert!(i + run <= n_words, "corrupt FPC stream");
+                    for _ in 0..run {
+                        crate::put_word(out, i, 0);
+                        i += 1;
+                    }
+                    continue;
                 }
-                P_SE4 => out.push(sign_extend32(r.read_bits(4) as u32, 4)),
-                P_SE8 => out.push(sign_extend32(r.read_bits(8) as u32, 8)),
-                P_SE16 => out.push(sign_extend32(r.read_bits(16) as u32, 16)),
-                P_HALF_PAD => out.push((r.read_bits(16) as u32) << 16),
+                P_SE4 => sign_extend32(r.read_bits(4) as u32, 4),
+                P_SE8 => sign_extend32(r.read_bits(8) as u32, 8),
+                P_SE16 => sign_extend32(r.read_bits(16) as u32, 16),
+                P_HALF_PAD => (r.read_bits(16) as u32) << 16,
                 P_TWO_HALF => {
                     let lo = sign_extend32(r.read_bits(8) as u32, 8) & 0xFFFF;
                     let hi = sign_extend32(r.read_bits(8) as u32, 8) & 0xFFFF;
-                    out.push(lo | (hi << 16));
+                    lo | (hi << 16)
                 }
                 P_REP_BYTE => {
                     let b = r.read_bits(8) as u32;
-                    out.push(b | (b << 8) | (b << 16) | (b << 24));
+                    b | (b << 8) | (b << 16) | (b << 24)
                 }
-                P_RAW => out.push(r.read_bits(32) as u32),
+                P_RAW => r.read_bits(32) as u32,
                 _ => unreachable!("3-bit prefix"),
-            }
+            };
+            crate::put_word(out, i, word);
+            i += 1;
         }
-        assert_eq!(out.len(), n_words, "corrupt FPC stream");
-        out.into_iter().flat_map(|v| v.to_le_bytes()).collect()
     }
 }
 

@@ -106,22 +106,24 @@ impl Compressor for Fvc {
         CompressedBlock::new(Algorithm::Fvc, data.len() as u32, payload, bits)
     }
 
-    fn decompress(&self, block: &CompressedBlock) -> Vec<u8> {
-        assert_eq!(block.algorithm(), Algorithm::Fvc, "not an FVC block");
-        let n_words = block.original_bytes() as usize / 4;
+    fn decompress_into(&self, block: &CompressedBlock, out: &mut [u8]) {
+        crate::validate_out(block, Algorithm::Fvc, out);
+        let n_words = out.len() / 4;
         let mut r = BitReader::new(block.payload());
         let dynamic = r.read_bits(32) as u32;
-        let mut out = Vec::with_capacity(n_words);
-        for _ in 0..n_words {
-            if r.read_bits(1) == 1 {
+        for i in 0..n_words {
+            let word = if r.read_bits(1) == 1 {
                 let idx = r.read_bits(3);
-                let v = if idx == DYNAMIC_SLOT { dynamic } else { STATIC_TABLE[idx as usize] };
-                out.push(v);
+                if idx == DYNAMIC_SLOT {
+                    dynamic
+                } else {
+                    STATIC_TABLE[idx as usize]
+                }
             } else {
-                out.push(r.read_bits(32) as u32);
-            }
+                r.read_bits(32) as u32
+            };
+            crate::put_word(out, i, word);
         }
-        out.into_iter().flat_map(|v| v.to_le_bytes()).collect()
     }
 }
 

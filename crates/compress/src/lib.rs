@@ -265,14 +265,35 @@ pub trait Compressor {
     /// (cache blocks are word-aligned).
     fn compress(&self, data: &[u8]) -> CompressedBlock;
 
-    /// Decompresses a block produced by [`Compressor::compress`].
+    /// Decompresses a block produced by [`Compressor::compress`] into a
+    /// caller-provided buffer, without allocating.
+    ///
+    /// This is the primitive the simulator's hot path uses: the caller
+    /// owns the destination (a resident cache line, a scratch block) and
+    /// the decoder writes every byte of it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != block.original_bytes()`, if `block` was
+    /// produced by a different algorithm, or if the payload is corrupt
+    /// (the latter cannot happen for values returned by this crate's
+    /// compressors).
+    fn decompress_into(&self, block: &CompressedBlock, out: &mut [u8]);
+
+    /// Decompresses a block produced by [`Compressor::compress`] into a
+    /// fresh allocation (convenience wrapper over
+    /// [`Compressor::decompress_into`]).
     ///
     /// # Panics
     ///
     /// Panics if `block` was produced by a different algorithm or the
     /// payload is corrupt (cannot happen for values returned by this
     /// crate's compressors).
-    fn decompress(&self, block: &CompressedBlock) -> Vec<u8>;
+    fn decompress(&self, block: &CompressedBlock) -> Vec<u8> {
+        let mut out = vec![0u8; block.original_bytes() as usize];
+        self.decompress_into(block, &mut out);
+        out
+    }
 
     /// Energy/latency cost of this engine.
     fn cost(&self) -> CompressorCost {
@@ -330,14 +351,14 @@ impl Compressor for AnyCompressor {
         }
     }
 
-    fn decompress(&self, block: &CompressedBlock) -> Vec<u8> {
+    fn decompress_into(&self, block: &CompressedBlock, out: &mut [u8]) {
         match self {
-            AnyCompressor::Bdi(c) => c.decompress(block),
-            AnyCompressor::Fpc(c) => c.decompress(block),
-            AnyCompressor::CPack(c) => c.decompress(block),
-            AnyCompressor::Dzc(c) => c.decompress(block),
-            AnyCompressor::Bpc(c) => c.decompress(block),
-            AnyCompressor::Fvc(c) => c.decompress(block),
+            AnyCompressor::Bdi(c) => c.decompress_into(block, out),
+            AnyCompressor::Fpc(c) => c.decompress_into(block, out),
+            AnyCompressor::CPack(c) => c.decompress_into(block, out),
+            AnyCompressor::Dzc(c) => c.decompress_into(block, out),
+            AnyCompressor::Bpc(c) => c.decompress_into(block, out),
+            AnyCompressor::Fvc(c) => c.decompress_into(block, out),
         }
     }
 }
@@ -348,6 +369,21 @@ pub(crate) fn validate_block(data: &[u8]) {
         "cache blocks must be a positive multiple of 4 bytes, got {}",
         data.len()
     );
+}
+
+/// Checks a `decompress_into` destination against the block's metadata.
+pub(crate) fn validate_out(block: &CompressedBlock, expected: Algorithm, out: &[u8]) {
+    assert_eq!(block.algorithm(), expected, "not a {} block", expected.name());
+    assert_eq!(
+        out.len(),
+        block.original_bytes() as usize,
+        "output buffer must be exactly one original block"
+    );
+}
+
+/// Writes the 32-bit `word` at word index `idx` of `out`, little-endian.
+pub(crate) fn put_word(out: &mut [u8], idx: usize, word: u32) {
+    out[idx * 4..idx * 4 + 4].copy_from_slice(&word.to_le_bytes());
 }
 
 /// Builds an uncompressed passthrough encoding: 1 flag byte + raw bytes.

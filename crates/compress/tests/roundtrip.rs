@@ -43,6 +43,20 @@ proptest! {
     }
 
     #[test]
+    fn decompress_into_matches_decompress(block in block_strategy()) {
+        // The no-allocation primitive must agree with the Vec wrapper for
+        // every algorithm, into a dirty (non-zero) caller buffer.
+        for alg in Algorithm::EXTENDED {
+            let c = alg.compressor();
+            let enc = c.compress(&block);
+            let mut out = vec![0xA5u8; block.len()];
+            c.decompress_into(&enc, &mut out);
+            prop_assert_eq!(&out, &block, "{} decompress_into diverges", alg);
+            prop_assert_eq!(c.decompress(&enc), block.clone());
+        }
+    }
+
+    #[test]
     fn encoded_sizes_have_structural_bounds(block in block_strategy()) {
         let n = block.len() as u32;
         for alg in Algorithm::ALL {
@@ -75,5 +89,27 @@ proptest! {
         }
         let enc = Algorithm::Dzc.compressor().compress(&block);
         prop_assert_eq!(enc.encoded_bits(), 32 + 8 * nonzero as u32);
+    }
+}
+
+#[test]
+fn passthrough_encodings_decompress_into_buffers() {
+    // High-entropy words force BDI and BPC into their passthrough
+    // encodings (flag byte + raw bytes); the buffer-based decoder must
+    // handle that branch too.
+    let mut x = 0x2468u32;
+    let block: Vec<u8> = (0..16)
+        .flat_map(|_| {
+            x = x.wrapping_mul(0x9E37_79B9).wrapping_add(0x85EB_CA6B);
+            x.to_le_bytes()
+        })
+        .collect();
+    for alg in [Algorithm::Bdi, Algorithm::Bpc] {
+        let c = alg.compressor();
+        let enc = c.compress(&block);
+        assert_eq!(enc.compressed_bytes() as usize, block.len() + 1, "{alg} should passthrough");
+        let mut out = vec![0xA5u8; block.len()];
+        c.decompress_into(&enc, &mut out);
+        assert_eq!(out, block, "{alg} passthrough decode");
     }
 }

@@ -170,6 +170,25 @@ impl Nvm {
         NvmWrite { latency: self.params.write_latency, energy: self.params.write_energy }
     }
 
+    /// Like [`Nvm::write_block`], but borrows the data: an already
+    /// materialised block is overwritten in place, so steady-state
+    /// write-backs allocate nothing. Only a first touch clones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly one block long.
+    pub fn write_block_from(&mut self, addr: Address, data: &BlockData) -> NvmWrite {
+        assert_eq!(data.len(), self.block_size as usize, "write must be one full block");
+        let idx = self.wrap(addr);
+        self.blocks
+            .entry(idx)
+            .and_modify(|b| b.as_mut_slice().copy_from_slice(data.as_slice()))
+            .or_insert_with(|| data.clone());
+        self.stats.writes += 1;
+        self.stats.write_energy += self.params.write_energy;
+        NvmWrite { latency: self.params.write_latency, energy: self.params.write_energy }
+    }
+
     /// Writes a full block *without* paying an access cost and without
     /// touching the traffic counters.
     ///
@@ -184,6 +203,21 @@ impl Nvm {
         assert_eq!(data.len(), self.block_size as usize, "write must be one full block");
         let idx = self.wrap(addr);
         self.blocks.insert(idx, data);
+    }
+
+    /// Like [`Nvm::store_silent`], but borrows the data: an already
+    /// materialised block is overwritten in place (no per-call clone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly one block long.
+    pub fn store_silent_from(&mut self, addr: Address, data: &BlockData) {
+        assert_eq!(data.len(), self.block_size as usize, "write must be one full block");
+        let idx = self.wrap(addr);
+        self.blocks
+            .entry(idx)
+            .and_modify(|b| b.as_mut_slice().copy_from_slice(data.as_slice()))
+            .or_insert_with(|| data.clone());
     }
 
     /// Inspects block contents without paying an access (testing/debug aid;

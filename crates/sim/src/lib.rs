@@ -40,11 +40,13 @@
 pub mod config;
 pub mod governor;
 pub mod machine;
+pub mod parallel;
 pub mod runner;
 pub mod stats;
 
 pub use config::{EhsDesign, Extension, GovernorSpec, SimConfig};
 pub use governor::Governor;
 pub use machine::Simulator;
+pub use parallel::{run_batch, SimJob};
 pub use runner::{run_app, run_ideal_app, run_program};
 pub use stats::{ConsistencyReport, CycleRecord, SimStats};

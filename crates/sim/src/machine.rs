@@ -258,10 +258,8 @@ impl<'p> Simulator<'p> {
         }
         // Flush residual dirty state so the NVM reflects architectural
         // memory (free: this is an observation, not a simulated event).
-        let dirty = self.dcache.drain_dirty();
-        for d in dirty {
-            self.nvm.store_silent(d.addr, d.data);
-        }
+        let nvm = &mut self.nvm;
+        self.dcache.for_each_dirty(|addr, data, _| nvm.store_silent_from(addr, data));
         let nvm = self.nvm.clone();
         (self.finish(), nvm)
     }
@@ -427,10 +425,10 @@ impl<'p> Simulator<'p> {
         match self.cfg.design {
             EhsDesign::Nvmr => {
                 // Already persisted incrementally by the renaming buffer.
-                self.nvm.store_silent(e.addr, e.data.clone());
+                self.nvm.store_silent_from(e.addr, &e.data);
             }
             _ => {
-                let w = self.nvm.write_block(e.addr, e.data.clone());
+                let w = self.nvm.write_block_from(e.addr, &e.data);
                 self.spend(EnergyCategory::Memory, w.energy);
             }
         }
@@ -667,14 +665,22 @@ impl<'p> Simulator<'p> {
 
     /// SweepCache: persist dirty blocks at a region boundary.
     fn sweep(&mut self) {
-        let dirty = self.dcache.drain_dirty();
-        for d in &dirty {
-            if d.was_compressed {
-                self.spend(EnergyCategory::Decompress, self.comp_cost.decompress_energy);
+        // The drain visits blocks in place; energy is spent inline (the
+        // closure captures the capacitor and breakdown disjointly from the
+        // cache) so the accounting order matches a block-by-block drain.
+        let cap = &mut self.cap;
+        let breakdown = &mut self.breakdown;
+        let nvm = &mut self.nvm;
+        let decompress_energy = self.comp_cost.decompress_energy;
+        self.dcache.for_each_dirty(|addr, data, was_compressed| {
+            if was_compressed {
+                cap.drain(decompress_energy);
+                breakdown.record(EnergyCategory::Decompress, decompress_energy);
             }
-            let w = self.nvm.write_block(d.addr, d.data.clone());
-            self.spend(EnergyCategory::CheckpointRestore, w.energy);
-        }
+            let w = nvm.write_block_from(addr, data);
+            cap.drain(w.energy);
+            breakdown.record(EnergyCategory::CheckpointRestore, w.energy);
+        });
         self.spend(EnergyCategory::CheckpointRestore, self.cfg.costs.sweep_boundary);
         self.last_persist = self.inst_index;
         self.sweeps_this_cycle += 1;
@@ -685,27 +691,33 @@ impl<'p> Simulator<'p> {
         match self.cfg.design {
             EhsDesign::NvsramCache => {
                 // JIT checkpoint: dirty blocks + registers to NVM/NVFF.
-                let dirty = self.dcache.drain_dirty();
+                // Blocks are visited in place and energy spent inline (see
+                // `sweep` for the capture pattern) — the checkpoint path
+                // copies nothing per block.
+                let cap = &mut self.cap;
+                let breakdown = &mut self.breakdown;
+                let nvm = &mut self.nvm;
+                let decompress_energy = self.comp_cost.decompress_energy;
+                let clock_hz = self.cfg.system.core.clock_hz;
                 let mut ckpt_time = SimTime::ZERO;
-                for d in &dirty {
-                    if d.was_compressed {
-                        self.spend(EnergyCategory::Decompress, self.comp_cost.decompress_energy);
+                self.dcache.for_each_dirty(|addr, data, was_compressed| {
+                    if was_compressed {
+                        cap.drain(decompress_energy);
+                        breakdown.record(EnergyCategory::Decompress, decompress_energy);
                     }
-                    let w = self.nvm.write_block(d.addr, d.data.clone());
-                    self.spend(EnergyCategory::CheckpointRestore, w.energy);
-                    ckpt_time += SimTime::from_seconds(
-                        w.latency.get() as f64 / self.cfg.system.core.clock_hz,
-                    );
-                }
+                    let w = nvm.write_block_from(addr, data);
+                    cap.drain(w.energy);
+                    breakdown.record(EnergyCategory::CheckpointRestore, w.energy);
+                    ckpt_time += SimTime::from_seconds(w.latency.get() as f64 / clock_hz);
+                });
                 self.spend(EnergyCategory::CheckpointRestore, self.cfg.costs.checkpoint_fixed);
                 self.now += ckpt_time;
             }
             EhsDesign::Nvmr => {
                 // Stores are already persistent; write back silently for
                 // functional coherence only.
-                for d in self.dcache.drain_dirty() {
-                    self.nvm.store_silent(d.addr, d.data);
-                }
+                let nvm = &mut self.nvm;
+                self.dcache.for_each_dirty(|addr, data, _| nvm.store_silent_from(addr, data));
             }
             EhsDesign::SweepCache => {
                 // Work since the last boundary is lost; dirty blocks are

@@ -1,0 +1,249 @@
+//! Dependency-free parallel execution for simulation sweeps.
+//!
+//! Every simulation in this workspace is a pure function of its inputs
+//! (program, power trace, config), so experiment grids parallelize
+//! trivially — the only requirements are **deterministic result order**
+//! (results come back indexed by submission order, never by completion
+//! order) and **bounded concurrency** across the whole process.
+//!
+//! The pool is built on [`std::thread::scope`] only; the build
+//! environment is offline, so no external crates (rayon, crossbeam) are
+//! available.
+//!
+//! # Concurrency model
+//!
+//! Two layers share one process-wide budget of `max_workers()` (set via
+//! [`set_max_workers`], e.g. from `repro --jobs N`; defaults to
+//! [`std::thread::available_parallelism`]):
+//!
+//! * [`run_concurrent`] — coarse, *independent* tasks (e.g. whole
+//!   experiments). Runs at most `max_workers()` tasks at a time but
+//!   holds **no** worker permits, because its tasks are coordinators
+//!   that submit leaf batches of their own.
+//! * [`map`] / [`run_batch`] — leaf simulation jobs. Each in-flight job
+//!   holds one permit from a global counting semaphore, so no matter how
+//!   many experiments fan out concurrently, at most `max_workers()`
+//!   simulations execute at once (coordinators waiting on their batches
+//!   park in `join`, holding no permit — the layering cannot deadlock).
+//!
+//! With `--jobs 1` everything runs inline on the caller's thread; output
+//! JSON is byte-identical to any other job count because results are
+//! ordered by index and simulations are deterministic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread;
+
+use ehs_workloads::App;
+
+use crate::config::SimConfig;
+use crate::runner::run_app;
+use crate::stats::SimStats;
+
+/// Process-wide worker cap; 0 means "unset, use available parallelism".
+static MAX_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide worker cap (clamped to at least 1). Called once
+/// at startup by binaries with a `--jobs` flag; safe to call anytime.
+pub fn set_max_workers(n: usize) {
+    MAX_WORKERS.store(n.max(1), Ordering::SeqCst);
+}
+
+/// The current worker cap: the last [`set_max_workers`] value, or the
+/// machine's available parallelism if never set.
+pub fn max_workers() -> usize {
+    match MAX_WORKERS.load(Ordering::SeqCst) {
+        0 => thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Counting semaphore state: number of leaf jobs currently executing.
+fn in_flight() -> &'static (Mutex<usize>, Condvar) {
+    static SEM: OnceLock<(Mutex<usize>, Condvar)> = OnceLock::new();
+    SEM.get_or_init(|| (Mutex::new(0), Condvar::new()))
+}
+
+/// RAII permit for one executing leaf job.
+struct Permit;
+
+impl Permit {
+    fn acquire() -> Permit {
+        let (lock, cv) = in_flight();
+        let mut running = lock.lock().unwrap_or_else(|e| e.into_inner());
+        while *running >= max_workers() {
+            running = cv.wait(running).unwrap_or_else(|e| e.into_inner());
+        }
+        *running += 1;
+        Permit
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let (lock, cv) = in_flight();
+        *lock.lock().unwrap_or_else(|e| e.into_inner()) -= 1;
+        cv.notify_all();
+    }
+}
+
+/// One simulation of `app` at `scale` under `cfg`.
+///
+/// The unit of work accepted by [`run_batch`]: experiments flatten their
+/// app × governor grids into these.
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    pub app: App,
+    pub scale: f64,
+    pub cfg: SimConfig,
+}
+
+impl SimJob {
+    pub fn new(app: App, scale: f64, cfg: SimConfig) -> Self {
+        SimJob { app, scale, cfg }
+    }
+
+    fn run(self) -> SimStats {
+        run_app(self.app, self.scale, &self.cfg)
+    }
+}
+
+/// Runs a batch of simulation jobs on the worker pool.
+///
+/// `results[i]` always corresponds to `jobs[i]`, regardless of job count
+/// or completion order.
+pub fn run_batch(jobs: Vec<SimJob>) -> Vec<SimStats> {
+    map(jobs, SimJob::run)
+}
+
+/// Parallel map over leaf work items with deterministic result order.
+///
+/// Each in-flight item holds one global worker permit; see the module
+/// docs for how this composes with [`run_concurrent`]. Panics in `f`
+/// propagate to the caller once the scope joins.
+pub fn map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    execute(items, &|item| {
+        let _permit = Permit::acquire();
+        f(item)
+    })
+}
+
+/// Runs independent coarse-grained tasks concurrently (at most
+/// `max_workers()` at a time), returning results in submission order.
+///
+/// Unlike [`map`], tasks hold no worker permit — use this only for
+/// coordinators (e.g. whole experiments) whose real work happens in
+/// nested [`map`]/[`run_batch`] calls.
+pub fn run_concurrent<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    execute(items, &f)
+}
+
+/// Shared scoped-pool driver: `n = min(len, max_workers())` workers pull
+/// items off a shared index and write results into per-index slots.
+fn execute<T, R>(items: Vec<T>, f: &(dyn Fn(T) -> R + Sync)) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+{
+    let len = items.len();
+    let workers = max_workers().min(len);
+    if workers <= 1 {
+        // Inline fast path: no threads, no locks — and the exact
+        // execution order the parallel path's slot indexing emulates.
+        return items.into_iter().map(f).collect();
+    }
+
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    return;
+                }
+                let item = work[i]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("work item taken twice");
+                let result = f(item);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .unwrap_or_else(|| panic!("job {i} produced no result"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GovernorSpec;
+
+    #[test]
+    fn map_preserves_submission_order() {
+        set_max_workers(4);
+        let out = map((0..64).collect::<Vec<u64>>(), |i| i * 3);
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<u64>>());
+        set_max_workers(1);
+        let serial = map((0..64).collect::<Vec<u64>>(), |i| i * 3);
+        assert_eq!(out, serial);
+    }
+
+    #[test]
+    fn nested_coordinators_do_not_deadlock() {
+        // More coordinators than workers, each submitting leaf batches
+        // that need permits: must complete because coordinators hold none.
+        set_max_workers(2);
+        let out = run_concurrent((0..6).collect::<Vec<u64>>(), |outer| {
+            let inner = map((0..8).collect::<Vec<u64>>(), |i| i + outer * 100);
+            inner.iter().sum::<u64>()
+        });
+        let expect: Vec<u64> =
+            (0..6).map(|outer| (0..8).map(|i| i + outer * 100).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn run_batch_matches_direct_runs() {
+        set_max_workers(2);
+        let cfg = SimConfig::table1().with_governor(GovernorSpec::Acc);
+        let jobs: Vec<SimJob> =
+            [App::Sha, App::Crc32].iter().map(|&a| SimJob::new(a, 0.01, cfg.clone())).collect();
+        let batch = run_batch(jobs.clone());
+        for (job, stats) in jobs.into_iter().zip(&batch) {
+            let direct = run_app(job.app, job.scale, &job.cfg);
+            assert_eq!(direct.sim_time, stats.sim_time, "batch result diverged for {:?}", job.app);
+            assert_eq!(direct.total_cycles, stats.total_cycles);
+        }
+    }
+
+    #[test]
+    fn worker_cap_defaults_to_available_parallelism() {
+        MAX_WORKERS.store(0, Ordering::SeqCst);
+        assert!(max_workers() >= 1);
+        set_max_workers(0); // clamps to 1
+        assert_eq!(max_workers(), 1);
+    }
+}

@@ -19,15 +19,22 @@ const DEFAULT_TRACE_LEN: usize = 4_000_000;
 /// default power trace. Generation is deterministic per `(kind, seed)`, so
 /// sharing one copy across the many runs of an experiment sweep is both
 /// safe and substantially faster.
+///
+/// Concurrency: two workers racing on the same key may both generate the
+/// trace; the second insert wins and the copies are identical (generation
+/// is deterministic), so callers always observe equivalent data. The lock
+/// is never held across generation, and a panicked worker elsewhere in
+/// the sweep cannot wedge the cache — poisoning is recovered, since the
+/// map is only ever mutated by complete `insert` calls.
 pub fn default_trace(cfg: &SimConfig) -> Arc<PowerTrace> {
     static CACHE: OnceLock<Mutex<HashMap<(TraceKind, u64), Arc<PowerTrace>>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let key = (cfg.trace_kind, cfg.trace_seed);
-    if let Some(trace) = cache.lock().expect("trace cache poisoned").get(&key) {
+    if let Some(trace) = cache.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
         return Arc::clone(trace);
     }
     let trace = Arc::new(PowerTrace::generate(cfg.trace_kind, cfg.trace_seed, DEFAULT_TRACE_LEN));
-    cache.lock().expect("trace cache poisoned").insert(key, Arc::clone(&trace));
+    cache.lock().unwrap_or_else(|e| e.into_inner()).insert(key, Arc::clone(&trace));
     trace
 }
 
@@ -74,9 +81,15 @@ fn run_ideal(
     let (_, oracle_trace) =
         Simulator::with_governor(cfg.clone(), program, trace, recorder).run_recording();
     let replayer = if is_kagura {
+        // The replay phase must use the same Kagura parameters the
+        // recording phase observed; silently substituting defaults would
+        // make the "ideal" comparison quietly measure the wrong config.
         let kcfg = match cfg.governor {
             GovernorSpec::IdealAccKagura(k) | GovernorSpec::AccKagura(k) => k,
-            _ => Default::default(),
+            ref other => panic!(
+                "run_ideal: a Kagura recorder requires an AccKagura or \
+                 IdealAccKagura governor spec carrying its config, got {other:?}"
+            ),
         };
         Governor::replay_kagura(kcfg, oracle_trace)
     } else {

@@ -1,0 +1,269 @@
+//! Offline stand-in for the real `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! a minimal harness with criterion's spelling: `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, group configuration
+//! (`warm_up_time`, `measurement_time`, `sample_size`, `throughput`),
+//! `bench_function` / `bench_with_input`, and `Bencher::iter`.
+//!
+//! It measures mean wall-clock time per iteration and prints one line per
+//! benchmark (plus derived throughput when configured). No statistical
+//! analysis, outlier rejection, or HTML reports — numbers are indicative,
+//! which is all the in-repo benches need offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identity function that hides a value from the optimizer.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A benchmark label of the form `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            sample_size: 50,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            name,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Standalone benchmark outside a group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut group = self.benchmark_group(name.to_string());
+        group.bench_function("", &mut f);
+        group.finish();
+        self
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.warm_up_time = time;
+        self
+    }
+
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        if bencher.iterations == 0 {
+            println!("  {}/{id}: no iterations recorded", self.name);
+            return;
+        }
+        let ns_per_iter = bencher.total.as_nanos() as f64 / bencher.iterations as f64;
+        let label =
+            if id.is_empty() { self.name.clone() } else { format!("{}/{id}", self.name) };
+        let mut line = format!(
+            "  {label}: {:.1} ns/iter ({} iters)",
+            ns_per_iter, bencher.iterations
+        );
+        match self.throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let gib = bytes as f64 / ns_per_iter; // bytes/ns == GiB-ish/s (1e9)
+                line.push_str(&format!(", {:.3} GB/s", gib));
+            }
+            Some(Throughput::Elements(n)) => {
+                let meps = n as f64 / ns_per_iter * 1e3;
+                line.push_str(&format!(", {:.1} Melem/s", meps));
+            }
+            None => {}
+        }
+        println!("{line}");
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly: warm up for roughly the configured warm-up
+    /// window, then measure for roughly the measurement window (bounded
+    /// by `sample_size` batches), accumulating mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed call both warms caches and bounds the cost of a
+        // single iteration so long-running benches (full simulations)
+        // don't overshoot their windows by much.
+        let probe_start = Instant::now();
+        black_box(f());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+
+        let warm_iters =
+            (self.warm_up_time.as_nanos() / probe.as_nanos()).min(1_000) as u64;
+        for _ in 0..warm_iters {
+            black_box(f());
+        }
+
+        let per_sample =
+            ((self.measurement_time.as_nanos() / probe.as_nanos()) as u64)
+                .div_ceil(self.sample_size as u64)
+                .clamp(1, 1_000_000);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            self.total += start.elapsed();
+            self.iterations += per_sample;
+            if self.total >= self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// Bundle benchmark functions into a runner callable from `main`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running each group produced by `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3)
+            .throughput(Throughput::Bytes(32));
+        let mut hits = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                hits += 1;
+                hits
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("id", 7), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(hits > 0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! Provides just enough surface for `use serde::{Deserialize, Serialize};`
+//! plus `#[derive(Serialize, Deserialize)]` to compile: the derive macros
+//! (re-exported from the vendored no-op `serde_derive`) and empty marker
+//! traits of the same names. See `crates/vendor/README.md` for why the
+//! workspace vendors these.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`. Never implemented by
+/// the no-op derive; nothing in the workspace bounds on it.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

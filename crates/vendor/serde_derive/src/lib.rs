@@ -1,0 +1,22 @@
+//! Offline stand-in for the real `serde_derive` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal derive crate that accepts the same
+//! `#[derive(Serialize, Deserialize)]` spelling the sources use and
+//! expands to nothing. Nothing in this repository round-trips structs
+//! through serde's data model (the only JSON produced is hand-built
+//! `serde_json::Value` trees), so empty expansions are sufficient.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

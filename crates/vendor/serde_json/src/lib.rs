@@ -1,0 +1,331 @@
+//! Offline stand-in for the real `serde_json` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the small subset of serde_json the benchmark harness actually uses:
+//!
+//! * [`Value`] — a JSON tree. Objects preserve insertion order (the real
+//!   crate's `preserve_order` feature), which is what makes `repro` output
+//!   byte-identical across runs and job counts.
+//! * [`json!`] — object/array/scalar literals, including nested bare-brace
+//!   objects (`json!({"mean": { "a": 1 }})`).
+//! * [`to_string_pretty`] / [`to_string`] — deterministic serialization.
+//!
+//! Nothing here implements serde's data model; the harness only ever
+//! builds `Value` trees directly.
+
+use std::fmt;
+
+/// A JSON value. Object members keep insertion order so serialization is
+/// deterministic for a given construction order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+/// Serialization error. The only unrepresentable inputs (NaN/infinity)
+/// are printed as `null` instead, matching what the harness needs, so in
+/// practice this is never returned — it exists so call sites written
+/// against the real crate's `Result` API keep compiling.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self { Value::U64(v as u64) }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Self { Value::U64(*v as u64) }
+        }
+    )*};
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self { Value::I64(v as i64) }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Self { Value::I64(*v as i64) }
+        }
+    )*};
+}
+
+from_unsigned!(u8, u16, u32, u64, usize);
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<&f64> for Value {
+    fn from(v: &f64) -> Self {
+        Value::F64(*v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F64(v as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&bool> for Value {
+    fn from(v: &bool) -> Self {
+        Value::Bool(*v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<&&str> for Value {
+    fn from(v: &&str) -> Self {
+        Value::String((*v).to_string())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Clone + Into<Value>> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+/// Build a [`Value`] from a JSON-shaped literal. Supports object literals
+/// with string-literal keys whose values are Rust expressions, nested
+/// bare-brace objects, array literals, `null`, and plain expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut object: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::new();
+        $crate::json_object_internal!(object; $($tt)*);
+        $crate::Value::Object(object)
+    }};
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $($crate::Value::from($elem)),* ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Implementation detail of [`json!`]: munches `"key": value` pairs.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_object_internal {
+    ($obj:ident;) => {};
+    // Nested bare-brace object value, more pairs follow.
+    ($obj:ident; $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::json!({ $($inner)* })));
+        $crate::json_object_internal!($obj; $($rest)*);
+    };
+    // Nested bare-brace object value in final position.
+    ($obj:ident; $key:literal : { $($inner:tt)* } $(,)?) => {
+        $obj.push(($key.to_string(), $crate::json!({ $($inner)* })));
+    };
+    // Plain expression value, more pairs follow.
+    ($obj:ident; $key:literal : $value:expr , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::Value::from($value)));
+        $crate::json_object_internal!($obj; $($rest)*);
+    };
+    // Plain expression value in final position.
+    ($obj:ident; $key:literal : $value:expr) => {
+        $obj.push(($key.to_string(), $crate::Value::from($value)));
+    };
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        // The real crate refuses non-finite floats; `null` keeps the
+        // output valid JSON without poisoning a whole experiment file.
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        out.push_str(&format!("{:.1}", v));
+    } else {
+        // Rust's shortest round-trip float formatting.
+        out.push_str(&format!("{}", v));
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, indent: usize, pretty: bool) {
+    let (nl, pad, pad_in) = if pretty {
+        ("\n", "  ".repeat(indent), "  ".repeat(indent + 1))
+    } else {
+        ("", String::new(), String::new())
+    };
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(v) => out.push_str(&v.to_string()),
+        Value::I64(v) => out.push_str(&v.to_string()),
+        Value::F64(v) => write_f64(out, *v),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_value(out, item, indent + 1, pretty);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                escape_into(out, key);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, item, indent + 1, pretty);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Serialize with 2-space indentation (deterministic: object members are
+/// emitted in insertion order).
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, 0, true);
+    Ok(out)
+}
+
+/// Compact serialization.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, 0, false);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_nesting_round_trip_the_expected_text() {
+        let rows: Vec<Value> = (0..2).map(|i| json!({ "i": i })).collect();
+        let v = json!({
+            "experiment": "demo",
+            "rows": rows,
+            "mean": {
+                "speed": 1.25, "count": 3u64,
+            },
+            "whole": 2.0,
+            "flag": true,
+            "nothing": null,
+        });
+        let text = to_string_pretty(&v).unwrap();
+        let expected = "{\n  \"experiment\": \"demo\",\n  \"rows\": [\n    {\n      \"i\": 0\n    },\n    {\n      \"i\": 1\n    }\n  ],\n  \"mean\": {\n    \"speed\": 1.25,\n    \"count\": 3\n  },\n  \"whole\": 2.0,\n  \"flag\": true,\n  \"nothing\": null\n}";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn reference_values_from_iteration_patterns_convert() {
+        let gains: Vec<(&'static str, f64)> = vec![("ACC", 4.7)];
+        let mut out = Vec::new();
+        for (label, g) in &gains {
+            out.push(json!({ "config": label, "gain_pct": g }));
+        }
+        assert_eq!(
+            to_string(&out[0]).unwrap(),
+            "{\"config\":\"ACC\",\"gain_pct\":4.7}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = json!({ "k": "a\"b\\c\nd" });
+        assert_eq!(to_string(&v).unwrap(), "{\"k\":\"a\\\"b\\\\c\\nd\"}");
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let build = || json!({ "b": 1, "a": [1, 2, 3], "c": { "x": 0.5 } });
+        assert_eq!(to_string_pretty(&build()).unwrap(), to_string_pretty(&build()).unwrap());
+    }
+}
