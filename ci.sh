@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the full test suite.
+#
+# The build environment is offline; --offline keeps cargo from trying to
+# hit crates.io (everything external is vendored under crates/vendor/).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --offline -- -D warnings
+
+echo "== cargo test =="
+cargo test -q --workspace --offline
+
+echo "ci: all checks passed"

@@ -10,20 +10,27 @@
 //! writes the timings, the measured speedup and the host core count to
 //! `BENCH_harness.json`. The speedup is whatever the host actually
 //! delivers — on a single-core container it is ~1.0 by construction.
+//!
+//! Timing spans ([`ehs_telemetry::spans`]) are enabled for the timed
+//! phases, so the report also carries per-simulation wall-clock rows
+//! (`experiment_spans`) showing which worker slot ran each grid cell.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
+use ehs_telemetry::spans;
 use kagura_bench::experiments::find;
 use kagura_bench::ExpContext;
-use serde_json::json;
+use serde_json::{json, Value};
 
-fn time_summary(ctx: &ExpContext, jobs: usize) -> f64 {
+/// Times one `summary` run at the given job count and returns its
+/// wall-clock seconds plus the timing spans the run recorded.
+fn time_summary(ctx: &ExpContext, jobs: usize) -> (f64, Value) {
     ehs_sim::parallel::set_max_workers(jobs);
     let f = find("summary").expect("summary experiment registered");
     let start = Instant::now();
     let _ = f(ctx);
-    start.elapsed().as_secs_f64()
+    (start.elapsed().as_secs_f64(), spans::to_json(&spans::drain()))
 }
 
 fn main() -> ExitCode {
@@ -75,19 +82,24 @@ fn main() -> ExitCode {
         i += 1;
     }
 
-    let mut ctx = ExpContext::default();
-    ctx.scale = scale;
-    ctx.out_dir = std::env::temp_dir().join("kagura-bench-harness");
+    let ctx = ExpContext {
+        scale,
+        out_dir: std::env::temp_dir().join("kagura-bench-harness"),
+        ..ExpContext::default()
+    };
 
     println!("harness benchmark: summary at scale {scale}, {cores} host core(s)");
     println!("warm-up run (populates the power-trace cache)...");
-    let warmup = time_summary(&ctx, jobs);
+    let (warmup, _) = time_summary(&ctx, jobs);
     println!("  warm-up: {warmup:.1}s");
+    // Record per-simulation spans only for the timed phases; the warm-up
+    // drain above discarded anything recorded before enabling.
+    spans::set_enabled(true);
     println!("timed run, 1 job...");
-    let serial = time_summary(&ctx, 1);
+    let (serial, serial_spans) = time_summary(&ctx, 1);
     println!("  1 job: {serial:.1}s");
     println!("timed run, {jobs} job(s)...");
-    let parallel = time_summary(&ctx, jobs);
+    let (parallel, parallel_spans) = time_summary(&ctx, jobs);
     println!("  {jobs} job(s): {parallel:.1}s");
     let speedup = serial / parallel;
     println!("speedup at {jobs} job(s): {speedup:.2}x on {cores} core(s)");
@@ -103,6 +115,10 @@ fn main() -> ExitCode {
         "parallel_jobs": jobs,
         "parallel_seconds": parallel,
         "speedup": speedup,
+        "experiment_spans": {
+            "serial": serial_spans,
+            "parallel": parallel_spans,
+        },
     });
     let text = serde_json::to_string_pretty(&report).expect("serializable");
     if let Err(e) = std::fs::write(&out, text) {

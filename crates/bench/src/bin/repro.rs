@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <experiment-id>... [--scale S] [--apps a,b,c] [--out DIR] [--jobs N]
+//!                          [--telemetry DIR] [--quiet]
 //! repro all                # every experiment
 //! repro list               # show available experiments
 //! ```
@@ -17,15 +18,22 @@
 //! submission order, so every JSON file is byte-identical at any `--jobs`
 //! value; only the interleaving of progress lines differs. `--jobs 1`
 //! runs everything inline for cleanly grouped output.
+//!
+//! Each experiment reports start/finish on stderr (id, wall-clock, which
+//! worker slot ran it); `--quiet` suppresses those lines. `--telemetry
+//! DIR` enables timing spans (written to `DIR/spans.json`) and lets
+//! event-capturing experiments dump their streams under `DIR`.
 
 use std::process::ExitCode;
 
+use ehs_telemetry::spans;
 use ehs_workloads::App;
 use kagura_bench::experiments::{find, ExpFn, REGISTRY};
 use kagura_bench::ExpContext;
 
 fn usage() {
     println!("usage: repro <experiment-id>... [--scale S] [--apps a,b,c] [--out DIR] [--jobs N]");
+    println!("                                [--telemetry DIR] [--quiet]");
     println!("       repro all | list");
     println!();
     list();
@@ -105,6 +113,15 @@ fn main() -> ExitCode {
                 };
                 ctx.out_dir = dir.into();
             }
+            "--telemetry" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--telemetry needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                ctx.telemetry_dir = Some(dir.into());
+            }
+            "--quiet" | "-q" => ctx.quiet = true,
             "list" | "--list" | "-l" => {
                 list();
                 return ExitCode::SUCCESS;
@@ -149,16 +166,48 @@ fn main() -> ExitCode {
     if jobs > 1 && runs.len() > 1 {
         println!("experiments run concurrently; progress lines may interleave (use --jobs 1 for grouped output)\n");
     }
+    if ctx.telemetry_dir.is_some() {
+        spans::set_enabled(true);
+    }
     let start = std::time::Instant::now();
     // Experiments are independent coordinators: they hold no worker
     // permits themselves, so however many overlap, at most `jobs`
     // simulations execute at once.
     ehs_sim::parallel::run_concurrent(runs, |(id, f)| {
         let t = std::time::Instant::now();
+        if !ctx.quiet {
+            eprintln!("[{id}] started (worker {})", spans::worker_slot());
+        }
+        let _span = spans::span("experiment", || id.to_string());
         println!("=== {id} ===");
         let _ = f(&ctx);
         println!("  [{id} done in {:.1}s]\n", t.elapsed().as_secs_f64());
+        if !ctx.quiet {
+            eprintln!(
+                "[{id}] finished in {:.1}s (worker {})",
+                t.elapsed().as_secs_f64(),
+                spans::worker_slot()
+            );
+        }
     });
     println!("all experiments done in {:.1}s", start.elapsed().as_secs_f64());
+    if let Some(dir) = &ctx.telemetry_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let path = dir.join("spans.json");
+        let doc = spans::to_json(&spans::drain());
+        match serde_json::to_string_pretty(&doc) {
+            Ok(text) => {
+                if let Err(e) = std::fs::write(&path, text) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("  [timing spans in {}]", path.display());
+            }
+            Err(e) => eprintln!("cannot serialize spans: {e}"),
+        }
+    }
     ExitCode::SUCCESS
 }

@@ -7,15 +7,29 @@
 //!              [--trace rfhome|solar|thermal] [--trace-file FILE] [--seed N]
 //!              [--cache BYTES] [--ways N] [--block BYTES] [--cap UF]
 //!              [--extension none|edbp|ipex] [--json]
+//!              [--emit-events FILE] [--chrome-trace FILE]
 //! ```
+//!
+//! `--emit-events FILE` streams every telemetry event of the run as JSONL;
+//! `--chrome-trace FILE` writes the same run as a Chrome trace-event file
+//! (loadable in Perfetto / `chrome://tracing`, with one duration slice per
+//! power cycle). Either flag attaches telemetry to the simulator; without
+//! them the run takes the uninstrumented fast path.
 
 use std::fs::File;
 use std::io::BufReader;
 use std::process::ExitCode;
 
+use std::io::BufWriter;
+use std::path::Path;
+
 use ehs_compress::Algorithm;
 use ehs_energy::{CapacitorConfig, PowerTrace, TraceKind};
-use ehs_sim::{run_program, EhsDesign, Extension, GovernorSpec, SimConfig, SimStats};
+use ehs_sim::{
+    run_program, run_program_with_telemetry, EhsDesign, Extension, GovernorSpec, SimConfig,
+    SimStats,
+};
+use ehs_telemetry::{ChromeTraceSink, JsonlSink, Sink, Stamped};
 use ehs_workloads::App;
 
 fn usage() {
@@ -23,9 +37,38 @@ fn usage() {
         "usage: simrun <app> [--scale S] [--governor G] [--design D] [--algorithm A]\n\
          \x20                [--trace T | --trace-file FILE] [--seed N] [--cache BYTES]\n\
          \x20                [--ways N] [--block BYTES] [--cap UF] [--extension E] [--json]\n\
+         \x20                [--emit-events FILE] [--chrome-trace FILE]\n\
          apps: {}",
         App::ALL.map(|a| a.name()).join(" ")
     );
+}
+
+/// Fans one event stream out to the optional JSONL and Chrome-trace
+/// sinks, so one instrumented run can feed both outputs.
+#[derive(Default)]
+struct TeeSink {
+    jsonl: Option<JsonlSink<BufWriter<File>>>,
+    chrome: Option<ChromeTraceSink>,
+}
+
+impl Sink for TeeSink {
+    fn record(&mut self, ev: &Stamped) {
+        if let Some(j) = &mut self.jsonl {
+            j.record(ev);
+        }
+        if let Some(c) = &mut self.chrome {
+            c.record(ev);
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Some(j) = &mut self.jsonl {
+            j.flush();
+        }
+        if let Some(c) = &mut self.chrome {
+            c.flush();
+        }
+    }
 }
 
 struct Args(Vec<String>);
@@ -264,11 +307,50 @@ fn run() -> Result<(), String> {
         cfg.algorithm,
         cfg.trace_kind
     );
-    let stats = run_program(&program, &trace, &cfg);
+    let events_path = args.flag("--emit-events");
+    let chrome_path = args.flag("--chrome-trace");
+    let (stats, metrics) = if events_path.is_some() || chrome_path.is_some() {
+        let mut sink = TeeSink::default();
+        if let Some(p) = events_path {
+            sink.jsonl = Some(JsonlSink::create(Path::new(p)).map_err(|e| format!("{p}: {e}"))?);
+        }
+        if chrome_path.is_some() {
+            sink.chrome = Some(ChromeTraceSink::new());
+        }
+        let (stats, metrics) = run_program_with_telemetry(&program, &trace, &cfg, &mut sink);
+        if let Some(err) = sink.jsonl.as_ref().and_then(JsonlSink::error) {
+            return Err(format!("writing {}: {err}", events_path.unwrap_or("events")));
+        }
+        if let (Some(p), Some(chrome)) = (chrome_path, &sink.chrome) {
+            chrome.write_to(Path::new(p)).map_err(|e| format!("{p}: {e}"))?;
+            eprintln!("chrome trace written to {p}");
+        }
+        if let Some(p) = events_path {
+            eprintln!("event stream written to {p}");
+        }
+        (stats, Some(metrics))
+    } else {
+        (run_program(&program, &trace, &cfg), None)
+    };
     if args.has("--json") {
-        println!("{}", serde_json::to_string_pretty(&json_report(&stats)).expect("stats serialize"));
+        let mut report = json_report(&stats);
+        if let Some(m) = &metrics {
+            if let serde_json::Value::Object(members) = &mut report {
+                members.push(("metrics".to_string(), m.to_json()));
+            }
+        }
+        println!("{}", serde_json::to_string_pretty(&report).expect("stats serialize"));
     } else {
         print_report(&stats);
+        if let Some(m) = &metrics {
+            let failures = m.snapshots().len().saturating_sub(1);
+            println!("telemetry");
+            println!(
+                "  metric snapshots: {} ({} power-cycle boundaries)",
+                m.snapshots().len(),
+                failures
+            );
+        }
     }
     if !stats.completed {
         return Err("run hit the simulated-time guard before completing".into());

@@ -5,7 +5,7 @@ use ehs_sim::GovernorSpec;
 use ehs_workloads::App;
 use serde_json::{json, Value};
 
-use super::{cfg, gain_pct, run_grid};
+use super::{cfg, fmt_gain, gain_pct, mean_defined, run_grid};
 use crate::{amean, print_table, ExpContext};
 
 /// Fig 12: program behaviour between neighbouring power cycles.
@@ -114,19 +114,21 @@ pub fn fig13(ctx: &ExpContext) -> Value {
     for (app, variants) in &results {
         let mut row = vec![app.name().to_string()];
         for (i, (label, speed, inst)) in variants.iter().enumerate() {
-            row.push(format!("{speed:+.2}%"));
-            means[i].push(*speed);
+            row.push(fmt_gain(*speed));
+            if let Some(s) = speed {
+                means[i].push(*s);
+            }
             inst_means[i].push(*inst);
             out_rows.push(json!({
                 "app": app.name(), "config": label,
-                "speedup_pct": speed, "inst_per_cycle_increase_pct": inst,
+                "speedup_pct": *speed, "inst_per_cycle_increase_pct": inst,
             }));
         }
         rows.push(row);
     }
     let mut mean_row = vec!["MEAN".to_string()];
     for m in &means {
-        mean_row.push(format!("{:+.2}%", amean(m)));
+        mean_row.push(format!("{:+.2}%", mean_defined(m)));
     }
     rows.push(mean_row);
     let headers: Vec<&str> = std::iter::once("app").chain(specs.iter().map(|&(l, _)| l)).collect();
@@ -139,7 +141,7 @@ pub fn fig13(ctx: &ExpContext) -> Value {
     let out = json!({
         "experiment": "fig13", "rows": out_rows,
         "mean_speedup_pct": specs.iter().enumerate()
-            .map(|(i, (l, _))| json!({"config": l, "value": amean(&means[i])}))
+            .map(|(i, (l, _))| json!({"config": l, "value": mean_defined(&means[i])}))
             .collect::<Vec<_>>(),
         "mean_inst_increase_pct": specs.iter().enumerate()
             .map(|(i, (l, _))| json!({"config": l, "value": amean(&inst_means[i])}))
@@ -324,8 +326,8 @@ pub fn fig17(ctx: &ExpContext) -> Value {
     let mut rows = Vec::new();
     let mut out_rows = Vec::new();
     for (app, ai, gain) in &results {
-        rows.push(vec![app.name().to_string(), format!("{ai:.2}"), format!("{gain:+.2}%")]);
-        out_rows.push(json!({ "app": app.name(), "intensity": ai, "speedup_pct": gain }));
+        rows.push(vec![app.name().to_string(), format!("{ai:.2}"), fmt_gain(*gain)]);
+        out_rows.push(json!({ "app": app.name(), "intensity": ai, "speedup_pct": *gain }));
     }
     print_table(&["app", "arith intensity", "Kagura gain"], &rows);
     println!("  (paper: gain inversely related to arithmetic intensity)");

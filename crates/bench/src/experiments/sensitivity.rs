@@ -33,11 +33,13 @@ fn mean_gains(
         .iter()
         .enumerate()
         .map(|(i, &(label, _))| {
+            // Truncated runs drop out of the mean; if every app truncated
+            // the mean is NaN, which serializes as null in the JSON row.
             let gains: Vec<f64> = grid
                 .iter()
-                .map(|row| (row[i + 1].speedup_over(&row[0]) - 1.0) * 100.0)
+                .filter_map(|row| row[i + 1].try_speedup_over(&row[0]).map(|s| (s - 1.0) * 100.0))
                 .collect();
-            (label, amean(&gains))
+            (label, super::mean_defined(&gains))
         })
         .collect()
 }

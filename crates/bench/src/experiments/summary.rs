@@ -5,8 +5,8 @@
 use ehs_sim::GovernorSpec;
 use serde_json::{json, Value};
 
-use super::{cfg, run_grid};
-use crate::{amean, print_table, ExpContext};
+use super::{cfg, fmt_gain, mean_defined, run_grid};
+use crate::{print_table, ExpContext};
 
 /// Reproduces the abstract: "Kagura reduces the total energy consumption
 /// by an average of 4.53% (up to 16.21%) and improves the performance by
@@ -23,7 +23,7 @@ pub fn summary(ctx: &ExpContext) -> Value {
         .zip(&grid)
         .map(|(&app, row)| {
             let (base, kag) = (&row[0], &row[1]);
-            let speedup = (kag.speedup_over(base) - 1.0) * 100.0;
+            let speedup = kag.try_speedup_over(base).map(|s| (s - 1.0) * 100.0);
             let energy = (1.0 - kag.total_energy() / base.total_energy()) * 100.0;
             (app, speedup, energy)
         })
@@ -33,32 +33,30 @@ pub fn summary(ctx: &ExpContext) -> Value {
     let mut speeds = Vec::new();
     let mut energies = Vec::new();
     for (app, speedup, energy) in &results {
-        rows.push(vec![
-            app.name().to_string(),
-            format!("{speedup:+.2}%"),
-            format!("{energy:+.2}%"),
-        ]);
+        rows.push(vec![app.name().to_string(), fmt_gain(*speedup), format!("{energy:+.2}%")]);
         out_rows.push(json!({
-            "app": app.name(), "speedup_pct": speedup, "energy_reduction_pct": energy,
+            "app": app.name(), "speedup_pct": *speedup, "energy_reduction_pct": energy,
         }));
-        speeds.push(*speedup);
+        if let Some(s) = speedup {
+            speeds.push(*s);
+        }
         energies.push(*energy);
     }
-    let max_speed = speeds.iter().cloned().fold(f64::MIN, f64::max);
-    let max_energy = energies.iter().cloned().fold(f64::MIN, f64::max);
+    let max_speed = speeds.iter().cloned().fold(f64::NAN, f64::max);
+    let max_energy = energies.iter().cloned().fold(f64::NAN, f64::max);
     rows.push(vec![
         "MEAN (MAX)".into(),
-        format!("{:+.2}% ({:+.2}%)", amean(&speeds), max_speed),
-        format!("{:+.2}% ({:+.2}%)", amean(&energies), max_energy),
+        format!("{:+.2}% ({:+.2}%)", mean_defined(&speeds), max_speed),
+        format!("{:+.2}% ({:+.2}%)", mean_defined(&energies), max_energy),
     ]);
     print_table(&["app", "speedup", "energy reduction"], &rows);
     println!("  (paper: speedup avg 4.74% / max 17.87%; energy avg 4.53% / max 16.21%)");
     let out = json!({
         "experiment": "summary",
         "rows": out_rows,
-        "mean_speedup_pct": amean(&speeds),
+        "mean_speedup_pct": mean_defined(&speeds),
         "max_speedup_pct": max_speed,
-        "mean_energy_reduction_pct": amean(&energies),
+        "mean_energy_reduction_pct": mean_defined(&energies),
         "max_energy_reduction_pct": max_energy,
     });
     ctx.save("summary", &out);

@@ -30,6 +30,13 @@ pub struct ExpContext {
     pub sens_apps: Vec<App>,
     /// Where JSON results land.
     pub out_dir: PathBuf,
+    /// When set (`repro --telemetry DIR`), experiments that capture event
+    /// streams also dump them here (JSONL), and the harness writes its
+    /// timing spans to `DIR/spans.json`.
+    pub telemetry_dir: Option<PathBuf>,
+    /// Suppresses the per-experiment progress lines on stderr
+    /// (`repro --quiet`).
+    pub quiet: bool,
 }
 
 impl ExpContext {
@@ -50,6 +57,8 @@ impl ExpContext {
                 App::Typeset,
             ],
             out_dir: PathBuf::from("results"),
+            telemetry_dir: None,
+            quiet: false,
         }
     }
 
@@ -173,5 +182,7 @@ mod tests {
         assert_eq!(ctx.apps.len(), 20);
         assert_eq!(ctx.sens_apps.len(), 8);
         assert!(ctx.scale > 0.0);
+        assert!(ctx.telemetry_dir.is_none());
+        assert!(!ctx.quiet);
     }
 }

@@ -21,6 +21,7 @@
 use std::collections::VecDeque;
 
 use ehs_cache::{FillMode, HitInfo};
+use ehs_telemetry::{Event, Registers};
 use serde::{Deserialize, Serialize};
 
 use crate::adapt::ThresholdAdapter;
@@ -132,6 +133,10 @@ pub struct Kagura<G> {
     history: VecDeque<u64>,
     /// Cumulative number of CM→RM switches (for reports).
     rm_entries: u64,
+    /// Controller events pending drainage; only filled when
+    /// [`Kagura::enable_event_log`] has been called.
+    events: Vec<Event>,
+    log_events: bool,
 }
 
 impl<G: CompressionGovernor> Kagura<G> {
@@ -155,6 +160,38 @@ impl<G: CompressionGovernor> Kagura<G> {
             counter: 0,
             history: VecDeque::with_capacity(config.history_depth + 1),
             rm_entries: 0,
+            events: Vec::new(),
+            log_events: false,
+        }
+    }
+
+    /// Starts collecting controller events ([`Event::ModeSwitch`],
+    /// [`Event::ThresholdAdjust`], [`Event::EstimatorSample`]) for
+    /// drainage via [`Kagura::drain_events`]. Off by default: with the
+    /// log disabled every would-be emission is a single untaken branch.
+    pub fn enable_event_log(&mut self) {
+        self.log_events = true;
+    }
+
+    /// `true` when no logged events are pending.
+    pub fn events_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Hands every pending logged event to `f`, in emission order.
+    pub fn drain_events(&mut self, mut f: impl FnMut(Event)) {
+        for ev in self.events.drain(..) {
+            f(ev);
+        }
+    }
+
+    fn register_snapshot(&self) -> Registers {
+        Registers {
+            r_prev: self.r_prev,
+            r_mem: self.r_mem,
+            r_adjust: self.r_adjust,
+            r_thres: self.r_thres,
+            r_evict: self.r_evict,
         }
     }
 
@@ -196,6 +233,12 @@ impl<G: CompressionGovernor> Kagura<G> {
         if self.mode == Mode::Compression {
             self.mode = Mode::Regular;
             self.rm_entries += 1;
+            if self.log_events {
+                self.events.push(Event::ModeSwitch {
+                    cm_to_rm: true,
+                    registers: self.register_snapshot(),
+                });
+            }
         }
     }
 
@@ -274,6 +317,14 @@ impl<G: CompressionGovernor> CompressionGovernor for Kagura<G> {
         self.inner.on_power_failure();
         // Eq. 6: record the prediction error of the cycle that just ended.
         if !self.history.is_empty() {
+            if self.log_events {
+                // The estimator's prediction for this cycle vs the oracle
+                // (what the cycle actually committed).
+                self.events.push(Event::EstimatorSample {
+                    predicted_remaining: self.r_prev,
+                    actual_remaining: self.r_mem,
+                });
+            }
             self.r_adjust = self.r_mem as i64 - self.r_prev as i64;
             let tolerance =
                 (self.config.reward_tolerance * self.r_prev.max(1) as f64).ceil() as i64;
@@ -291,6 +342,7 @@ impl<G: CompressionGovernor> CompressionGovernor for Kagura<G> {
 
     fn on_reboot(&mut self) {
         self.inner.on_reboot();
+        let was_regular = self.mode == Mode::Regular;
         // Restore: R_prev is rebuilt from the checkpointed history.
         self.r_prev = self.predicted_prev();
         self.r_mem = 0;
@@ -302,9 +354,20 @@ impl<G: CompressionGovernor> CompressionGovernor for Kagura<G> {
             self.r_prev = (self.r_prev as i64 + self.r_adjust).max(0) as u64;
         }
         // Threshold adaptation on the restored eviction count (§VI-B).
+        let old_thres = self.r_thres;
+        let evicted = self.r_evict;
         self.r_thres = self.config.adapter.adjust(self.r_thres, self.r_evict);
         self.r_evict = 0;
         self.mode = Mode::Compression;
+        if self.log_events {
+            self.events.push(Event::ThresholdAdjust { old: old_thres, new: self.r_thres, evicted });
+            if was_regular {
+                self.events.push(Event::ModeSwitch {
+                    cm_to_rm: false,
+                    registers: self.register_snapshot(),
+                });
+            }
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -476,5 +539,138 @@ mod tests {
     fn invalid_config_rejected() {
         let cfg = KaguraConfig { counter_bits: 4, ..KaguraConfig::default() };
         let _ = Kagura::new(cfg, AlwaysCompress);
+    }
+
+    fn drained(k: &mut Kagura<AlwaysCompress>) -> Vec<Event> {
+        let mut events = Vec::new();
+        k.drain_events(|e| events.push(e));
+        events
+    }
+
+    #[test]
+    fn event_log_is_off_by_default() {
+        let mut k = controller();
+        run_cycle(&mut k, 100);
+        run_cycle(&mut k, 100);
+        assert!(k.events_empty());
+        assert!(drained(&mut k).is_empty());
+    }
+
+    #[test]
+    fn memory_trigger_logs_exact_transition_sequence() {
+        let mut k = controller();
+        k.enable_event_log();
+
+        // Cycle 0: no history, so no trigger and no estimator sample —
+        // only the reboot-time AIMD step (32 → 35, zero evictions).
+        run_cycle(&mut k, 100);
+        assert_eq!(drained(&mut k), vec![Event::ThresholdAdjust { old: 32, new: 35, evicted: 0 }]);
+
+        // Cycle 1: prediction 100, thres 35 ⇒ CM→RM at the 65th commit,
+        // with 5 RM-mode evictions before the failure.
+        for i in 0..100u64 {
+            k.on_mem_commit();
+            if i + 1 == 65 {
+                assert_eq!(k.mode(), Mode::Regular);
+                k.on_evictions(5);
+            }
+        }
+        k.on_power_failure();
+        k.on_reboot();
+        assert_eq!(
+            drained(&mut k),
+            vec![
+                Event::ModeSwitch {
+                    cm_to_rm: true,
+                    registers: Registers {
+                        r_prev: 100,
+                        r_mem: 65,
+                        r_adjust: 0,
+                        r_thres: 35,
+                        r_evict: 0,
+                    },
+                },
+                Event::EstimatorSample { predicted_remaining: 100, actual_remaining: 100 },
+                // 5 evictions ≤ 35/2 ⇒ additive raise 35 → 39.
+                Event::ThresholdAdjust { old: 35, new: 39, evicted: 5 },
+                Event::ModeSwitch {
+                    cm_to_rm: false,
+                    registers: Registers {
+                        r_prev: 100,
+                        r_mem: 0,
+                        r_adjust: 0,
+                        r_thres: 39,
+                        r_evict: 0,
+                    },
+                },
+            ]
+        );
+        assert!(k.events_empty());
+    }
+
+    #[test]
+    fn voltage_trigger_logs_exact_transition_sequence() {
+        let cfg = KaguraConfig {
+            trigger: TriggerKind::Voltage { fraction: 0.25 },
+            ..KaguraConfig::default()
+        };
+        let mut k = Kagura::new(cfg, AlwaysCompress);
+        k.enable_event_log();
+
+        // Above the trigger threshold 2.0 + 0.25·0.016 = 2.004: no event.
+        k.on_voltage(2.010, 2.0, 2.016);
+        assert!(k.events_empty());
+
+        // Crossing below it switches CM→RM exactly once.
+        k.on_voltage(2.002, 2.0, 2.016);
+        k.on_voltage(2.001, 2.0, 2.016); // already in RM: no second switch
+        k.on_power_failure(); // empty history: no estimator sample
+        k.on_reboot();
+        assert_eq!(
+            drained(&mut k),
+            vec![
+                Event::ModeSwitch {
+                    cm_to_rm: true,
+                    registers: Registers {
+                        r_prev: 0,
+                        r_mem: 0,
+                        r_adjust: 0,
+                        r_thres: 32,
+                        r_evict: 0,
+                    },
+                },
+                Event::ThresholdAdjust { old: 32, new: 35, evicted: 0 },
+                Event::ModeSwitch {
+                    cm_to_rm: false,
+                    registers: Registers {
+                        r_prev: 0,
+                        r_mem: 0,
+                        r_adjust: 0,
+                        r_thres: 35,
+                        r_evict: 0,
+                    },
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn estimator_samples_pair_prediction_with_oracle() {
+        let mut k = controller();
+        k.enable_event_log();
+        run_cycle(&mut k, 1000);
+        let _ = drained(&mut k);
+        run_cycle(&mut k, 200);
+        let samples: Vec<Event> = drained(&mut k)
+            .into_iter()
+            .filter(|e| matches!(e, Event::EstimatorSample { .. }))
+            .collect();
+        // Prediction for the second cycle was 1000 (history), the cycle
+        // actually committed 200 — the r_adjust = -800 case of
+        // `sophisticated_estimator_applies_adjustment_on_low_counter`.
+        assert_eq!(
+            samples,
+            vec![Event::EstimatorSample { predicted_remaining: 1000, actual_remaining: 200 }]
+        );
     }
 }

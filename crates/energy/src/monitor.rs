@@ -94,6 +94,15 @@ impl VoltageMonitor {
             Cycles::ZERO
         }
     }
+
+    /// Edge-triggered comparator semantics: `true` only on the step where
+    /// the capacitor fell from at-or-above `threshold` volts to below it.
+    /// Staying below does not re-fire, rising through the threshold never
+    /// fires, and a monitor-free design (no comparator hardware) can never
+    /// observe a crossing.
+    pub fn crossed_below(&self, prev_v: f64, now_v: f64, threshold: f64) -> bool {
+        self.is_present() && prev_v >= threshold && now_v < threshold
+    }
 }
 
 impl Default for VoltageMonitor {
@@ -124,6 +133,23 @@ mod tests {
         assert_eq!(none.standby_power().watts(), 0.0);
         assert!(trig.standby_power().watts() > jit.standby_power().watts());
         assert!((jit.standby_power().microwatts() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossing_fires_once_on_the_falling_edge() {
+        let jit = VoltageMonitor::jit_checkpoint();
+        let v_ckpt = 2.0;
+        // Discharge path 2.2 → 2.05 → 1.95 → 1.80: exactly one crossing,
+        // on the step that passes through the threshold.
+        assert!(!jit.crossed_below(2.2, 2.05, v_ckpt));
+        assert!(jit.crossed_below(2.05, 1.95, v_ckpt));
+        assert!(!jit.crossed_below(1.95, 1.80, v_ckpt));
+        // Recharge through the threshold is not a (downward) crossing.
+        assert!(!jit.crossed_below(1.95, 2.10, v_ckpt));
+        // Sitting exactly on the threshold then dipping below fires.
+        assert!(jit.crossed_below(2.0, 1.999, v_ckpt));
+        // No comparator hardware, no crossings — however the voltage moves.
+        assert!(!VoltageMonitor::none().crossed_below(2.05, 1.95, v_ckpt));
     }
 
     #[test]

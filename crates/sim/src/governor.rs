@@ -125,6 +125,32 @@ impl Governor {
             _ => panic!("not an oracle-recording governor"),
         }
     }
+
+    /// Starts collecting controller events on policies that produce them
+    /// (Kagura); a no-op elsewhere. The oracle variants are deliberately
+    /// left un-instrumented — their Kagura runs inside record/replay
+    /// adapters and does not represent the deployed controller.
+    pub fn enable_event_log(&mut self) {
+        if let Governor::Kagura(k) = self {
+            k.enable_event_log();
+        }
+    }
+
+    /// `true` when controller events are pending drainage. Kept cheap so
+    /// instrumented hot paths can branch on it before paying for a drain.
+    pub fn events_pending(&self) -> bool {
+        match self {
+            Governor::Kagura(k) => !k.events_empty(),
+            _ => false,
+        }
+    }
+
+    /// Hands every pending controller event to `f`, in emission order.
+    pub fn drain_events(&mut self, f: impl FnMut(ehs_telemetry::Event)) {
+        if let Governor::Kagura(k) = self {
+            k.drain_events(f);
+        }
+    }
 }
 
 impl CompressionGovernor for Governor {

@@ -48,5 +48,7 @@ pub use config::{EhsDesign, Extension, GovernorSpec, SimConfig};
 pub use governor::Governor;
 pub use machine::Simulator;
 pub use parallel::{run_batch, SimJob};
-pub use runner::{run_app, run_ideal_app, run_program};
+pub use runner::{
+    run_app, run_app_with_telemetry, run_ideal_app, run_program, run_program_with_telemetry,
+};
 pub use stats::{ConsistencyReport, CycleRecord, SimStats};

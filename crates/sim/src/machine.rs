@@ -7,6 +7,7 @@ use ehs_energy::{Capacitor, EnergyBreakdown, EnergyCategory, PowerTrace, Voltage
 use ehs_mem::Nvm;
 use ehs_model::inst::InstKind;
 use ehs_model::{Address, CompressorCost, Energy, SimTime};
+use ehs_telemetry::{Counter, Event, Gauge, HistogramId, MetricsRegistry, Sink, Telemetry};
 use ehs_workloads::KernelProgram;
 use kagura_core::{CompressionGovernor, Mode};
 
@@ -59,6 +60,37 @@ impl OracleMap {
 
 /// How often (committed instructions) the EDBP decay scan runs.
 const EDBP_SCAN_PERIOD: u64 = 128;
+
+/// Pre-registered metric handles for an instrumented run, resolved once
+/// at attach time so the hot path never looks anything up by name.
+#[derive(Debug, Clone, Copy)]
+struct TelemetryHandles {
+    compressed_fills: Counter,
+    bypassed_fills: Counter,
+    evictions: Counter,
+    checkpoint_blocks: Counter,
+    power_failures: Counter,
+    reboots: Counter,
+    voltage: Gauge,
+    cycle_insts: HistogramId,
+    charge_us: HistogramId,
+}
+
+impl TelemetryHandles {
+    fn register(m: &mut MetricsRegistry) -> Self {
+        TelemetryHandles {
+            compressed_fills: m.counter("fills_compressed"),
+            bypassed_fills: m.counter("fills_bypassed"),
+            evictions: m.counter("evictions"),
+            checkpoint_blocks: m.counter("checkpoint_blocks"),
+            power_failures: m.counter("power_failures"),
+            reboots: m.counter("reboots"),
+            voltage: m.gauge("voltage_v"),
+            cycle_insts: m.histogram("cycle_insts", &[1e2, 5e2, 1e3, 5e3, 1e4, 5e4, 1e5]),
+            charge_us: m.histogram("charge_us", &[1e2, 1e3, 1e4, 1e5, 1e6]),
+        }
+    }
+}
 
 /// A shadow tag directory simulating the *uncompressed* baseline cache's
 /// contents (LRU, nominal associativity). A real-cache hit that misses in
@@ -146,6 +178,11 @@ pub struct Simulator<'p> {
     shadow_i: ShadowTags,
     shadow_d: ShadowTags,
     edbp_countdown: u64,
+
+    /// Event/metrics recording; `None` (the default) keeps every
+    /// instrumented site down to a single untaken branch, so uninstrumented
+    /// runs produce byte-identical results at unchanged speed.
+    telemetry: Option<(Telemetry<'p>, TelemetryHandles)>,
 }
 
 impl<'p> Simulator<'p> {
@@ -227,7 +264,18 @@ impl<'p> Simulator<'p> {
             shadow_i,
             shadow_d,
             edbp_countdown: EDBP_SCAN_PERIOD,
+            telemetry: None,
         }
+    }
+
+    /// Attaches an event sink and metrics registry for the whole run and
+    /// turns on the governor's internal event log. Drive the run with
+    /// [`Simulator::run_instrumented`] to get the metrics back.
+    pub fn attach_telemetry(&mut self, sink: &'p mut dyn Sink) {
+        let mut t = Telemetry::new(sink);
+        let handles = TelemetryHandles::register(&mut t.metrics);
+        self.gov.enable_event_log();
+        self.telemetry = Some((t, handles));
     }
 
     /// Runs to program completion (or the simulated-time guard) and
@@ -241,21 +289,7 @@ impl<'p> Simulator<'p> {
     /// image, used by crash-consistency tests to check that hundreds of
     /// power failures leave exactly the same bytes as a failure-free run.
     pub fn run_with_memory(mut self) -> (SimStats, Nvm) {
-        while self.inst_index < self.program.len() {
-            if self.now >= self.cfg.max_sim_time {
-                break;
-            }
-            if !self.running {
-                if !self.hibernate_and_reboot() {
-                    break; // charge timeout
-                }
-                continue;
-            }
-            self.step();
-            if self.cap.below_checkpoint() {
-                self.power_failure();
-            }
-        }
+        self.run_loop();
         // Flush residual dirty state so the NVM reflects architectural
         // memory (free: this is an observation, not a simulated event).
         let nvm = &mut self.nvm;
@@ -271,23 +305,50 @@ impl<'p> Simulator<'p> {
     /// Panics if the governor is not a recorder.
     pub fn run_recording(self) -> (SimStats, kagura_core::OracleTrace) {
         let mut sim = self;
-        while sim.inst_index < sim.program.len() && sim.now < sim.cfg.max_sim_time {
-            if !sim.running {
-                if !sim.hibernate_and_reboot() {
-                    break;
-                }
-                continue;
-            }
-            sim.step();
-            if sim.cap.below_checkpoint() {
-                sim.power_failure();
-            }
-        }
+        sim.run_loop();
         let completed = sim.inst_index >= sim.program.len();
         let gov = std::mem::replace(&mut sim.gov, Governor::none());
         let mut stats = sim.finish();
         stats.completed = completed;
         (stats, gov.into_oracle_trace())
+    }
+
+    /// Runs to completion like [`Simulator::run`], returning the metrics
+    /// accumulated by an attached telemetry sink alongside the stats. A
+    /// final snapshot is taken at end of run so the last (possibly
+    /// unfinished) power cycle's totals are captured too. Without
+    /// [`Simulator::attach_telemetry`] the metrics come back empty.
+    pub fn run_instrumented(mut self) -> (SimStats, MetricsRegistry) {
+        self.run_loop();
+        let metrics = match self.telemetry.take() {
+            Some((mut t, _)) => {
+                t.metrics.snapshot(self.stats.power_cycles.len() as u64, self.now.micros());
+                t.into_metrics()
+            }
+            None => MetricsRegistry::default(),
+        };
+        (self.finish(), metrics)
+    }
+
+    /// The machine loop shared by every run entry point: step while
+    /// powered, checkpoint on the failure threshold, hibernate until the
+    /// restore threshold, stop on completion or the simulated-time guard.
+    fn run_loop(&mut self) {
+        while self.inst_index < self.program.len() {
+            if self.now >= self.cfg.max_sim_time {
+                break;
+            }
+            if !self.running {
+                if !self.hibernate_and_reboot() {
+                    break; // charge timeout
+                }
+                continue;
+            }
+            self.step();
+            if self.cap.below_checkpoint() {
+                self.power_failure();
+            }
+        }
     }
 
     fn finish(mut self) -> SimStats {
@@ -361,6 +422,25 @@ impl<'p> Simulator<'p> {
         }
         if !outcome.evicted.is_empty() {
             self.gov.on_evictions(outcome.evicted.len() as u32);
+        }
+        if let Some((t, h)) = self.telemetry.as_mut() {
+            let t_us = self.now.micros();
+            let cycle = self.stats.power_cycles.len() as u64;
+            if outcome.stored_compressed {
+                t.metrics.inc(h.compressed_fills, 1);
+                t.emit(t_us, cycle, Event::CompressedFill { dcache: is_dcache });
+            } else {
+                t.metrics.inc(h.bypassed_fills, 1);
+                t.emit(t_us, cycle, Event::BypassedFill { dcache: is_dcache });
+            }
+            if !outcome.evicted.is_empty() {
+                t.metrics.inc(h.evictions, outcome.evicted.len() as u64);
+                t.emit(
+                    t_us,
+                    cycle,
+                    Event::Eviction { count: outcome.evicted.len() as u32, dcache: is_dcache },
+                );
+            }
         }
         let block_size = self.cfg.system.dcache.block_size;
         for e in &outcome.evicted {
@@ -528,6 +608,23 @@ impl<'p> Simulator<'p> {
         {
             self.sweep();
         }
+
+        self.pump_gov_events();
+    }
+
+    /// Stamps and forwards any controller events the governor logged
+    /// during the work just performed (mode switches fire inside
+    /// `on_mem_commit`/`on_voltage`, mid-step). One untaken branch when
+    /// telemetry is detached; one cheap emptiness check per step when it
+    /// is attached.
+    fn pump_gov_events(&mut self) {
+        if let Some((t, _)) = self.telemetry.as_mut() {
+            if self.gov.events_pending() {
+                let t_us = self.now.micros();
+                let cycle = self.stats.power_cycles.len() as u64;
+                self.gov.drain_events(|ev| t.emit(t_us, cycle, ev));
+            }
+        }
     }
 
     /// A load or store through the DCache; returns extra stall cycles.
@@ -571,6 +668,14 @@ impl<'p> Simulator<'p> {
                 self.gov.on_hit(&info, d_ways);
                 if !evicted.is_empty() {
                     self.gov.on_evictions(evicted.len() as u32);
+                    if let Some((t, h)) = self.telemetry.as_mut() {
+                        t.metrics.inc(h.evictions, evicted.len() as u64);
+                        t.emit(
+                            self.now.micros(),
+                            self.stats.power_cycles.len() as u64,
+                            Event::Eviction { count: evicted.len() as u32, dcache: true },
+                        );
+                    }
                     for e in &evicted {
                         self.forget_fill(e.addr, true);
                         if e.dirty {
@@ -672,6 +777,7 @@ impl<'p> Simulator<'p> {
         let breakdown = &mut self.breakdown;
         let nvm = &mut self.nvm;
         let decompress_energy = self.comp_cost.decompress_energy;
+        let mut blocks = 0u32;
         self.dcache.for_each_dirty(|addr, data, was_compressed| {
             if was_compressed {
                 cap.drain(decompress_energy);
@@ -680,14 +786,24 @@ impl<'p> Simulator<'p> {
             let w = nvm.write_block_from(addr, data);
             cap.drain(w.energy);
             breakdown.record(EnergyCategory::CheckpointRestore, w.energy);
+            blocks += 1;
         });
         self.spend(EnergyCategory::CheckpointRestore, self.cfg.costs.sweep_boundary);
+        if let Some((t, h)) = self.telemetry.as_mut() {
+            t.metrics.inc(h.checkpoint_blocks, blocks as u64);
+            t.emit(
+                self.now.micros(),
+                self.stats.power_cycles.len() as u64,
+                Event::Checkpoint { blocks },
+            );
+        }
         self.last_persist = self.inst_index;
         self.sweeps_this_cycle += 1;
     }
 
     /// The voltage monitor fired (or the supply browned out): wind down.
     fn power_failure(&mut self) {
+        let mut ckpt_blocks = 0u32;
         match self.cfg.design {
             EhsDesign::NvsramCache => {
                 // JIT checkpoint: dirty blocks + registers to NVM/NVFF.
@@ -700,6 +816,7 @@ impl<'p> Simulator<'p> {
                 let decompress_energy = self.comp_cost.decompress_energy;
                 let clock_hz = self.cfg.system.core.clock_hz;
                 let mut ckpt_time = SimTime::ZERO;
+                let blocks = &mut ckpt_blocks;
                 self.dcache.for_each_dirty(|addr, data, was_compressed| {
                     if was_compressed {
                         cap.drain(decompress_energy);
@@ -709,6 +826,7 @@ impl<'p> Simulator<'p> {
                     cap.drain(w.energy);
                     breakdown.record(EnergyCategory::CheckpointRestore, w.energy);
                     ckpt_time += SimTime::from_seconds(w.latency.get() as f64 / clock_hz);
+                    *blocks += 1;
                 });
                 self.spend(EnergyCategory::CheckpointRestore, self.cfg.costs.checkpoint_fixed);
                 self.now += ckpt_time;
@@ -745,6 +863,23 @@ impl<'p> Simulator<'p> {
         self.shadow_i.clear();
         self.shadow_d.clear();
         self.gov.on_power_failure();
+        if let Some((t, h)) = self.telemetry.as_mut() {
+            let t_us = self.now.micros();
+            // The cycle being closed: its index is the number already
+            // recorded (pushed just below).
+            let cycle = self.stats.power_cycles.len() as u64;
+            if self.cfg.design == EhsDesign::NvsramCache {
+                t.metrics.inc(h.checkpoint_blocks, ckpt_blocks as u64);
+                t.emit(t_us, cycle, Event::Checkpoint { blocks: ckpt_blocks });
+            }
+            self.gov.drain_events(|ev| t.emit(t_us, cycle, ev));
+            let voltage = self.cap.voltage();
+            t.emit(t_us, cycle, Event::PowerFailure { insts: self.cycle.insts, voltage });
+            t.metrics.inc(h.power_failures, 1);
+            t.metrics.set(h.voltage, voltage);
+            t.metrics.observe(h.cycle_insts, self.cycle.insts as f64);
+            t.metrics.snapshot(cycle, t_us);
+        }
         self.stats.checkpoints += 1;
         self.stats.power_cycles.push(self.cycle);
         self.cycle = CycleRecord::default();
@@ -754,6 +889,7 @@ impl<'p> Simulator<'p> {
     /// Charges until `V_rst`, then performs the reboot sequence. Returns
     /// `false` on charge timeout.
     fn hibernate_and_reboot(&mut self) -> bool {
+        let hibernate_start = self.now;
         while !self.cap.above_restore() {
             if self.now >= self.cfg.max_sim_time {
                 return false;
@@ -777,6 +913,17 @@ impl<'p> Simulator<'p> {
         let latency = self.cfg.costs.restore_latency + self.monitor.init_latency();
         self.now += SimTime::from_seconds(latency.get() as f64 / self.cfg.system.core.clock_hz);
         self.gov.on_reboot();
+        if let Some((t, h)) = self.telemetry.as_mut() {
+            let t_us = self.now.micros();
+            let cycle = self.stats.power_cycles.len() as u64;
+            let voltage = self.cap.voltage();
+            let charge_us = (self.now - hibernate_start).micros();
+            t.emit(t_us, cycle, Event::Reboot { charge_us, voltage });
+            self.gov.drain_events(|ev| t.emit(t_us, cycle, ev));
+            t.metrics.inc(h.reboots, 1);
+            t.metrics.set(h.voltage, voltage);
+            t.metrics.observe(h.charge_us, charge_us);
+        }
         self.running = true;
         true
     }
@@ -908,6 +1055,49 @@ mod tests {
         assert_eq!(a.sim_time, b.sim_time);
         assert_eq!(a.committed_insts, b.committed_insts);
         assert_eq!(a.compression_ops(), b.compression_ops());
+    }
+
+    #[test]
+    fn instrumented_run_matches_plain_run_and_records_events() {
+        use ehs_telemetry::VecSink;
+
+        let cfg = SimConfig::table1().with_governor(GovernorSpec::AccKagura(Default::default()));
+        let program = App::G721d.build(0.02);
+        let trace = PowerTrace::generate(cfg.trace_kind, cfg.trace_seed, 400_000);
+
+        let plain = Simulator::new(cfg.clone(), &program, &trace).run();
+
+        let mut sink = VecSink::new();
+        let mut sim = Simulator::new(cfg, &program, &trace);
+        sim.attach_telemetry(&mut sink);
+        let (stats, metrics) = sim.run_instrumented();
+
+        // Telemetry must observe, never perturb.
+        assert_eq!(stats.sim_time, plain.sim_time);
+        assert_eq!(stats.committed_insts, plain.committed_insts);
+        assert_eq!(stats.compression_ops(), plain.compression_ops());
+        assert_eq!(stats.power_cycles.len(), plain.power_cycles.len());
+
+        let events = sink.into_events();
+        let failures =
+            events.iter().filter(|e| matches!(e.event, Event::PowerFailure { .. })).count();
+        let reboots = events.iter().filter(|e| matches!(e.event, Event::Reboot { .. })).count();
+        let samples =
+            events.iter().filter(|e| matches!(e.event, Event::EstimatorSample { .. })).count();
+        assert_eq!(failures, stats.checkpoints as usize);
+        assert_eq!(reboots + 1, failures + if stats.completed { 1 } else { 0 });
+        // One estimator sample per failure once history exists.
+        assert_eq!(samples, failures - 1);
+        assert!(events.iter().any(|e| matches!(e.event, Event::CompressedFill { .. })));
+        assert!(events.iter().any(|e| matches!(e.event, Event::ModeSwitch { cm_to_rm: true, .. })));
+
+        // Stamps are monotone and cycle indices agree with the stats.
+        for w in events.windows(2) {
+            assert!(w[1].t_us >= w[0].t_us, "time went backwards");
+            assert!(w[1].cycle >= w[0].cycle, "cycle index went backwards");
+        }
+        // One metrics snapshot per closed cycle plus the end-of-run one.
+        assert_eq!(metrics.snapshots().len(), stats.checkpoints as usize + 1);
     }
 
     #[test]

@@ -34,6 +34,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 use std::thread;
 
+use ehs_telemetry::spans;
 use ehs_workloads::App;
 
 use crate::config::SimConfig;
@@ -104,6 +105,9 @@ impl SimJob {
     }
 
     fn run(self) -> SimStats {
+        // The span label names the workload and policy; its cost is only
+        // paid when span recording is enabled (see `ehs_telemetry::spans`).
+        let _span = spans::span("sim", || format!("{}:{}", self.app, self.cfg.governor.label()));
         run_app(self.app, self.scale, &self.cfg)
     }
 }
@@ -168,19 +172,25 @@ where
     let next = AtomicUsize::new(0);
 
     thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= len {
-                    return;
+        let (work, slots, next) = (&work, &slots, &next);
+        for w in 0..workers {
+            scope.spawn(move || {
+                // 1-based so timing spans can distinguish pool workers
+                // from inline/coordinator execution (slot 0).
+                spans::set_worker_slot(w + 1);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        return;
+                    }
+                    let item = work[i]
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .take()
+                        .expect("work item taken twice");
+                    let result = f(item);
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
                 }
-                let item = work[i]
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .take()
-                    .expect("work item taken twice");
-                let result = f(item);
-                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
             });
         }
     });
@@ -220,8 +230,7 @@ mod tests {
             let inner = map((0..8).collect::<Vec<u64>>(), |i| i + outer * 100);
             inner.iter().sum::<u64>()
         });
-        let expect: Vec<u64> =
-            (0..6).map(|outer| (0..8).map(|i| i + outer * 100).sum()).collect();
+        let expect: Vec<u64> = (0..6).map(|outer| (0..8).map(|i| i + outer * 100).sum()).collect();
         assert_eq!(out, expect);
     }
 

@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use ehs_energy::{PowerTrace, TraceKind};
+use ehs_telemetry::{MetricsRegistry, Sink};
 use ehs_workloads::{App, KernelProgram};
 
 use crate::config::{GovernorSpec, SimConfig};
@@ -27,7 +28,8 @@ const DEFAULT_TRACE_LEN: usize = 4_000_000;
 /// the sweep cannot wedge the cache — poisoning is recovered, since the
 /// map is only ever mutated by complete `insert` calls.
 pub fn default_trace(cfg: &SimConfig) -> Arc<PowerTrace> {
-    static CACHE: OnceLock<Mutex<HashMap<(TraceKind, u64), Arc<PowerTrace>>>> = OnceLock::new();
+    type TraceCache = Mutex<HashMap<(TraceKind, u64), Arc<PowerTrace>>>;
+    static CACHE: OnceLock<TraceCache> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let key = (cfg.trace_kind, cfg.trace_seed);
     if let Some(trace) = cache.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
@@ -63,6 +65,44 @@ pub fn run_app(app: App, scale: f64, cfg: &SimConfig) -> SimStats {
     run_program(&program, &trace, cfg)
 }
 
+/// Like [`run_program`] but with an event sink attached for the whole
+/// run; returns the metrics registry accumulated alongside the stats.
+///
+/// Ideal (two-phase) specs instrument only the replay phase — the
+/// recording pass is oracle scaffolding, not the behavior under study.
+pub fn run_program_with_telemetry(
+    program: &KernelProgram,
+    trace: &PowerTrace,
+    cfg: &SimConfig,
+    sink: &mut dyn Sink,
+) -> (SimStats, MetricsRegistry) {
+    match cfg.governor {
+        GovernorSpec::IdealAcc => {
+            run_ideal_telemetry(program, trace, cfg, Governor::record_acc(), Some(sink))
+        }
+        GovernorSpec::IdealAccKagura(kcfg) => {
+            run_ideal_telemetry(program, trace, cfg, Governor::record_kagura(kcfg), Some(sink))
+        }
+        _ => {
+            let mut sim = Simulator::new(cfg.clone(), program, trace);
+            sim.attach_telemetry(sink);
+            sim.run_instrumented()
+        }
+    }
+}
+
+/// Like [`run_app`] but instrumented; see [`run_program_with_telemetry`].
+pub fn run_app_with_telemetry(
+    app: App,
+    scale: f64,
+    cfg: &SimConfig,
+    sink: &mut dyn Sink,
+) -> (SimStats, MetricsRegistry) {
+    let program = app.build(scale);
+    let trace = default_trace(cfg);
+    run_program_with_telemetry(&program, &trace, cfg, sink)
+}
+
 /// Explicit two-phase ideal run (paper Fig 13's "ideal" methodology):
 /// record which compressions pay off, then replay compressing only those.
 pub fn run_ideal_app(app: App, scale: f64, cfg: &SimConfig, recorder: Governor) -> SimStats {
@@ -77,6 +117,16 @@ fn run_ideal(
     cfg: &SimConfig,
     recorder: Governor,
 ) -> SimStats {
+    run_ideal_telemetry(program, trace, cfg, recorder, None).0
+}
+
+fn run_ideal_telemetry(
+    program: &KernelProgram,
+    trace: &PowerTrace,
+    cfg: &SimConfig,
+    recorder: Governor,
+    sink: Option<&mut dyn Sink>,
+) -> (SimStats, MetricsRegistry) {
     let is_kagura = matches!(recorder, Governor::RecordKagura(_));
     let (_, oracle_trace) =
         Simulator::with_governor(cfg.clone(), program, trace, recorder).run_recording();
@@ -95,7 +145,14 @@ fn run_ideal(
     } else {
         Governor::replay_acc(oracle_trace)
     };
-    Simulator::with_governor(cfg.clone(), program, trace, replayer).run()
+    let mut sim = Simulator::with_governor(cfg.clone(), program, trace, replayer);
+    match sink {
+        Some(sink) => {
+            sim.attach_telemetry(sink);
+            sim.run_instrumented()
+        }
+        None => (sim.run(), MetricsRegistry::default()),
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +181,24 @@ mod tests {
             SimConfig::table1().with_governor(GovernorSpec::IdealAccKagura(Default::default()));
         let stats = run_app(App::Gsm, 0.02, &cfg);
         assert!(stats.completed);
+    }
+
+    #[test]
+    fn telemetry_runner_matches_plain_runner() {
+        use ehs_telemetry::NullSink;
+
+        for gov in [
+            GovernorSpec::Acc,
+            GovernorSpec::AccKagura(Default::default()),
+            GovernorSpec::IdealAccKagura(Default::default()),
+        ] {
+            let cfg = SimConfig::table1().with_governor(gov);
+            let plain = run_app(App::Sha, 0.01, &cfg);
+            let mut sink = NullSink;
+            let (stats, _) = run_app_with_telemetry(App::Sha, 0.01, &cfg, &mut sink);
+            assert_eq!(stats.sim_time, plain.sim_time, "{gov:?}");
+            assert_eq!(stats.compression_ops(), plain.compression_ops(), "{gov:?}");
+        }
     }
 
     #[test]

@@ -186,6 +186,15 @@ impl SimStats {
         baseline.sim_time.seconds() / self.sim_time.seconds()
     }
 
+    /// Non-panicking [`SimStats::speedup_over`]: `None` when either run
+    /// failed to complete (or this run's time is degenerate), so a
+    /// truncated simulation degrades one report row instead of aborting a
+    /// whole experiment batch.
+    pub fn try_speedup_over(&self, baseline: &SimStats) -> Option<f64> {
+        (self.completed && baseline.completed && self.sim_time.seconds() > 0.0)
+            .then(|| baseline.sim_time.seconds() / self.sim_time.seconds())
+    }
+
     /// Latency overhead helper: total stall cycles beyond 1 CPI.
     pub fn stall_cycles(&self) -> u64 {
         self.total_cycles.saturating_sub(self.executed_insts)
@@ -280,6 +289,24 @@ mod tests {
         let a = SimStats { completed: false, ..SimStats::default() };
         let b = SimStats { completed: true, ..SimStats::default() };
         let _ = a.speedup_over(&b);
+    }
+
+    #[test]
+    fn try_speedup_degrades_incomplete_runs_to_none() {
+        let done = SimStats {
+            completed: true,
+            sim_time: SimTime::from_seconds(1.0),
+            ..SimStats::default()
+        };
+        let slower = SimStats {
+            completed: true,
+            sim_time: SimTime::from_seconds(1.2),
+            ..SimStats::default()
+        };
+        let truncated = SimStats { completed: false, ..SimStats::default() };
+        assert!((done.try_speedup_over(&slower).unwrap() - 1.2).abs() < 1e-12);
+        assert_eq!(truncated.try_speedup_over(&slower), None);
+        assert_eq!(done.try_speedup_over(&truncated), None);
     }
 
     #[test]

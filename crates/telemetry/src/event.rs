@@ -1,0 +1,306 @@
+//! The typed event taxonomy and its JSON wire format.
+//!
+//! Every event is stamped with simulated time (`t_us`) and the index of
+//! the power cycle it occurred in, then serialized as one *flat* JSON
+//! object — `{"t_us":…,"cycle":…,"kind":"ModeSwitch",…fields}` — so a
+//! JSONL stream greps cleanly and round-trips losslessly through
+//! [`Stamped::to_value`] / [`Stamped::from_value`].
+
+use serde_json::Value;
+
+/// Kagura's register snapshot carried by [`Event::ModeSwitch`]:
+/// `(R_prev, R_mem, R_adjust, R_thres, R_evict)` at the switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Registers {
+    /// Predicted memory-op count of the current power cycle.
+    pub r_prev: u64,
+    /// Memory ops committed so far in this cycle.
+    pub r_mem: u64,
+    /// Last cycle's prediction error `R_mem − R_prev`.
+    pub r_adjust: i64,
+    /// Compression-disabling threshold.
+    pub r_thres: u64,
+    /// Blocks evicted since the decision point.
+    pub r_evict: u64,
+}
+
+impl From<(u64, u64, i64, u64, u64)> for Registers {
+    fn from(t: (u64, u64, i64, u64, u64)) -> Self {
+        Registers { r_prev: t.0, r_mem: t.1, r_adjust: t.2, r_thres: t.3, r_evict: t.4 }
+    }
+}
+
+/// One traced occurrence inside a simulation run.
+///
+/// Power-cycle lifecycle events come from the simulator's machine loop;
+/// controller events (`ModeSwitch`, `ThresholdAdjust`,
+/// `EstimatorSample`) originate inside Kagura and are drained through
+/// the governor at instruction boundaries; fill/eviction events come
+/// from the cache-fill path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The capacitor crossed `V_ckpt` while running: the cycle ended.
+    PowerFailure {
+        /// Instructions committed in the cycle that just ended.
+        insts: u64,
+        /// Capacitor voltage at the failure (volts).
+        voltage: f64,
+    },
+    /// The capacitor recharged past `V_rst` and execution resumed.
+    Reboot {
+        /// Time spent hibernating before this reboot (µs).
+        charge_us: f64,
+        /// Capacitor voltage at resumption (volts).
+        voltage: f64,
+    },
+    /// A checkpoint (JIT or sweep-boundary) persisted dirty state.
+    Checkpoint {
+        /// Dirty cache blocks written to NVM.
+        blocks: u32,
+    },
+    /// Kagura switched modes (CM→RM at the decision point, RM→CM at
+    /// reboot).
+    ModeSwitch {
+        /// `true` for CM→RM (compression disabled), `false` for RM→CM.
+        cm_to_rm: bool,
+        /// Register file at the moment of the switch.
+        registers: Registers,
+    },
+    /// AIMD adapted `R_thres` at a reboot.
+    ThresholdAdjust {
+        /// Threshold before adaptation.
+        old: u64,
+        /// Threshold after adaptation.
+        new: u64,
+        /// RM-mode evictions the decision was based on.
+        evicted: u64,
+    },
+    /// A fill was stored compressed.
+    CompressedFill {
+        /// `true` for the DCache, `false` for the ICache.
+        dcache: bool,
+    },
+    /// A fill bypassed compression (RM mode or uncompressible data).
+    BypassedFill {
+        /// `true` for the DCache, `false` for the ICache.
+        dcache: bool,
+    },
+    /// A fill or fat write evicted resident blocks.
+    Eviction {
+        /// Number of blocks evicted by this one operation.
+        count: u32,
+        /// `true` for the DCache, `false` for the ICache.
+        dcache: bool,
+    },
+    /// One per power-cycle boundary under Kagura: the cycle-length
+    /// prediction made at reboot vs what the cycle actually delivered
+    /// (the oracle ground truth), both in committed memory operations.
+    EstimatorSample {
+        /// `R_prev` as predicted at the start of the ended cycle.
+        predicted_remaining: u64,
+        /// Memory ops the cycle actually committed.
+        actual_remaining: u64,
+    },
+}
+
+impl Event {
+    /// Stable identifier used as the `kind` field on the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::PowerFailure { .. } => "PowerFailure",
+            Event::Reboot { .. } => "Reboot",
+            Event::Checkpoint { .. } => "Checkpoint",
+            Event::ModeSwitch { .. } => "ModeSwitch",
+            Event::ThresholdAdjust { .. } => "ThresholdAdjust",
+            Event::CompressedFill { .. } => "CompressedFill",
+            Event::BypassedFill { .. } => "BypassedFill",
+            Event::Eviction { .. } => "Eviction",
+            Event::EstimatorSample { .. } => "EstimatorSample",
+        }
+    }
+
+    /// The event's payload as ordered `(name, value)` pairs.
+    pub fn fields(&self) -> Vec<(&'static str, Value)> {
+        match *self {
+            Event::PowerFailure { insts, voltage } => {
+                vec![("insts", insts.into()), ("voltage", voltage.into())]
+            }
+            Event::Reboot { charge_us, voltage } => {
+                vec![("charge_us", charge_us.into()), ("voltage", voltage.into())]
+            }
+            Event::Checkpoint { blocks } => vec![("blocks", Value::U64(blocks as u64))],
+            Event::ModeSwitch { cm_to_rm, registers: r } => vec![
+                ("cm_to_rm", cm_to_rm.into()),
+                ("r_prev", r.r_prev.into()),
+                ("r_mem", r.r_mem.into()),
+                ("r_adjust", r.r_adjust.into()),
+                ("r_thres", r.r_thres.into()),
+                ("r_evict", r.r_evict.into()),
+            ],
+            Event::ThresholdAdjust { old, new, evicted } => {
+                vec![("old", old.into()), ("new", new.into()), ("evicted", evicted.into())]
+            }
+            Event::CompressedFill { dcache } | Event::BypassedFill { dcache } => {
+                vec![("dcache", dcache.into())]
+            }
+            Event::Eviction { count, dcache } => {
+                vec![("count", Value::U64(count as u64)), ("dcache", dcache.into())]
+            }
+            Event::EstimatorSample { predicted_remaining, actual_remaining } => vec![
+                ("predicted_remaining", predicted_remaining.into()),
+                ("actual_remaining", actual_remaining.into()),
+            ],
+        }
+    }
+
+    /// Rebuilds an event from its `kind` and a flat field object.
+    /// Returns `None` for unknown kinds or missing/mistyped fields.
+    pub fn from_kind_fields(kind: &str, obj: &Value) -> Option<Event> {
+        let u = |k: &str| obj.get(k).and_then(Value::as_u64);
+        let f = |k: &str| obj.get(k).and_then(Value::as_f64);
+        let b = |k: &str| obj.get(k).and_then(Value::as_bool);
+        Some(match kind {
+            "PowerFailure" => Event::PowerFailure { insts: u("insts")?, voltage: f("voltage")? },
+            "Reboot" => Event::Reboot { charge_us: f("charge_us")?, voltage: f("voltage")? },
+            "Checkpoint" => Event::Checkpoint { blocks: u("blocks")? as u32 },
+            "ModeSwitch" => Event::ModeSwitch {
+                cm_to_rm: b("cm_to_rm")?,
+                registers: Registers {
+                    r_prev: u("r_prev")?,
+                    r_mem: u("r_mem")?,
+                    r_adjust: obj.get("r_adjust").and_then(Value::as_i64)?,
+                    r_thres: u("r_thres")?,
+                    r_evict: u("r_evict")?,
+                },
+            },
+            "ThresholdAdjust" => {
+                Event::ThresholdAdjust { old: u("old")?, new: u("new")?, evicted: u("evicted")? }
+            }
+            "CompressedFill" => Event::CompressedFill { dcache: b("dcache")? },
+            "BypassedFill" => Event::BypassedFill { dcache: b("dcache")? },
+            "Eviction" => Event::Eviction { count: u("count")? as u32, dcache: b("dcache")? },
+            "EstimatorSample" => Event::EstimatorSample {
+                predicted_remaining: u("predicted_remaining")?,
+                actual_remaining: u("actual_remaining")?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// An [`Event`] stamped with simulated time and power-cycle index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stamped {
+    /// Simulated time of the event in microseconds.
+    pub t_us: f64,
+    /// Index of the power cycle the event occurred in (0-based; the
+    /// `PowerFailure` closing cycle *k* is stamped with cycle *k*).
+    pub cycle: u64,
+    /// The event itself.
+    pub event: Event,
+}
+
+impl Stamped {
+    /// Flat JSON object: stamp first, then `kind`, then the payload.
+    pub fn to_value(&self) -> Value {
+        let mut members: Vec<(String, Value)> = vec![
+            ("t_us".to_string(), self.t_us.into()),
+            ("cycle".to_string(), self.cycle.into()),
+            ("kind".to_string(), self.event.kind().into()),
+        ];
+        members.extend(self.event.fields().into_iter().map(|(k, v)| (k.to_string(), v)));
+        Value::Object(members)
+    }
+
+    /// Inverse of [`Stamped::to_value`]; `None` on malformed input.
+    pub fn from_value(v: &Value) -> Option<Stamped> {
+        let kind = v.get("kind")?.as_str()?;
+        Some(Stamped {
+            t_us: v.get("t_us")?.as_f64()?,
+            cycle: v.get("cycle")?.as_u64()?,
+            event: Event::from_kind_fields(kind, v)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Stamped> {
+        vec![
+            Stamped { t_us: 0.5, cycle: 0, event: Event::CompressedFill { dcache: true } },
+            Stamped {
+                t_us: 1.25,
+                cycle: 0,
+                event: Event::ModeSwitch {
+                    cm_to_rm: true,
+                    registers: Registers {
+                        r_prev: 900,
+                        r_mem: 868,
+                        r_adjust: -32,
+                        r_thres: 32,
+                        r_evict: 0,
+                    },
+                },
+            },
+            Stamped {
+                t_us: 2.0,
+                cycle: 0,
+                event: Event::EstimatorSample { predicted_remaining: 900, actual_remaining: 912 },
+            },
+            Stamped {
+                t_us: 2.0,
+                cycle: 0,
+                event: Event::PowerFailure { insts: 4096, voltage: 2.0 },
+            },
+            Stamped {
+                t_us: 9.75,
+                cycle: 1,
+                event: Event::Reboot { charge_us: 7.75, voltage: 2.016 },
+            },
+            Stamped {
+                t_us: 10.0,
+                cycle: 1,
+                event: Event::ThresholdAdjust { old: 32, new: 35, evicted: 0 },
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_value() {
+        let all = vec![
+            Event::PowerFailure { insts: 1, voltage: 1.99 },
+            Event::Reboot { charge_us: 3.5, voltage: 2.016 },
+            Event::Checkpoint { blocks: 12 },
+            Event::ModeSwitch { cm_to_rm: false, registers: Registers::default() },
+            Event::ThresholdAdjust { old: 64, new: 32, evicted: 9 },
+            Event::CompressedFill { dcache: false },
+            Event::BypassedFill { dcache: true },
+            Event::Eviction { count: 2, dcache: true },
+            Event::EstimatorSample { predicted_remaining: 7, actual_remaining: 9 },
+        ];
+        for (i, event) in all.into_iter().enumerate() {
+            let s = Stamped { t_us: i as f64 + 0.125, cycle: i as u64, event };
+            let back = Stamped::from_value(&s.to_value()).expect("round trip");
+            assert_eq!(back, s);
+        }
+    }
+
+    #[test]
+    fn wire_format_is_flat_and_greppable() {
+        let s = &samples()[1];
+        let text = serde_json::to_string(&s.to_value()).unwrap();
+        assert!(text.starts_with("{\"t_us\":1.25,\"cycle\":0,\"kind\":\"ModeSwitch\""), "{text}");
+        assert!(text.contains("\"r_adjust\":-32"));
+    }
+
+    #[test]
+    fn malformed_values_are_rejected_not_panicked() {
+        assert!(Stamped::from_value(&Value::Null).is_none());
+        let missing = serde_json::json!({"t_us": 1.0, "cycle": 0, "kind": "Eviction"});
+        assert!(Stamped::from_value(&missing).is_none());
+        let unknown = serde_json::json!({"t_us": 1.0, "cycle": 0, "kind": "Nope"});
+        assert!(Stamped::from_value(&unknown).is_none());
+    }
+}

@@ -1,0 +1,274 @@
+//! A small metrics registry: named counters, gauges and fixed-bucket
+//! histograms, with point-in-time snapshots at power-cycle boundaries.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`HistogramId`]) are plain indices
+//! resolved once at registration, so the per-update cost is one array
+//! index — no hashing on the hot path.
+
+use serde_json::Value;
+
+/// Handle to a monotonically increasing counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counter(usize);
+
+/// Handle to a last-value-wins gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gauge(usize);
+
+/// Handle to a fixed-bucket histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A histogram over fixed, caller-supplied bucket upper bounds; one
+/// overflow bucket catches everything beyond the last bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` entries; the last is the overflow bucket.
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        Histogram { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], total: 0, sum: 0.0 }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let i = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
+        self.counts[i] += 1;
+        self.total += 1;
+        self.sum += v;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// `(upper_bound, count)` rows; the final row uses `f64::INFINITY`.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(f64::INFINITY))
+            .zip(self.counts.iter().copied())
+            .collect()
+    }
+}
+
+/// Counter/gauge values captured at one power-cycle boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Power-cycle index at the capture.
+    pub cycle: u64,
+    /// Simulated time of the capture (µs).
+    pub t_us: f64,
+    /// Counter values, index-aligned with registration order.
+    pub counters: Vec<u64>,
+    /// Gauge values, index-aligned with registration order.
+    pub gauges: Vec<f64>,
+}
+
+/// The registry: get-or-register by name, update through handles,
+/// snapshot at cycle boundaries, serialize once at the end.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counter_names: Vec<String>,
+    counter_vals: Vec<u64>,
+    gauge_names: Vec<String>,
+    gauge_vals: Vec<f64>,
+    hist_names: Vec<String>,
+    hists: Vec<Histogram>,
+    snapshots: Vec<Snapshot>,
+}
+
+impl MetricsRegistry {
+    /// Registers (or finds) a counter named `name`.
+    pub fn counter(&mut self, name: &str) -> Counter {
+        if let Some(i) = self.counter_names.iter().position(|n| n == name) {
+            return Counter(i);
+        }
+        self.counter_names.push(name.to_string());
+        self.counter_vals.push(0);
+        Counter(self.counter_names.len() - 1)
+    }
+
+    /// Registers (or finds) a gauge named `name`.
+    pub fn gauge(&mut self, name: &str) -> Gauge {
+        if let Some(i) = self.gauge_names.iter().position(|n| n == name) {
+            return Gauge(i);
+        }
+        self.gauge_names.push(name.to_string());
+        self.gauge_vals.push(0.0);
+        Gauge(self.gauge_names.len() - 1)
+    }
+
+    /// Registers (or finds) a histogram named `name`. The bounds of the
+    /// first registration win.
+    pub fn histogram(&mut self, name: &str, bounds: &[f64]) -> HistogramId {
+        if let Some(i) = self.hist_names.iter().position(|n| n == name) {
+            return HistogramId(i);
+        }
+        self.hist_names.push(name.to_string());
+        self.hists.push(Histogram::new(bounds));
+        HistogramId(self.hist_names.len() - 1)
+    }
+
+    /// Adds `by` to a counter.
+    #[inline]
+    pub fn inc(&mut self, c: Counter, by: u64) {
+        self.counter_vals[c.0] += by;
+    }
+
+    /// Sets a gauge.
+    #[inline]
+    pub fn set(&mut self, g: Gauge, v: f64) {
+        self.gauge_vals[g.0] = v;
+    }
+
+    /// Records one histogram observation.
+    #[inline]
+    pub fn observe(&mut self, h: HistogramId, v: f64) {
+        self.hists[h.0].observe(v);
+    }
+
+    /// Current value of a counter.
+    pub fn counter_value(&self, c: Counter) -> u64 {
+        self.counter_vals[c.0]
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge_value(&self, g: Gauge) -> f64 {
+        self.gauge_vals[g.0]
+    }
+
+    /// The histogram behind a handle.
+    pub fn histogram_data(&self, h: HistogramId) -> &Histogram {
+        &self.hists[h.0]
+    }
+
+    /// Captures all counter and gauge values at a cycle boundary.
+    pub fn snapshot(&mut self, cycle: u64, t_us: f64) {
+        self.snapshots.push(Snapshot {
+            cycle,
+            t_us,
+            counters: self.counter_vals.clone(),
+            gauges: self.gauge_vals.clone(),
+        });
+    }
+
+    /// Snapshots captured so far, in capture order.
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
+
+    /// Serializes final values, histogram buckets and every snapshot.
+    pub fn to_json(&self) -> Value {
+        let counters: Vec<Value> = self
+            .counter_names
+            .iter()
+            .zip(&self.counter_vals)
+            .map(|(n, v)| serde_json::json!({ "name": n, "value": v }))
+            .collect();
+        let gauges: Vec<Value> = self
+            .gauge_names
+            .iter()
+            .zip(&self.gauge_vals)
+            .map(|(n, v)| serde_json::json!({ "name": n, "value": v }))
+            .collect();
+        let hists: Vec<Value> = self
+            .hist_names
+            .iter()
+            .zip(&self.hists)
+            .map(|(n, h)| {
+                let buckets: Vec<Value> = h
+                    .buckets()
+                    .into_iter()
+                    .map(|(ub, c)| serde_json::json!({ "le": ub, "count": c }))
+                    .collect();
+                serde_json::json!({
+                    "name": n, "count": h.count(), "mean": h.mean(), "buckets": buckets,
+                })
+            })
+            .collect();
+        let snapshots: Vec<Value> = self
+            .snapshots
+            .iter()
+            .map(|s| {
+                serde_json::json!({
+                    "cycle": s.cycle,
+                    "t_us": s.t_us,
+                    "counters": s.counters.clone(),
+                    "gauges": s.gauges.clone(),
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": hists,
+            "snapshots": snapshots,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once() {
+        let mut m = MetricsRegistry::default();
+        let a = m.counter("fills");
+        let b = m.counter("fills");
+        assert_eq!(a, b);
+        m.inc(a, 3);
+        m.inc(b, 2);
+        assert_eq!(m.counter_value(a), 5);
+        let g = m.gauge("voltage");
+        m.set(g, 2.01);
+        assert_eq!(m.gauge_value(g), 2.01);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut m = MetricsRegistry::default();
+        let h = m.histogram("cycle_insts", &[10.0, 100.0]);
+        for v in [5.0, 7.0, 50.0, 5000.0] {
+            m.observe(h, v);
+        }
+        let data = m.histogram_data(h);
+        assert_eq!(data.count(), 4);
+        let buckets = data.buckets();
+        assert_eq!(buckets[0], (10.0, 2));
+        assert_eq!(buckets[1], (100.0, 1));
+        assert_eq!(buckets[2].1, 1, "overflow bucket catches the rest");
+        assert!((data.mean() - 1265.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshots_capture_point_in_time_values() {
+        let mut m = MetricsRegistry::default();
+        let c = m.counter("evictions");
+        m.inc(c, 4);
+        m.snapshot(0, 100.0);
+        m.inc(c, 6);
+        m.snapshot(1, 250.0);
+        let snaps = m.snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].counters, vec![4]);
+        assert_eq!(snaps[1].counters, vec![10]);
+        assert_eq!(snaps[1].cycle, 1);
+    }
+}

@@ -1,0 +1,333 @@
+//! Event sinks: where stamped events go.
+//!
+//! A [`Sink`] is deliberately tiny — `record` plus an optional `flush` —
+//! so the simulator can hold `&mut dyn Sink` without caring whether
+//! events are dropped, ring-buffered, streamed to disk as JSONL, or
+//! accumulated into a Chrome trace.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use serde_json::Value;
+
+use crate::event::{Event, Stamped};
+
+/// Consumer of stamped events.
+///
+/// Implementations must not panic on `record`; a sink that can fail
+/// (e.g. an I/O-backed one) should hold the error and surface it from
+/// `flush`-time accessors instead of aborting a simulation mid-run.
+pub trait Sink {
+    /// `false` when recording is a no-op ([`NullSink`]); lets generic
+    /// callers skip building expensive event payloads.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one stamped event.
+    fn record(&mut self, ev: &Stamped);
+
+    /// Flushes buffered output; default is a no-op.
+    fn flush(&mut self) {}
+}
+
+/// The zero-cost disabled path: discards everything.
+///
+/// An instrumented call site holding a `NullSink` performs no
+/// allocation and no I/O; the simulator's own disabled path is even
+/// cheaper (no sink attached at all — a single untaken branch).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&mut self, _ev: &Stamped) {}
+}
+
+/// Collects every event in memory, in arrival order. The sink the
+/// `estimator_accuracy` experiment replays.
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    events: Vec<Stamped>,
+}
+
+impl VecSink {
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// Events recorded so far, in arrival order.
+    pub fn events(&self) -> &[Stamped] {
+        &self.events
+    }
+
+    /// Consumes the sink, returning the events.
+    pub fn into_events(self) -> Vec<Stamped> {
+        self.events
+    }
+}
+
+impl Sink for VecSink {
+    fn record(&mut self, ev: &Stamped) {
+        self.events.push(ev.clone());
+    }
+}
+
+/// Keeps only the most recent `capacity` events — bounded memory for
+/// long runs where only the tail (e.g. the cycles before a failure of
+/// interest) matters.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    buf: VecDeque<Stamped>,
+    capacity: usize,
+    /// Total events ever offered, including overwritten ones.
+    seen: u64,
+}
+
+impl RingSink {
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingSink { buf: VecDeque::with_capacity(capacity), capacity, seen: 0 }
+    }
+
+    /// The retained tail, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Stamped> {
+        self.buf.iter()
+    }
+
+    /// Retained event count (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events offered over the sink's lifetime.
+    pub fn total_seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&mut self, ev: &Stamped) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(ev.clone());
+        self.seen += 1;
+    }
+}
+
+/// Streams one compact JSON object per event, newline-delimited.
+///
+/// Write errors are held (not panicked) and surfaced by
+/// [`JsonlSink::error`]; subsequent records are dropped.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    error: Option<io::Error>,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Opens (truncating) a JSONL file at `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    pub fn new(out: W) -> Self {
+        JsonlSink { out, error: None }
+    }
+
+    /// The first write error, if any occurred.
+    pub fn error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+}
+
+impl<W: Write> Sink for JsonlSink<W> {
+    fn record(&mut self, ev: &Stamped) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = serde_json::to_string(&ev.to_value()).expect("event serializes");
+        if let Err(e) = self.out.write_all(line.as_bytes()).and_then(|()| self.out.write_all(b"\n"))
+        {
+            self.error = Some(e);
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Err(e) = self.out.flush() {
+            self.error.get_or_insert(e);
+        }
+    }
+}
+
+/// Parses a JSONL stream produced by [`JsonlSink`] back into events.
+/// Lines that fail to parse are skipped.
+pub fn parse_jsonl(text: &str) -> Vec<Stamped> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| serde_json::from_str(l).ok())
+        .filter_map(|v| Stamped::from_value(&v))
+        .collect()
+}
+
+/// Builds a Chrome trace-event file (the JSON object format with a
+/// `traceEvents` array), loadable in Perfetto / `chrome://tracing`.
+///
+/// Every event becomes an instant (`"ph":"i"`) record whose `args`
+/// carry the full payload, so the trace is also a lossless transport:
+/// [`ChromeTraceSink::parse_events`] recovers the original sequence.
+/// Power cycles additionally become duration (`"ph":"X"`) slices from
+/// each `Reboot` to the next `PowerFailure`, which is what makes the
+/// intermittent execution pattern visible on the timeline.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTraceSink {
+    records: Vec<Value>,
+    cycle_start_us: f64,
+}
+
+impl ChromeTraceSink {
+    pub fn new() -> Self {
+        ChromeTraceSink::default()
+    }
+
+    /// The finished trace as a JSON tree.
+    pub fn to_json(&self) -> Value {
+        serde_json::json!({
+            "traceEvents": self.records.clone(),
+            "displayTimeUnit": "ms",
+        })
+    }
+
+    /// Writes the trace to `path` (pretty-printed).
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        let text = serde_json::to_string_pretty(&self.to_json()).expect("trace serializes");
+        std::fs::write(path, text)
+    }
+
+    /// Recovers the stamped events embedded in a trace produced by this
+    /// sink (instant records only; synthesized power-cycle slices are
+    /// skipped).
+    pub fn parse_events(trace: &Value) -> Vec<Stamped> {
+        let Some(records) = trace.get("traceEvents").and_then(Value::as_array) else {
+            return Vec::new();
+        };
+        records
+            .iter()
+            .filter(|r| r.get("ph").and_then(Value::as_str) == Some("i"))
+            .filter_map(|r| {
+                let args = r.get("args")?;
+                let kind = r.get("name")?.as_str()?;
+                Some(Stamped {
+                    t_us: r.get("ts")?.as_f64()?,
+                    cycle: args.get("cycle")?.as_u64()?,
+                    event: Event::from_kind_fields(kind, args)?,
+                })
+            })
+            .collect()
+    }
+}
+
+impl Sink for ChromeTraceSink {
+    fn record(&mut self, ev: &Stamped) {
+        // Synthesize the power-cycle slice when a cycle closes.
+        if let Event::PowerFailure { .. } = ev.event {
+            self.records.push(serde_json::json!({
+                "name": "power-cycle",
+                "ph": "X",
+                "ts": self.cycle_start_us,
+                "dur": ev.t_us - self.cycle_start_us,
+                "pid": 1,
+                "tid": 0,
+            }));
+        }
+        if let Event::Reboot { .. } = ev.event {
+            self.cycle_start_us = ev.t_us;
+        }
+        let mut args: Vec<(String, Value)> = vec![("cycle".to_string(), ev.cycle.into())];
+        args.extend(ev.event.fields().into_iter().map(|(k, v)| (k.to_string(), v)));
+        self.records.push(serde_json::json!({
+            "name": ev.event.kind(),
+            "ph": "i",
+            "s": "t",
+            "ts": ev.t_us,
+            "pid": 1,
+            "tid": 0,
+            "args": Value::Object(args),
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_us: f64, cycle: u64, event: Event) -> Stamped {
+        Stamped { t_us, cycle, event }
+    }
+
+    #[test]
+    fn null_sink_reports_disabled() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.record(&ev(1.0, 0, Event::Checkpoint { blocks: 3 }));
+    }
+
+    #[test]
+    fn ring_sink_keeps_only_the_tail() {
+        let mut s = RingSink::new(3);
+        for i in 0..10u64 {
+            s.record(&ev(i as f64, 0, Event::Checkpoint { blocks: i as u32 }));
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.total_seen(), 10);
+        let blocks: Vec<u32> = s
+            .events()
+            .map(|e| match e.event {
+                Event::Checkpoint { blocks } => blocks,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(blocks, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn chrome_trace_synthesizes_cycle_slices() {
+        let mut s = ChromeTraceSink::new();
+        s.record(&ev(5.0, 0, Event::PowerFailure { insts: 10, voltage: 2.0 }));
+        s.record(&ev(9.0, 1, Event::Reboot { charge_us: 4.0, voltage: 2.016 }));
+        s.record(&ev(12.0, 1, Event::PowerFailure { insts: 4, voltage: 2.0 }));
+        let json = s.to_json();
+        let slices: Vec<&Value> = json
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .unwrap()
+            .iter()
+            .filter(|r| r.get("ph").and_then(Value::as_str) == Some("X"))
+            .collect();
+        assert_eq!(slices.len(), 2);
+        assert_eq!(slices[1].get("ts").and_then(Value::as_f64), Some(9.0));
+        assert_eq!(slices[1].get("dur").and_then(Value::as_f64), Some(3.0));
+    }
+}

@@ -153,12 +153,9 @@ impl BenchmarkGroup<'_> {
             return;
         }
         let ns_per_iter = bencher.total.as_nanos() as f64 / bencher.iterations as f64;
-        let label =
-            if id.is_empty() { self.name.clone() } else { format!("{}/{id}", self.name) };
-        let mut line = format!(
-            "  {label}: {:.1} ns/iter ({} iters)",
-            ns_per_iter, bencher.iterations
-        );
+        let label = if id.is_empty() { self.name.clone() } else { format!("{}/{id}", self.name) };
+        let mut line =
+            format!("  {label}: {:.1} ns/iter ({} iters)", ns_per_iter, bencher.iterations);
         match self.throughput {
             Some(Throughput::Bytes(bytes)) => {
                 let gib = bytes as f64 / ns_per_iter; // bytes/ns == GiB-ish/s (1e9)
@@ -195,16 +192,14 @@ impl Bencher {
         black_box(f());
         let probe = probe_start.elapsed().max(Duration::from_nanos(1));
 
-        let warm_iters =
-            (self.warm_up_time.as_nanos() / probe.as_nanos()).min(1_000) as u64;
+        let warm_iters = (self.warm_up_time.as_nanos() / probe.as_nanos()).min(1_000) as u64;
         for _ in 0..warm_iters {
             black_box(f());
         }
 
-        let per_sample =
-            ((self.measurement_time.as_nanos() / probe.as_nanos()) as u64)
-                .div_ceil(self.sample_size as u64)
-                .clamp(1, 1_000_000);
+        let per_sample = ((self.measurement_time.as_nanos() / probe.as_nanos()) as u64)
+            .div_ceil(self.sample_size as u64)
+            .clamp(1, 1_000_000);
         for _ in 0..self.sample_size {
             let start = Instant::now();
             for _ in 0..per_sample {
@@ -260,9 +255,7 @@ mod tests {
                 hits
             })
         });
-        group.bench_with_input(BenchmarkId::new("id", 7), &7u64, |b, &x| {
-            b.iter(|| x * 2)
-        });
+        group.bench_with_input(BenchmarkId::new("id", 7), &7u64, |b, &x| b.iter(|| x * 2));
         group.finish();
         assert!(hits > 0);
     }

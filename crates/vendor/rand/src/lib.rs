@@ -197,13 +197,12 @@ mod tests {
         // ChaCha12 test vector: all-zero key and nonce, first block
         // (from the reference implementation / rand_chacha's own tests).
         let mut rng = StdRng::from_seed([0u8; 32]);
-        let first: Vec<u8> =
-            (0..4).flat_map(|_| rng.next_u32().to_le_bytes()).collect();
+        let first: Vec<u8> = (0..4).flat_map(|_| rng.next_u32().to_le_bytes()).collect();
         assert_eq!(
             first,
             vec![
-                0x9b, 0xf4, 0x9a, 0x6a, 0x07, 0x55, 0xf9, 0x53, 0x81, 0x1f, 0xce, 0x12,
-                0x5f, 0x26, 0x83, 0xd5,
+                0x9b, 0xf4, 0x9a, 0x6a, 0x07, 0x55, 0xf9, 0x53, 0x81, 0x1f, 0xce, 0x12, 0x5f, 0x26,
+                0x83, 0xd5,
             ],
             "ChaCha12 keystream diverges from the reference vector"
         );

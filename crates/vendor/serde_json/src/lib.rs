@@ -9,6 +9,9 @@
 //! * [`json!`] — object/array/scalar literals, including nested bare-brace
 //!   objects (`json!({"mean": { "a": 1 }})`).
 //! * [`to_string_pretty`] / [`to_string`] — deterministic serialization.
+//! * [`from_str`] — a small recursive-descent parser plus the `Value`
+//!   accessors (`get`, `as_u64`, …) the telemetry sinks use to round-trip
+//!   their own output.
 //!
 //! Nothing here implements serde's data model; the harness only ever
 //! builds `Value` trees directly.
@@ -29,20 +32,90 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
-/// Serialization error. The only unrepresentable inputs (NaN/infinity)
-/// are printed as `null` instead, matching what the harness needs, so in
-/// practice this is never returned — it exists so call sites written
-/// against the real crate's `Result` API keep compiling.
+/// Serialization/deserialization error. Serialization never returns one
+/// (NaN/infinity print as `null` instead); parsing reports the failure
+/// with a short message.
 #[derive(Debug)]
-pub struct Error;
+pub struct Error(String);
+
+impl Error {
+    fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("JSON serialization error")
+        f.write_str(&self.0)
     }
 }
 
 impl std::error::Error for Error {}
+
+impl Value {
+    /// Member lookup on an object; `None` for other variants or missing
+    /// keys. First occurrence wins on duplicate keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(v) => Some(v),
+            Value::U64(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Any numeric variant as a float.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(v) => Some(v),
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+}
 
 macro_rules! from_unsigned {
     ($($t:ty),*) => {$(
@@ -123,6 +196,12 @@ impl From<&&str> for Value {
     }
 }
 
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
 impl<T: Into<Value>> From<Vec<T>> for Value {
     fn from(v: Vec<T>) -> Self {
         Value::Array(v.into_iter().map(Into::into).collect())
@@ -167,6 +246,24 @@ macro_rules! json_object_internal {
     // Nested bare-brace object value in final position.
     ($obj:ident; $key:literal : { $($inner:tt)* } $(,)?) => {
         $obj.push(($key.to_string(), $crate::json!({ $($inner)* })));
+    };
+    // Array-literal value, more pairs follow.
+    ($obj:ident; $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+        $crate::json_object_internal!($obj; $($rest)*);
+    };
+    // Array-literal value in final position.
+    ($obj:ident; $key:literal : [ $($inner:tt)* ] $(,)?) => {
+        $obj.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+    };
+    // Bare `null` value, more pairs follow.
+    ($obj:ident; $key:literal : null , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::Value::Null));
+        $crate::json_object_internal!($obj; $($rest)*);
+    };
+    // Bare `null` value in final position.
+    ($obj:ident; $key:literal : null $(,)?) => {
+        $obj.push(($key.to_string(), $crate::Value::Null));
     };
     // Plain expression value, more pairs follow.
     ($obj:ident; $key:literal : $value:expr , $($rest:tt)*) => {
@@ -282,6 +379,218 @@ pub fn to_string(value: &Value) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Parse a JSON document. Numbers without a fraction or exponent become
+/// `U64`/`I64`; anything else becomes `F64` — the mirror image of
+/// [`to_string`], which prints integral floats with a trailing `.0`, so
+/// serialize → parse → serialize is a fixed point.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!("expected '{}' at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(Error::msg(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::msg(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            members.push((key, self.parse_value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(Error::msg(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::msg("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| Error::msg("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::msg("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our own
+                            // writer; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(Error::msg(format!("bad escape '\\{}'", esc as char))),
+                    }
+                }
+                _ => return Err(Error::msg("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("invalid number"))?;
+        if integral {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::I64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::msg(format!("invalid number '{text}'")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,10 +620,7 @@ mod tests {
         for (label, g) in &gains {
             out.push(json!({ "config": label, "gain_pct": g }));
         }
-        assert_eq!(
-            to_string(&out[0]).unwrap(),
-            "{\"config\":\"ACC\",\"gain_pct\":4.7}"
-        );
+        assert_eq!(to_string(&out[0]).unwrap(), "{\"config\":\"ACC\",\"gain_pct\":4.7}");
     }
 
     #[test]
@@ -327,5 +633,61 @@ mod tests {
     fn serialization_is_deterministic() {
         let build = || json!({ "b": 1, "a": [1, 2, 3], "c": { "x": 0.5 } });
         assert_eq!(to_string_pretty(&build()).unwrap(), to_string_pretty(&build()).unwrap());
+    }
+
+    #[test]
+    fn parser_round_trips_writer_output() {
+        let v = json!({
+            "t_us": 1.25,
+            "cycle": 0,
+            "neg": -32i64,
+            "big": 2.0,
+            "text": "a\"b\\c\nd",
+            "flag": false,
+            "items": [1, 2, 3],
+            "nested": { "x": null },
+        });
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back = from_str(&text).unwrap();
+            assert_eq!(to_string(&back).unwrap(), to_string(&v).unwrap());
+        }
+    }
+
+    #[test]
+    fn parser_number_variants() {
+        assert_eq!(from_str("42").unwrap(), Value::U64(42));
+        assert_eq!(from_str("-7").unwrap(), Value::I64(-7));
+        assert_eq!(from_str("2.0").unwrap(), Value::F64(2.0));
+        assert_eq!(from_str("1e3").unwrap(), Value::F64(1000.0));
+        assert_eq!(from_str("-0.5").unwrap(), Value::F64(-0.5));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "\"open", "{\"a\" 1}", "tru", "1 2", "{\"a\":1,}"] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn option_converts_to_null_or_inner_value() {
+        assert_eq!(Value::from(None::<f64>), Value::Null);
+        assert_eq!(Value::from(Some(2.5f64)), Value::F64(2.5));
+        assert_eq!(to_string(&json!({ "x": None::<u64> })), r#"{"x":null}"#);
+    }
+
+    #[test]
+    fn accessors_select_the_right_variants() {
+        let v = json!({ "n": 3u64, "s": "hi", "f": 1.5, "b": true, "a": [1], "o": { "k": -2i64 } });
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("n").and_then(Value::as_i64), Some(3));
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("hi"));
+        assert_eq!(v.get("f").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(v.get("b").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("a").and_then(Value::as_array).map(<[Value]>::len), Some(1));
+        assert_eq!(v.get("o").and_then(|o| o.get("k")).and_then(Value::as_i64), Some(-2));
+        assert!(v.get("missing").is_none());
+        assert!(v.get("s").and_then(Value::as_u64).is_none());
     }
 }
