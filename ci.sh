@@ -15,4 +15,14 @@ cargo clippy --workspace --offline -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace --offline
 
+echo "== faultgrid smoke (crash-consistency gate) =="
+# Exhaustive injection on the short kernels, sampled injection on two
+# apps across all three designs, and the harness's own mutation checks;
+# the experiment asserts internally, so any recovery regression fails
+# the gate here.
+FAULTGRID_OUT="$(mktemp -d)"
+trap 'rm -rf "$FAULTGRID_OUT"' EXIT
+cargo run --release --offline -q -p kagura-bench --bin repro -- \
+    faultgrid --scale 0.005 --apps sha,crc32 --out "$FAULTGRID_OUT" --quiet
+
 echo "ci: all checks passed"

@@ -7,6 +7,7 @@
 //!              [--trace rfhome|solar|thermal] [--trace-file FILE] [--seed N]
 //!              [--cache BYTES] [--ways N] [--block BYTES] [--cap UF]
 //!              [--extension none|edbp|ipex] [--json]
+//!              [--inject-at N] [--inject-fault power|torn|corrupt]
 //!              [--emit-events FILE] [--chrome-trace FILE]
 //! ```
 //!
@@ -15,6 +16,16 @@
 //! (loadable in Perfetto / `chrome://tracing`, with one duration slice per
 //! power cycle). Either flag attaches telemetry to the simulator; without
 //! them the run takes the uninstrumented fast path.
+//!
+//! `--inject-at N` arms a one-shot forced power failure immediately after
+//! the `N`-th executed instruction (see `ehs_sim::faultinject`);
+//! `--inject-fault` picks the flavour — `power` (clean failure, default),
+//! `torn` (checkpoint persists nothing), `corrupt` (one payload bit of
+//! the first compressed checkpointed block is flipped; a decode failure
+//! is reported as a detected consistency violation via `decode_faults`
+//! and the `DecodeFault` telemetry event). Ideal two-phase governors are
+//! rejected: oracle replay realigns work across power cycles, so an
+//! injection point has no stable meaning there.
 
 use std::fs::File;
 use std::io::BufReader;
@@ -26,8 +37,8 @@ use std::path::Path;
 use ehs_compress::Algorithm;
 use ehs_energy::{CapacitorConfig, PowerTrace, TraceKind};
 use ehs_sim::{
-    run_program, run_program_with_telemetry, EhsDesign, Extension, GovernorSpec, SimConfig,
-    SimStats,
+    run_program, run_program_with_telemetry, EhsDesign, Extension, FaultKind, GovernorSpec,
+    SimConfig, SimStats, Simulator,
 };
 use ehs_telemetry::{ChromeTraceSink, JsonlSink, Sink, Stamped};
 use ehs_workloads::App;
@@ -37,6 +48,7 @@ fn usage() {
         "usage: simrun <app> [--scale S] [--governor G] [--design D] [--algorithm A]\n\
          \x20                [--trace T | --trace-file FILE] [--seed N] [--cache BYTES]\n\
          \x20                [--ways N] [--block BYTES] [--cap UF] [--extension E] [--json]\n\
+         \x20                [--inject-at N] [--inject-fault power|torn|corrupt]\n\
          \x20                [--emit-events FILE] [--chrome-trace FILE]\n\
          apps: {}",
         App::ALL.map(|a| a.name()).join(" ")
@@ -185,6 +197,7 @@ fn json_report(stats: &SimStats) -> serde_json::Value {
             "power_cycles": stats.power_cycles.len(),
             "checkpoints": stats.checkpoints,
             "avg_insts_per_cycle": stats.avg_insts_per_cycle(),
+            "decode_faults": stats.decode_faults,
         },
         "caches": {
             "icache_miss_rate": stats.icache.miss_rate(),
@@ -229,6 +242,12 @@ fn print_report(stats: &SimStats) {
     println!("  power cycles    : {}", stats.power_cycles.len());
     println!("  checkpoints     : {}", stats.checkpoints);
     println!("  insts/cycle     : {:.0}", stats.avg_insts_per_cycle());
+    if stats.decode_faults > 0 {
+        println!(
+            "  decode faults   : {} (DETECTED consistency violations — blocks dropped)",
+            stats.decode_faults
+        );
+    }
     let lc = stats.load_consistency();
     println!("  cycle stability : {:.1}% of neighbours within 20%", lc.frac_below_20 * 100.0);
     println!("caches");
@@ -290,6 +309,33 @@ fn run() -> Result<(), String> {
     }
     let cfg = build_config(&args)?;
 
+    let inject = match args.flag("--inject-at") {
+        Some(n) => {
+            let at: u64 = n.parse().map_err(|e| format!("bad --inject-at: {e}"))?;
+            if at == 0 {
+                return Err("--inject-at is 1-based: the first boundary is 1".into());
+            }
+            if cfg.governor.is_ideal() {
+                return Err("--inject-at cannot target ideal two-phase governors (oracle replay \
+                     realigns work across power cycles)"
+                    .into());
+            }
+            let kind = match args.flag("--inject-fault").unwrap_or("power") {
+                "power" => FaultKind::PowerFailure,
+                "torn" => FaultKind::TornCheckpoint { persist_blocks: 0 },
+                "corrupt" => FaultKind::CorruptPayload { bit: 5 },
+                other => return Err(format!("unknown fault kind {other:?}")),
+            };
+            Some((at, kind))
+        }
+        None => {
+            if args.has("--inject-fault") {
+                return Err("--inject-fault needs --inject-at".into());
+            }
+            None
+        }
+    };
+
     let trace = match args.flag("--trace-file") {
         Some(path) => {
             let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
@@ -307,6 +353,9 @@ fn run() -> Result<(), String> {
         cfg.algorithm,
         cfg.trace_kind
     );
+    if let Some((at, kind)) = inject {
+        eprintln!("injecting {kind:?} after executed instruction {at}");
+    }
     let events_path = args.flag("--emit-events");
     let chrome_path = args.flag("--chrome-trace");
     let (stats, metrics) = if events_path.is_some() || chrome_path.is_some() {
@@ -317,7 +366,15 @@ fn run() -> Result<(), String> {
         if chrome_path.is_some() {
             sink.chrome = Some(ChromeTraceSink::new());
         }
-        let (stats, metrics) = run_program_with_telemetry(&program, &trace, &cfg, &mut sink);
+        let (stats, metrics) = match inject {
+            Some((at, kind)) => {
+                let mut sim = Simulator::new(cfg.clone(), &program, &trace);
+                sim.arm_fault(at, kind);
+                sim.attach_telemetry(&mut sink);
+                sim.run_instrumented()
+            }
+            None => run_program_with_telemetry(&program, &trace, &cfg, &mut sink),
+        };
         if let Some(err) = sink.jsonl.as_ref().and_then(JsonlSink::error) {
             return Err(format!("writing {}: {err}", events_path.unwrap_or("events")));
         }
@@ -330,7 +387,15 @@ fn run() -> Result<(), String> {
         }
         (stats, Some(metrics))
     } else {
-        (run_program(&program, &trace, &cfg), None)
+        let stats = match inject {
+            Some((at, kind)) => {
+                let mut sim = Simulator::new(cfg.clone(), &program, &trace);
+                sim.arm_fault(at, kind);
+                sim.run()
+            }
+            None => run_program(&program, &trace, &cfg),
+        };
+        (stats, None)
     };
     if args.has("--json") {
         let mut report = json_report(&stats);

@@ -2,6 +2,7 @@
 
 pub mod analytic;
 pub mod estimator;
+pub mod faultgrid;
 pub mod headline;
 pub mod sensitivity;
 pub mod summary;
@@ -58,6 +59,11 @@ pub const REGISTRY: &[(&str, &str, ExpFn)] = &[
         "ablation-region-size",
         "checkpoint region size on SweepCache (§VII-C)",
         sensitivity::ablation_region_size,
+    ),
+    (
+        "faultgrid",
+        "crash-consistency certification: injected power failures vs golden image",
+        faultgrid::faultgrid,
     ),
 ];
 

@@ -8,7 +8,7 @@
 //! base×delta ∈ {8×1, 8×2, 8×4, 4×1, 4×2, 2×1} — and the smallest wins.
 
 use crate::bitio::{BitReader, BitWriter};
-use crate::{passthrough, validate_block, Algorithm, CompressedBlock, Compressor};
+use crate::{passthrough, validate_block, Algorithm, CompressedBlock, Compressor, DecodeError};
 
 /// Encoding tags stored in the 4-bit header.
 const TAG_UNCOMPRESSED: u64 = 0;
@@ -174,39 +174,54 @@ impl Compressor for Bdi {
         }
     }
 
-    fn decompress_into(&self, block: &CompressedBlock, out: &mut [u8]) {
-        crate::validate_out(block, Algorithm::Bdi, out);
+    fn try_decompress_into(
+        &self,
+        block: &CompressedBlock,
+        out: &mut [u8],
+    ) -> Result<(), DecodeError> {
+        crate::check_out(block, Algorithm::Bdi, out)?;
         let len = out.len();
         let payload = block.payload();
+        let corrupt = |detail| DecodeError::Corrupt { algorithm: Algorithm::Bdi, detail };
         // Uncompressed passthrough stores a whole flag byte.
         if payload.first() == Some(&(TAG_UNCOMPRESSED as u8)) && payload.len() == len + 1 {
             out.copy_from_slice(&payload[1..]);
-            return;
+            return Ok(());
         }
         let mut r = BitReader::new(payload);
-        let tag = r.read_bits(HEADER_BITS);
+        let tag = r.try_read_bits(HEADER_BITS)?;
         match tag {
             TAG_ZEROS => out.fill(0),
             TAG_REPEAT => {
-                let v = r.read_bits(64);
+                if !len.is_multiple_of(8) {
+                    return Err(corrupt("repeat tag on a non-8-aligned block"));
+                }
+                let v = r.try_read_bits(64)?;
                 for chunk in out.chunks_exact_mut(8) {
                     chunk.copy_from_slice(&v.to_le_bytes());
                 }
             }
             t => {
-                let ci = (t - TAG_CONFIG_BASE) as usize;
-                assert!(ci < CONFIGS.len(), "corrupt BDI tag {t}");
+                let ci = t.wrapping_sub(TAG_CONFIG_BASE) as usize;
+                if ci >= CONFIGS.len() {
+                    return Err(corrupt("tag names no base\u{d7}delta configuration"));
+                }
                 let (bs, ds) = CONFIGS[ci];
+                if !len.is_multiple_of(bs as usize) {
+                    return Err(corrupt("base size does not divide the block"));
+                }
                 let n = len / bs as usize;
                 // The mask fits a register: at most len/2 values per block.
-                assert!(n <= 64, "block too large for BDI");
-                let base = r.read_bits(8 * bs);
+                if n > 64 {
+                    return Err(corrupt("block too large for BDI"));
+                }
+                let base = r.try_read_bits(8 * bs)?;
                 let mut mask = 0u64;
                 for i in 0..n {
-                    mask |= r.read_bits(1) << i;
+                    mask |= r.try_read_bits(1)? << i;
                 }
                 for (i, chunk) in out.chunks_exact_mut(bs as usize).enumerate() {
-                    let raw = r.read_bits(8 * ds);
+                    let raw = r.try_read_bits(8 * ds)?;
                     let delta = sign_extend(raw, 8 * ds);
                     let v = if (mask >> i) & 1 == 1 {
                         base.wrapping_add(delta as u64)
@@ -217,6 +232,7 @@ impl Compressor for Bdi {
                 }
             }
         }
+        Ok(())
     }
 }
 

@@ -68,6 +68,28 @@ impl BitWriter {
     }
 }
 
+/// A [`BitReader`] ran out of bits: the stream is shorter than the
+/// decoder's field layout requires (a truncated or corrupt payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exhausted {
+    /// Width of the read that failed, in bits.
+    pub needed_bits: u32,
+    /// Bit position the reader had reached when it failed.
+    pub position: u32,
+}
+
+impl std::fmt::Display for Exhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bit stream exhausted: need {} bits at position {}",
+            self.needed_bits, self.position
+        )
+    }
+}
+
+impl std::error::Error for Exhausted {}
+
 /// Reads bits MSB-first from a byte slice.
 #[derive(Debug, Clone)]
 pub struct BitReader<'a> {
@@ -87,13 +109,24 @@ impl<'a> BitReader<'a> {
     ///
     /// Panics if fewer than `width` bits remain or `width > 64`.
     pub fn read_bits(&mut self, width: u32) -> u64 {
+        match self.try_read_bits(width) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Reads `width` bits, MSB-first, returning [`Exhausted`] instead of
+    /// panicking when the stream runs out — the primitive the decoders'
+    /// corrupt-input paths are built on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` (a caller bug, not an input property).
+    pub fn try_read_bits(&mut self, width: u32) -> Result<u64, Exhausted> {
         assert!(width <= 64, "width must be at most 64");
-        assert!(
-            (self.pos + width) as usize <= self.bytes.len() * 8,
-            "bit stream exhausted: need {} bits at position {}",
-            width,
-            self.pos
-        );
+        if (self.pos + width) as usize > self.bytes.len() * 8 {
+            return Err(Exhausted { needed_bits: width, position: self.pos });
+        }
         let mut out = 0u64;
         for _ in 0..width {
             let byte = self.bytes[(self.pos / 8) as usize];
@@ -101,7 +134,7 @@ impl<'a> BitReader<'a> {
             out = (out << 1) | bit as u64;
             self.pos += 1;
         }
-        out
+        Ok(out)
     }
 
     /// Current bit position.
@@ -174,5 +207,14 @@ mod tests {
     fn overread_rejected() {
         let mut r = BitReader::new(&[0xFF]);
         r.read_bits(9);
+    }
+
+    #[test]
+    fn try_read_reports_exhaustion_as_a_value() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.try_read_bits(5), Ok(0b11111));
+        assert_eq!(r.try_read_bits(4), Err(Exhausted { needed_bits: 4, position: 5 }));
+        // A failed read consumes nothing: the remaining bits stay readable.
+        assert_eq!(r.try_read_bits(3), Ok(0b111));
     }
 }

@@ -21,7 +21,7 @@
 //! lossless and round-trip tested.
 
 use crate::bitio::{BitReader, BitWriter};
-use crate::{passthrough, validate_block, Algorithm, CompressedBlock, Compressor};
+use crate::{passthrough, validate_block, Algorithm, CompressedBlock, Compressor, DecodeError};
 
 /// Number of bit-planes after the delta transform (32-bit deltas + carry).
 const PLANES: u32 = 33;
@@ -135,34 +135,51 @@ impl Compressor for Bpc {
         CompressedBlock::new(Algorithm::Bpc, data.len() as u32, payload, bits)
     }
 
-    fn decompress_into(&self, block: &CompressedBlock, out: &mut [u8]) {
-        crate::validate_out(block, Algorithm::Bpc, out);
+    fn try_decompress_into(
+        &self,
+        block: &CompressedBlock,
+        out: &mut [u8],
+    ) -> Result<(), DecodeError> {
+        crate::check_out(block, Algorithm::Bpc, out)?;
         let len = out.len();
         let payload = block.payload();
         let mut r = BitReader::new(payload);
-        if r.read_bits(1) == 0 {
+        if r.try_read_bits(1)? == 0 {
             // Passthrough: flag byte (0) + raw bytes.
+            if payload.len() < len + 1 {
+                return Err(DecodeError::Truncated {
+                    needed_bits: (len as u32 + 1) * 8,
+                    position: payload.len() as u32 * 8,
+                });
+            }
             out.copy_from_slice(&payload[1..len + 1]);
-            return;
+            return Ok(());
         }
         let n_words = len / 4;
+        if n_words < 2 {
+            // The encoder only ever emits passthrough for such blocks.
+            return Err(DecodeError::Corrupt {
+                algorithm: Algorithm::Bpc,
+                detail: "compressed flag on a sub-2-word block",
+            });
+        }
         let n = n_words - 1;
         let ones_mask = (1u64 << n) - 1;
-        let base = r.read_bits(32) as u32;
+        let base = r.try_read_bits(32)? as u32;
         // The plane set is a fixed register file, like the hardware's
         // transpose network — no heap allocation.
         let mut planes = [0u64; PLANES as usize];
         let mut prev = 0u64;
         for plane in planes.iter_mut() {
-            let first = r.read_bits(1);
+            let first = r.try_read_bits(1)?;
             let dbx = if first == 0 {
-                if r.read_bits(1) == 0 {
+                if r.try_read_bits(1)? == 0 {
                     0
                 } else {
                     ones_mask
                 }
             } else {
-                r.read_bits(n as u32)
+                r.try_read_bits(n as u32)?
             };
             *plane = dbx ^ prev;
             prev = *plane;
@@ -180,6 +197,7 @@ impl Compressor for Bpc {
             cur += sd;
             crate::put_word(out, i + 1, cur as u32);
         }
+        Ok(())
     }
 }
 

@@ -18,7 +18,7 @@
 //! and decoder stay in lockstep.
 
 use crate::bitio::{BitReader, BitWriter};
-use crate::{validate_block, Algorithm, CompressedBlock, Compressor};
+use crate::{validate_block, Algorithm, CompressedBlock, Compressor, DecodeError};
 
 const DICT_ENTRIES: usize = 16;
 const IDX_BITS: u32 = 4;
@@ -157,43 +157,55 @@ impl Compressor for CPack {
         CompressedBlock::new(Algorithm::CPack, data.len() as u32, payload, bits)
     }
 
-    fn decompress_into(&self, block: &CompressedBlock, out: &mut [u8]) {
-        crate::validate_out(block, Algorithm::CPack, out);
+    fn try_decompress_into(
+        &self,
+        block: &CompressedBlock,
+        out: &mut [u8],
+    ) -> Result<(), DecodeError> {
+        crate::check_out(block, Algorithm::CPack, out)?;
         let n_words = out.len() / 4;
         let mut dict = Dictionary::default();
         let mut r = BitReader::new(block.payload());
         for i in 0..n_words {
-            let word = match r.read_bits(2) {
+            let word = match r.try_read_bits(2)? {
                 0b00 => 0,
                 0b01 => {
-                    let word = r.read_bits(32) as u32;
+                    let word = r.try_read_bits(32)? as u32;
                     dict.push(word);
                     word
                 }
-                0b10 => dict.get(r.read_bits(IDX_BITS) as usize),
-                _ => match r.read_bits(2) {
-                    0b01 => r.read_bits(8) as u32, // zzzx
+                0b10 => dict.get(r.try_read_bits(IDX_BITS)? as usize),
+                _ => match r.try_read_bits(2)? {
+                    0b01 => r.try_read_bits(8)? as u32, // zzzx
                     0b10 => {
                         // mmmx
-                        let idx = r.read_bits(IDX_BITS) as usize;
-                        let lit = r.read_bits(8) as u32;
+                        let idx = r.try_read_bits(IDX_BITS)? as usize;
+                        let lit = r.try_read_bits(8)? as u32;
                         let word = (dict.get(idx) & 0xFFFF_FF00) | lit;
                         dict.push(word);
                         word
                     }
                     0b00 => {
                         // mmxx
-                        let idx = r.read_bits(IDX_BITS) as usize;
-                        let lit = r.read_bits(16) as u32;
+                        let idx = r.try_read_bits(IDX_BITS)? as usize;
+                        let lit = r.try_read_bits(16)? as u32;
                         let word = (dict.get(idx) & 0xFFFF_0000) | lit;
                         dict.push(word);
                         word
                     }
-                    code => panic!("corrupt C-Pack stream: code 11{code:02b}"),
+                    // The encoder never emits code 1111: only a corrupted
+                    // stream reaches here.
+                    _ => {
+                        return Err(DecodeError::Corrupt {
+                            algorithm: Algorithm::CPack,
+                            detail: "code 1111 is never emitted",
+                        })
+                    }
                 },
             };
             crate::put_word(out, i, word);
         }
+        Ok(())
     }
 }
 

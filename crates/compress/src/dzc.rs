@@ -7,7 +7,7 @@
 //! proportional to the zero-byte density of the block.
 
 use crate::bitio::{BitReader, BitWriter};
-use crate::{validate_block, Algorithm, CompressedBlock, Compressor};
+use crate::{validate_block, Algorithm, CompressedBlock, Compressor, DecodeError};
 
 /// The Dynamic Zero Compression engine.
 ///
@@ -59,19 +59,29 @@ impl Compressor for Dzc {
         CompressedBlock::new(Algorithm::Dzc, data.len() as u32, payload, bits)
     }
 
-    fn decompress_into(&self, block: &CompressedBlock, out: &mut [u8]) {
-        crate::validate_out(block, Algorithm::Dzc, out);
+    fn try_decompress_into(
+        &self,
+        block: &CompressedBlock,
+        out: &mut [u8],
+    ) -> Result<(), DecodeError> {
+        crate::check_out(block, Algorithm::Dzc, out)?;
         let len = out.len();
         // The ZIB vector fits a register pair: blocks are at most 128 B.
-        assert!(len <= 128, "block too large for DZC");
+        if len > 128 {
+            return Err(DecodeError::Corrupt {
+                algorithm: Algorithm::Dzc,
+                detail: "block too large for DZC",
+            });
+        }
         let mut r = BitReader::new(block.payload());
         let mut zibs = 0u128;
         for i in 0..len {
-            zibs |= (r.read_bits(1) as u128) << i;
+            zibs |= (r.try_read_bits(1)? as u128) << i;
         }
         for (i, b) in out.iter_mut().enumerate() {
-            *b = if (zibs >> i) & 1 == 1 { 0 } else { r.read_bits(8) as u8 };
+            *b = if (zibs >> i) & 1 == 1 { 0 } else { r.try_read_bits(8)? as u8 };
         }
+        Ok(())
     }
 }
 

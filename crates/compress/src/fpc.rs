@@ -16,7 +16,7 @@
 //! | 111    | uncompressed word                        | 32 bits |
 
 use crate::bitio::{BitReader, BitWriter};
-use crate::{validate_block, Algorithm, CompressedBlock, Compressor};
+use crate::{validate_block, Algorithm, CompressedBlock, Compressor, DecodeError};
 
 const P_ZERO_RUN: u64 = 0b000;
 const P_SE4: u64 = 0b001;
@@ -119,42 +119,52 @@ impl Compressor for Fpc {
         CompressedBlock::new(Algorithm::Fpc, data.len() as u32, payload, bits)
     }
 
-    fn decompress_into(&self, block: &CompressedBlock, out: &mut [u8]) {
-        crate::validate_out(block, Algorithm::Fpc, out);
+    fn try_decompress_into(
+        &self,
+        block: &CompressedBlock,
+        out: &mut [u8],
+    ) -> Result<(), DecodeError> {
+        crate::check_out(block, Algorithm::Fpc, out)?;
         let n_words = out.len() / 4;
         let mut r = BitReader::new(block.payload());
         let mut i = 0usize;
         while i < n_words {
-            let prefix = r.read_bits(3);
+            let prefix = r.try_read_bits(3)?;
             let word = match prefix {
                 P_ZERO_RUN => {
-                    let run = r.read_bits(3) as usize + 1;
-                    assert!(i + run <= n_words, "corrupt FPC stream");
+                    let run = r.try_read_bits(3)? as usize + 1;
+                    if i + run > n_words {
+                        return Err(DecodeError::Corrupt {
+                            algorithm: Algorithm::Fpc,
+                            detail: "zero run overflows the block",
+                        });
+                    }
                     for _ in 0..run {
                         crate::put_word(out, i, 0);
                         i += 1;
                     }
                     continue;
                 }
-                P_SE4 => sign_extend32(r.read_bits(4) as u32, 4),
-                P_SE8 => sign_extend32(r.read_bits(8) as u32, 8),
-                P_SE16 => sign_extend32(r.read_bits(16) as u32, 16),
-                P_HALF_PAD => (r.read_bits(16) as u32) << 16,
+                P_SE4 => sign_extend32(r.try_read_bits(4)? as u32, 4),
+                P_SE8 => sign_extend32(r.try_read_bits(8)? as u32, 8),
+                P_SE16 => sign_extend32(r.try_read_bits(16)? as u32, 16),
+                P_HALF_PAD => (r.try_read_bits(16)? as u32) << 16,
                 P_TWO_HALF => {
-                    let lo = sign_extend32(r.read_bits(8) as u32, 8) & 0xFFFF;
-                    let hi = sign_extend32(r.read_bits(8) as u32, 8) & 0xFFFF;
+                    let lo = sign_extend32(r.try_read_bits(8)? as u32, 8) & 0xFFFF;
+                    let hi = sign_extend32(r.try_read_bits(8)? as u32, 8) & 0xFFFF;
                     lo | (hi << 16)
                 }
                 P_REP_BYTE => {
-                    let b = r.read_bits(8) as u32;
+                    let b = r.try_read_bits(8)? as u32;
                     b | (b << 8) | (b << 16) | (b << 24)
                 }
-                P_RAW => r.read_bits(32) as u32,
+                P_RAW => r.try_read_bits(32)? as u32,
                 _ => unreachable!("3-bit prefix"),
             };
             crate::put_word(out, i, word);
             i += 1;
         }
+        Ok(())
     }
 }
 

@@ -12,7 +12,7 @@
 //! Encoding per 32-bit word: 1 flag bit + (3-bit table index | raw word).
 
 use crate::bitio::{BitReader, BitWriter};
-use crate::{validate_block, Algorithm, CompressedBlock, Compressor};
+use crate::{validate_block, Algorithm, CompressedBlock, Compressor, DecodeError};
 
 /// The static frequent-value table (7 entries; index 7 = the per-block
 /// dynamic value).
@@ -106,24 +106,29 @@ impl Compressor for Fvc {
         CompressedBlock::new(Algorithm::Fvc, data.len() as u32, payload, bits)
     }
 
-    fn decompress_into(&self, block: &CompressedBlock, out: &mut [u8]) {
-        crate::validate_out(block, Algorithm::Fvc, out);
+    fn try_decompress_into(
+        &self,
+        block: &CompressedBlock,
+        out: &mut [u8],
+    ) -> Result<(), DecodeError> {
+        crate::check_out(block, Algorithm::Fvc, out)?;
         let n_words = out.len() / 4;
         let mut r = BitReader::new(block.payload());
-        let dynamic = r.read_bits(32) as u32;
+        let dynamic = r.try_read_bits(32)? as u32;
         for i in 0..n_words {
-            let word = if r.read_bits(1) == 1 {
-                let idx = r.read_bits(3);
+            let word = if r.try_read_bits(1)? == 1 {
+                let idx = r.try_read_bits(3)?;
                 if idx == DYNAMIC_SLOT {
                     dynamic
                 } else {
                     STATIC_TABLE[idx as usize]
                 }
             } else {
-                r.read_bits(32) as u32
+                r.try_read_bits(32)? as u32
             };
             crate::put_word(out, i, word);
         }
+        Ok(())
     }
 }
 

@@ -20,9 +20,17 @@
 //! * [`Bpc`] — Bit-Plane Compression (Kim et al., ISCA'16).
 //! * [`Fvc`] — Frequent Value Compression (Yang et al., MICRO'00).
 //!
-//! All compressors are infallible and lossless: [`Compressor::compress`]
-//! always yields an encoding (possibly an uncompressed passthrough) and
-//! [`Compressor::decompress`] restores the original bytes exactly.
+//! All compressors are infallible and lossless on the encode side:
+//! [`Compressor::compress`] always yields an encoding (possibly an
+//! uncompressed passthrough) and decoding it restores the original bytes
+//! exactly. The decode side is *fallible by design*:
+//! [`Compressor::try_decompress_into`] returns a [`DecodeError`] value on
+//! a truncated or bit-flipped payload — corruption is a value, not a
+//! crash — so fault-injection harnesses can surface a mangled checkpoint
+//! stream as a *detected* consistency violation instead of an abort. The
+//! panicking [`Compressor::decompress_into`] / [`Compressor::decompress`]
+//! wrappers remain for hot paths that only ever see their own encoder's
+//! output.
 //!
 //! # Examples
 //!
@@ -57,6 +65,70 @@ pub use cpack::CPack;
 pub use dzc::Dzc;
 pub use fpc::Fpc;
 pub use fvc::Fvc;
+
+/// Why a compressed payload failed to decode.
+///
+/// Decoders never panic and never read out of bounds on corrupt input:
+/// every structurally impossible stream maps to one of these values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The block was produced by a different algorithm than the decoder.
+    WrongAlgorithm {
+        /// The decoder's algorithm.
+        expected: Algorithm,
+        /// The block's algorithm.
+        got: Algorithm,
+    },
+    /// The output buffer is not exactly one original block.
+    OutputLen {
+        /// The block's original size in bytes.
+        expected: u32,
+        /// The buffer length supplied.
+        got: usize,
+    },
+    /// The bitstream ended before the decoder read every field.
+    Truncated {
+        /// Width of the read that failed, in bits.
+        needed_bits: u32,
+        /// Bit position the decoder had reached.
+        position: u32,
+    },
+    /// A field holds a value the encoder can never emit (bad tag,
+    /// impossible run length, oversized geometry).
+    Corrupt {
+        /// The decoding algorithm.
+        algorithm: Algorithm,
+        /// What was impossible about the stream.
+        detail: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DecodeError::WrongAlgorithm { expected, got } => {
+                write!(f, "not a {expected} block (got {got})")
+            }
+            DecodeError::OutputLen { expected, got } => {
+                write!(f, "output buffer must be exactly one original block ({expected} bytes, got {got})")
+            }
+            DecodeError::Truncated { needed_bits, position } => {
+                write!(f, "bit stream exhausted: need {needed_bits} bits at position {position}")
+            }
+            DecodeError::Corrupt { algorithm, detail } => {
+                write!(f, "corrupt {algorithm} stream: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<bitio::Exhausted> for DecodeError {
+    fn from(e: bitio::Exhausted) -> Self {
+        DecodeError::Truncated { needed_bits: e.needed_bits, position: e.position }
+    }
+}
 
 /// Identifies one of the modelled compression algorithms (the paper's
 /// four evaluated schemes plus two related-work extensions).
@@ -265,12 +337,28 @@ pub trait Compressor {
     /// (cache blocks are word-aligned).
     fn compress(&self, data: &[u8]) -> CompressedBlock;
 
+    /// Decompresses a block into a caller-provided buffer, without
+    /// allocating, reporting corruption as a [`DecodeError`] value.
+    ///
+    /// This is the primitive everything else builds on: the caller owns
+    /// the destination (a resident cache line, a scratch block) and the
+    /// decoder writes every byte of it on success. On `Err` the buffer
+    /// contents are unspecified (partially written), but the decoder has
+    /// neither panicked nor read out of bounds — corrupt payloads are a
+    /// *value*, which lets fault-injection harnesses count a mangled
+    /// checkpoint stream as a detected consistency violation.
+    fn try_decompress_into(
+        &self,
+        block: &CompressedBlock,
+        out: &mut [u8],
+    ) -> Result<(), DecodeError>;
+
     /// Decompresses a block produced by [`Compressor::compress`] into a
     /// caller-provided buffer, without allocating.
     ///
-    /// This is the primitive the simulator's hot path uses: the caller
-    /// owns the destination (a resident cache line, a scratch block) and
-    /// the decoder writes every byte of it.
+    /// This is the simulator's hot-path wrapper for payloads it encoded
+    /// itself; use [`Compressor::try_decompress_into`] for input that may
+    /// be corrupt.
     ///
     /// # Panics
     ///
@@ -278,7 +366,20 @@ pub trait Compressor {
     /// produced by a different algorithm, or if the payload is corrupt
     /// (the latter cannot happen for values returned by this crate's
     /// compressors).
-    fn decompress_into(&self, block: &CompressedBlock, out: &mut [u8]);
+    fn decompress_into(&self, block: &CompressedBlock, out: &mut [u8]) {
+        if let Err(e) = self.try_decompress_into(block, out) {
+            panic!("{e}");
+        }
+    }
+
+    /// Decompresses a block into a fresh allocation, reporting corruption
+    /// as a [`DecodeError`] value (allocating wrapper over
+    /// [`Compressor::try_decompress_into`]).
+    fn try_decompress(&self, block: &CompressedBlock) -> Result<Vec<u8>, DecodeError> {
+        let mut out = vec![0u8; block.original_bytes() as usize];
+        self.try_decompress_into(block, &mut out)?;
+        Ok(out)
+    }
 
     /// Decompresses a block produced by [`Compressor::compress`] into a
     /// fresh allocation (convenience wrapper over
@@ -351,14 +452,18 @@ impl Compressor for AnyCompressor {
         }
     }
 
-    fn decompress_into(&self, block: &CompressedBlock, out: &mut [u8]) {
+    fn try_decompress_into(
+        &self,
+        block: &CompressedBlock,
+        out: &mut [u8],
+    ) -> Result<(), DecodeError> {
         match self {
-            AnyCompressor::Bdi(c) => c.decompress_into(block, out),
-            AnyCompressor::Fpc(c) => c.decompress_into(block, out),
-            AnyCompressor::CPack(c) => c.decompress_into(block, out),
-            AnyCompressor::Dzc(c) => c.decompress_into(block, out),
-            AnyCompressor::Bpc(c) => c.decompress_into(block, out),
-            AnyCompressor::Fvc(c) => c.decompress_into(block, out),
+            AnyCompressor::Bdi(c) => c.try_decompress_into(block, out),
+            AnyCompressor::Fpc(c) => c.try_decompress_into(block, out),
+            AnyCompressor::CPack(c) => c.try_decompress_into(block, out),
+            AnyCompressor::Dzc(c) => c.try_decompress_into(block, out),
+            AnyCompressor::Bpc(c) => c.try_decompress_into(block, out),
+            AnyCompressor::Fvc(c) => c.try_decompress_into(block, out),
         }
     }
 }
@@ -371,14 +476,19 @@ pub(crate) fn validate_block(data: &[u8]) {
     );
 }
 
-/// Checks a `decompress_into` destination against the block's metadata.
-pub(crate) fn validate_out(block: &CompressedBlock, expected: Algorithm, out: &[u8]) {
-    assert_eq!(block.algorithm(), expected, "not a {} block", expected.name());
-    assert_eq!(
-        out.len(),
-        block.original_bytes() as usize,
-        "output buffer must be exactly one original block"
-    );
+/// Checks a decompression destination against the block's metadata.
+pub(crate) fn check_out(
+    block: &CompressedBlock,
+    expected: Algorithm,
+    out: &[u8],
+) -> Result<(), DecodeError> {
+    if block.algorithm() != expected {
+        return Err(DecodeError::WrongAlgorithm { expected, got: block.algorithm() });
+    }
+    if out.len() != block.original_bytes() as usize {
+        return Err(DecodeError::OutputLen { expected: block.original_bytes(), got: out.len() });
+    }
+    Ok(())
 }
 
 /// Writes the 32-bit `word` at word index `idx` of `out`, little-endian.

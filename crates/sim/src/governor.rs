@@ -1,6 +1,7 @@
 //! A concrete governor instance for the simulator, covering every policy
 //! combination the evaluation needs (including the oracle's two phases).
 
+use crate::config::ConfigError;
 use ehs_cache::{FillMode, HitInfo};
 use kagura_core::{
     Acc, AlwaysCompress, CompressionGovernor, Kagura, KaguraConfig, NeverCompress, OracleRecorder,
@@ -115,15 +116,20 @@ impl Governor {
 
     /// Oracle recording: extracts the trace (consumes the governor).
     ///
-    /// # Panics
-    ///
-    /// Panics if this governor is not a recording variant.
-    pub fn into_oracle_trace(self) -> OracleTrace {
+    /// Returns [`ConfigError::NotARecorder`] for non-recording variants —
+    /// a configuration mistake the runner reports before any simulation
+    /// work starts, rather than a mid-run panic.
+    pub fn into_oracle_trace(self) -> Result<OracleTrace, ConfigError> {
         match self {
-            Governor::RecordAcc(r) => r.into_trace(),
-            Governor::RecordKagura(r) => r.into_trace(),
-            _ => panic!("not an oracle-recording governor"),
+            Governor::RecordAcc(r) => Ok(r.into_trace()),
+            Governor::RecordKagura(r) => Ok(r.into_trace()),
+            other => Err(ConfigError::NotARecorder { governor: other.name() }),
         }
+    }
+
+    /// `true` for the oracle recording variants.
+    pub fn is_recorder(&self) -> bool {
+        matches!(self, Governor::RecordAcc(_) | Governor::RecordKagura(_))
     }
 
     /// Starts collecting controller events on policies that produce them
@@ -217,7 +223,7 @@ mod tests {
         rec.mark_useful(id);
         rec.on_mem_commit();
         let _ = rec.record_fill();
-        let trace = rec.into_oracle_trace();
+        let trace = rec.into_oracle_trace().expect("recorder yields a trace");
         assert_eq!(trace.switch_point(0), Some(3));
 
         let mut rep = Governor::replay_acc(trace);
@@ -241,8 +247,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not an oracle-recording governor")]
     fn non_recorder_cannot_yield_trace() {
-        let _ = Governor::acc().into_oracle_trace();
+        let err = Governor::acc().into_oracle_trace().unwrap_err();
+        assert_eq!(err, ConfigError::NotARecorder { governor: "ACC" });
+        assert_eq!(err.to_string(), "ACC is not an oracle-recording governor");
+        assert!(!Governor::acc().is_recorder());
+        assert!(Governor::record_acc().is_recorder());
     }
 }

@@ -38,15 +38,17 @@
 //! ```
 
 pub mod config;
+pub mod faultinject;
 pub mod governor;
 pub mod machine;
 pub mod parallel;
 pub mod runner;
 pub mod stats;
 
-pub use config::{EhsDesign, Extension, GovernorSpec, SimConfig};
+pub use config::{ConfigError, EhsDesign, Extension, GovernorSpec, SimConfig};
+pub use faultinject::{FaultCampaignReport, GoldenState, InjectionPlan};
 pub use governor::Governor;
-pub use machine::Simulator;
+pub use machine::{FaultKind, Simulator};
 pub use parallel::{run_batch, SimJob};
 pub use runner::{
     run_app, run_app_with_telemetry, run_ideal_app, run_program, run_program_with_telemetry,

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use ehs_cache::{CacheConfig, CompressedCache, Evicted, FillOutcome};
+use ehs_compress::Compressor as _;
 use ehs_energy::{Capacitor, EnergyBreakdown, EnergyCategory, PowerTrace, VoltageMonitor};
 use ehs_mem::Nvm;
 use ehs_model::inst::InstKind;
@@ -60,6 +61,39 @@ impl OracleMap {
 
 /// How often (committed instructions) the EDBP decay scan runs.
 const EDBP_SCAN_PERIOD: u64 = 128;
+
+/// What a forced fault does when it fires (see [`Simulator::arm_fault`]).
+///
+/// The first variant models the supply browning out at an instruction
+/// boundary; the other two additionally mutate the checkpoint datapath
+/// itself, for differential testing of the recovery machinery (they only
+/// have extra effect under [`EhsDesign::NvsramCache`], the one design
+/// with an explicit checkpoint — the others degrade to `PowerFailure`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A clean forced power failure: the normal wind-down runs to
+    /// completion, exactly as if the voltage monitor had fired.
+    PowerFailure,
+    /// Power dies *mid*-checkpoint: only the first `persist_blocks` dirty
+    /// blocks reach NVM, the rest are lost. A correct recovery path must
+    /// either tolerate or detect this; the harness uses it as its
+    /// built-in mutation test (a silently-torn checkpoint must show up as
+    /// a divergent memory image).
+    TornCheckpoint {
+        /// Dirty blocks persisted before the cut.
+        persist_blocks: u32,
+    },
+    /// The checkpoint datapath flips bit `bit mod payload_bits` of the
+    /// first *compressed* dirty block's encoded payload. A decode failure
+    /// is surfaced as a detected violation ([`SimStats::decode_faults`],
+    /// [`Event::DecodeFault`]) and the block is dropped from the
+    /// checkpoint; a flip that still decodes persists the mangled bytes
+    /// (silent corruption, caught by the harness's image diff).
+    CorruptPayload {
+        /// Which payload bit to flip (taken modulo the payload size).
+        bit: u32,
+    },
+}
 
 /// Pre-registered metric handles for an instrumented run, resolved once
 /// at attach time so the hot path never looks anything up by name.
@@ -164,6 +198,11 @@ pub struct Simulator<'p> {
     sweep_region_live: u64,
     sweeps_this_cycle: u32,
     running: bool,
+    /// One-shot forced fault: fires when `stats.executed_insts` reaches
+    /// the threshold. Keyed on *executed* (not committed) instructions so
+    /// an injection point stays meaningful under SweepCache rollback,
+    /// where `inst_index` moves backwards.
+    fault: Option<(u64, FaultKind)>,
 
     breakdown: EnergyBreakdown,
     stats: SimStats,
@@ -255,6 +294,7 @@ impl<'p> Simulator<'p> {
             sweep_region_live: sweep_region,
             sweeps_this_cycle: 0,
             running: true,
+            fault: None,
             breakdown: EnergyBreakdown::default(),
             stats: SimStats::default(),
             cycle: CycleRecord::default(),
@@ -265,6 +305,28 @@ impl<'p> Simulator<'p> {
             shadow_d,
             edbp_countdown: EDBP_SCAN_PERIOD,
             telemetry: None,
+        }
+    }
+
+    /// Arms a one-shot forced fault that fires immediately after the
+    /// `at_executed_inst`-th executed instruction (1-based), regardless of
+    /// the capacitor's state. Used by the fault-injection harness
+    /// ([`crate::faultinject`]) to place a power failure at an exact
+    /// instruction boundary under a steady power trace, so the injected
+    /// failure is the only one in the run and the experiment is
+    /// deterministic and replayable.
+    pub fn arm_fault(&mut self, at_executed_inst: u64, kind: FaultKind) {
+        self.fault = Some((at_executed_inst, kind));
+    }
+
+    /// Consumes the armed fault if its trigger point has been reached.
+    fn take_due_fault(&mut self) -> Option<FaultKind> {
+        match self.fault {
+            Some((at, kind)) if self.stats.executed_insts >= at => {
+                self.fault = None;
+                Some(kind)
+            }
+            _ => None,
         }
     }
 
@@ -310,7 +372,8 @@ impl<'p> Simulator<'p> {
         let gov = std::mem::replace(&mut sim.gov, Governor::none());
         let mut stats = sim.finish();
         stats.completed = completed;
-        (stats, gov.into_oracle_trace())
+        let trace = gov.into_oracle_trace().expect("run_recording requires a recording governor");
+        (stats, trace)
     }
 
     /// Runs to completion like [`Simulator::run`], returning the metrics
@@ -345,8 +408,10 @@ impl<'p> Simulator<'p> {
                 continue;
             }
             self.step();
-            if self.cap.below_checkpoint() {
-                self.power_failure();
+            if let Some(kind) = self.take_due_fault() {
+                self.power_failure(Some(kind));
+            } else if self.cap.below_checkpoint() {
+                self.power_failure(None);
             }
         }
     }
@@ -801,9 +866,11 @@ impl<'p> Simulator<'p> {
         self.sweeps_this_cycle += 1;
     }
 
-    /// The voltage monitor fired (or the supply browned out): wind down.
-    fn power_failure(&mut self) {
+    /// The voltage monitor fired (or the supply browned out), or a forced
+    /// fault is firing (`injected`): wind down.
+    fn power_failure(&mut self, injected: Option<FaultKind>) {
         let mut ckpt_blocks = 0u32;
+        let mut decode_faults = 0u32;
         match self.cfg.design {
             EhsDesign::NvsramCache => {
                 // JIT checkpoint: dirty blocks + registers to NVM/NVFF.
@@ -813,14 +880,59 @@ impl<'p> Simulator<'p> {
                 let cap = &mut self.cap;
                 let breakdown = &mut self.breakdown;
                 let nvm = &mut self.nvm;
+                let comp = self.dcache.compressor().clone();
                 let decompress_energy = self.comp_cost.decompress_energy;
                 let clock_hz = self.cfg.system.core.clock_hz;
                 let mut ckpt_time = SimTime::ZERO;
                 let blocks = &mut ckpt_blocks;
+                let faults = &mut decode_faults;
+                // Injected checkpoint-path mutations (None in real runs).
+                let torn_limit = match injected {
+                    Some(FaultKind::TornCheckpoint { persist_blocks }) => Some(persist_blocks),
+                    _ => None,
+                };
+                let mut corrupt_bit = match injected {
+                    Some(FaultKind::CorruptPayload { bit }) => Some(bit),
+                    _ => None,
+                };
                 self.dcache.for_each_dirty(|addr, data, was_compressed| {
+                    if torn_limit.is_some_and(|limit| *blocks >= limit) {
+                        return; // power died mid-checkpoint: block lost
+                    }
                     if was_compressed {
                         cap.drain(decompress_energy);
                         breakdown.record(EnergyCategory::Decompress, decompress_energy);
+                    }
+                    if was_compressed && corrupt_bit.is_some() {
+                        // The injected datapath fault mangles this block's
+                        // encoded form on its way out. A decode failure is
+                        // *detected* (the block is dropped, not persisted);
+                        // a flip that still decodes writes mangled bytes.
+                        let bit = corrupt_bit.take().expect("checked is_some");
+                        let enc = comp.compress(data.as_slice());
+                        let mut payload = enc.payload().to_vec();
+                        let b = bit as usize % (payload.len() * 8);
+                        payload[b / 8] ^= 1 << (b % 8);
+                        let mangled = ehs_compress::CompressedBlock::new(
+                            enc.algorithm(),
+                            enc.original_bytes(),
+                            payload,
+                            enc.encoded_bits(),
+                        );
+                        let mut scratch = vec![0u8; data.len()];
+                        match comp.try_decompress_into(&mangled, &mut scratch) {
+                            Ok(()) => {
+                                let block = ehs_model::BlockData::from_bytes(scratch);
+                                let w = nvm.write_block_from(addr, &block);
+                                cap.drain(w.energy);
+                                breakdown.record(EnergyCategory::CheckpointRestore, w.energy);
+                                ckpt_time +=
+                                    SimTime::from_seconds(w.latency.get() as f64 / clock_hz);
+                                *blocks += 1;
+                            }
+                            Err(_) => *faults += 1,
+                        }
+                        return;
                     }
                     let w = nvm.write_block_from(addr, data);
                     cap.drain(w.energy);
@@ -863,6 +975,7 @@ impl<'p> Simulator<'p> {
         self.shadow_i.clear();
         self.shadow_d.clear();
         self.gov.on_power_failure();
+        self.stats.decode_faults += decode_faults as u64;
         if let Some((t, h)) = self.telemetry.as_mut() {
             let t_us = self.now.micros();
             // The cycle being closed: its index is the number already
@@ -871,6 +984,9 @@ impl<'p> Simulator<'p> {
             if self.cfg.design == EhsDesign::NvsramCache {
                 t.metrics.inc(h.checkpoint_blocks, ckpt_blocks as u64);
                 t.emit(t_us, cycle, Event::Checkpoint { blocks: ckpt_blocks });
+            }
+            if decode_faults > 0 {
+                t.emit(t_us, cycle, Event::DecodeFault { blocks: decode_faults });
             }
             self.gov.drain_events(|ev| t.emit(t_us, cycle, ev));
             let voltage = self.cap.voltage();
@@ -1131,10 +1247,9 @@ mod debug_tests {
             GovernorSpec::AccKagura(Default::default()),
         ] {
             let mut cfg = SimConfig::table1().with_governor(gov);
-            if std::env::var("DUMP_SWEEP").is_ok() {
+            if let Ok(sweep) = std::env::var("DUMP_SWEEP") {
                 cfg.design = EhsDesign::SweepCache;
-                cfg.costs.sweep_region =
-                    std::env::var("DUMP_SWEEP").unwrap().parse().unwrap_or(512);
+                cfg.costs.sweep_region = sweep.parse().unwrap_or(512);
             }
             let program = app.build(scale);
             let trace = PowerTrace::generate(cfg.trace_kind, cfg.trace_seed, 4_000_000);

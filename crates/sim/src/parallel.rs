@@ -107,9 +107,27 @@ impl SimJob {
     fn run(self) -> SimStats {
         // The span label names the workload and policy; its cost is only
         // paid when span recording is enabled (see `ehs_telemetry::spans`).
-        let _span = spans::span("sim", || format!("{}:{}", self.app, self.cfg.governor.label()));
-        run_app(self.app, self.scale, &self.cfg)
+        let label = format!("{}:{}", self.app, self.cfg.governor.label());
+        let _span = spans::span("sim", || label.clone());
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_app(self.app, self.scale, &self.cfg)
+        })) {
+            Ok(stats) => stats,
+            // Re-panic with the workload × policy attached, so a batch
+            // failure names the simulation that died, not just a slot.
+            Err(payload) => panic!("simulation {label} panicked: {}", panic_message(&*payload)),
+        }
     }
+}
+
+/// Best-effort text of a panic payload (panics carry `&str` or `String`
+/// in practice; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string panic payload>")
 }
 
 /// Runs a batch of simulation jobs on the worker pool.
@@ -168,7 +186,9 @@ where
     }
 
     let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let slots: Vec<Mutex<Option<R>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    // Each slot holds the job's result or its captured panic message:
+    // one dead job must not discard the rest of the batch unexplained.
+    let slots: Vec<Mutex<Option<Result<R, String>>>> = (0..len).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
 
     thread::scope(|scope| {
@@ -188,7 +208,11 @@ where
                         .unwrap_or_else(|e| e.into_inner())
                         .take()
                         .expect("work item taken twice");
-                    let result = f(item);
+                    // Catch the payload so the coordinator can name the
+                    // job that died (the raw scope join would surface an
+                    // anonymous "a scoped thread panicked").
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)))
+                        .map_err(|p| panic_message(&*p).to_string());
                     *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
                 }
             });
@@ -198,10 +222,10 @@ where
     slots
         .into_iter()
         .enumerate()
-        .map(|(i, slot)| {
-            slot.into_inner()
-                .unwrap_or_else(|e| e.into_inner())
-                .unwrap_or_else(|| panic!("job {i} produced no result"))
+        .map(|(i, slot)| match slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            Some(Ok(result)) => result,
+            Some(Err(msg)) => panic!("job {i} panicked: {msg}"),
+            None => panic!("job {i} produced no result (worker died before storing it)"),
         })
         .collect()
 }
@@ -246,6 +270,23 @@ mod tests {
             assert_eq!(direct.sim_time, stats.sim_time, "batch result diverged for {:?}", job.app);
             assert_eq!(direct.total_cycles, stats.total_cycles);
         }
+    }
+
+    #[test]
+    fn worker_panics_resurface_with_job_context() {
+        set_max_workers(4);
+        let result = std::panic::catch_unwind(|| {
+            map((0..8).collect::<Vec<u64>>(), |i| {
+                if i == 5 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        });
+        let payload = result.expect_err("batch with a panicking job must panic");
+        let msg = panic_message(&*payload);
+        assert!(msg.contains("job 5"), "missing job index: {msg}");
+        assert!(msg.contains("boom at 5"), "missing original payload: {msg}");
     }
 
     #[test]

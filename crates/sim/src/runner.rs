@@ -7,10 +7,11 @@ use ehs_energy::{PowerTrace, TraceKind};
 use ehs_telemetry::{MetricsRegistry, Sink};
 use ehs_workloads::{App, KernelProgram};
 
-use crate::config::{GovernorSpec, SimConfig};
+use crate::config::{ConfigError, GovernorSpec, SimConfig};
 use crate::governor::Governor;
 use crate::machine::Simulator;
 use crate::stats::SimStats;
+use kagura_core::CompressionGovernor as _;
 
 /// Default generated-trace length in 10 µs windows (≈ 40 s of ambient
 /// input, far more than any run consumes before wrapping).
@@ -45,9 +46,12 @@ pub fn default_trace(cfg: &SimConfig) -> Arc<PowerTrace> {
 /// Ideal (two-phase) governor specs are decomposed automatically.
 pub fn run_program(program: &KernelProgram, trace: &PowerTrace, cfg: &SimConfig) -> SimStats {
     match cfg.governor {
-        GovernorSpec::IdealAcc => run_ideal(program, trace, cfg, Governor::record_acc()),
+        // Spec-derived recorders always match their own spec.
+        GovernorSpec::IdealAcc => run_ideal(program, trace, cfg, Governor::record_acc())
+            .expect("spec-derived recorder validates"),
         GovernorSpec::IdealAccKagura(kcfg) => {
             run_ideal(program, trace, cfg, Governor::record_kagura(kcfg))
+                .expect("spec-derived recorder validates")
         }
         _ => Simulator::new(cfg.clone(), program, trace).run(),
     }
@@ -79,9 +83,11 @@ pub fn run_program_with_telemetry(
     match cfg.governor {
         GovernorSpec::IdealAcc => {
             run_ideal_telemetry(program, trace, cfg, Governor::record_acc(), Some(sink))
+                .expect("spec-derived recorder validates")
         }
         GovernorSpec::IdealAccKagura(kcfg) => {
             run_ideal_telemetry(program, trace, cfg, Governor::record_kagura(kcfg), Some(sink))
+                .expect("spec-derived recorder validates")
         }
         _ => {
             let mut sim = Simulator::new(cfg.clone(), program, trace);
@@ -105,10 +111,39 @@ pub fn run_app_with_telemetry(
 
 /// Explicit two-phase ideal run (paper Fig 13's "ideal" methodology):
 /// record which compressions pay off, then replay compressing only those.
-pub fn run_ideal_app(app: App, scale: f64, cfg: &SimConfig, recorder: Governor) -> SimStats {
+///
+/// Returns a [`ConfigError`] — *before* any simulation work — when
+/// `recorder` is not a recording governor, or when it is a Kagura
+/// recorder but `cfg.governor` carries no Kagura config for the replay
+/// phase to reuse.
+pub fn run_ideal_app(
+    app: App,
+    scale: f64,
+    cfg: &SimConfig,
+    recorder: Governor,
+) -> Result<SimStats, ConfigError> {
     let program = app.build(scale);
     let trace = default_trace(cfg);
     run_ideal(&program, &trace, cfg, recorder)
+}
+
+/// Rejects recorder/spec combinations the replay phase cannot honor.
+///
+/// A Kagura recorder must replay with the very Kagura parameters the
+/// recording phase observed; silently substituting defaults would make
+/// the "ideal" comparison quietly measure the wrong config. Checked up
+/// front so a bad grid point fails fast instead of after the (expensive)
+/// recording pass.
+fn validate_recorder(recorder: &Governor, spec: &GovernorSpec) -> Result<(), ConfigError> {
+    if !recorder.is_recorder() {
+        return Err(ConfigError::NotARecorder { governor: recorder.name() });
+    }
+    if matches!(recorder, Governor::RecordKagura(_))
+        && !matches!(spec, GovernorSpec::IdealAccKagura(_) | GovernorSpec::AccKagura(_))
+    {
+        return Err(ConfigError::RecorderMismatch { recorder: "ACC+Kagura", spec: spec.label() });
+    }
+    Ok(())
 }
 
 fn run_ideal(
@@ -116,8 +151,8 @@ fn run_ideal(
     trace: &PowerTrace,
     cfg: &SimConfig,
     recorder: Governor,
-) -> SimStats {
-    run_ideal_telemetry(program, trace, cfg, recorder, None).0
+) -> Result<SimStats, ConfigError> {
+    run_ideal_telemetry(program, trace, cfg, recorder, None).map(|(stats, _)| stats)
 }
 
 fn run_ideal_telemetry(
@@ -126,33 +161,29 @@ fn run_ideal_telemetry(
     cfg: &SimConfig,
     recorder: Governor,
     sink: Option<&mut dyn Sink>,
-) -> (SimStats, MetricsRegistry) {
+) -> Result<(SimStats, MetricsRegistry), ConfigError> {
+    validate_recorder(&recorder, &cfg.governor)?;
     let is_kagura = matches!(recorder, Governor::RecordKagura(_));
     let (_, oracle_trace) =
         Simulator::with_governor(cfg.clone(), program, trace, recorder).run_recording();
     let replayer = if is_kagura {
-        // The replay phase must use the same Kagura parameters the
-        // recording phase observed; silently substituting defaults would
-        // make the "ideal" comparison quietly measure the wrong config.
         let kcfg = match cfg.governor {
             GovernorSpec::IdealAccKagura(k) | GovernorSpec::AccKagura(k) => k,
-            ref other => panic!(
-                "run_ideal: a Kagura recorder requires an AccKagura or \
-                 IdealAccKagura governor spec carrying its config, got {other:?}"
-            ),
+            // validate_recorder rejected every other spec before the run.
+            _ => unreachable!("validate_recorder admits only Kagura-carrying specs"),
         };
         Governor::replay_kagura(kcfg, oracle_trace)
     } else {
         Governor::replay_acc(oracle_trace)
     };
     let mut sim = Simulator::with_governor(cfg.clone(), program, trace, replayer);
-    match sink {
+    Ok(match sink {
         Some(sink) => {
             sim.attach_telemetry(sink);
             sim.run_instrumented()
         }
         None => (sim.run(), MetricsRegistry::default()),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -199,6 +230,26 @@ mod tests {
             assert_eq!(stats.sim_time, plain.sim_time, "{gov:?}");
             assert_eq!(stats.compression_ops(), plain.compression_ops(), "{gov:?}");
         }
+    }
+
+    #[test]
+    fn mismatched_recorder_is_rejected_before_the_run() {
+        use crate::config::ConfigError;
+
+        // A Kagura recorder against a plain-ACC spec: the replay phase
+        // would have no Kagura config to reuse.
+        let cfg = SimConfig::table1().with_governor(GovernorSpec::IdealAcc);
+        let err = run_ideal_app(App::Sha, 0.01, &cfg, Governor::record_kagura(Default::default()))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::RecorderMismatch { recorder: "ACC+Kagura", spec: "ideal ACC" }
+        );
+        assert!(err.to_string().contains("ACC+Kagura"), "{err}");
+
+        // A non-recording governor cannot drive the two-phase methodology.
+        let err = run_ideal_app(App::Sha, 0.01, &cfg, Governor::acc()).unwrap_err();
+        assert_eq!(err, ConfigError::NotARecorder { governor: "ACC" });
     }
 
     #[test]

@@ -98,6 +98,12 @@ pub struct SimStats {
     /// Compressions averted by Kagura's RM mode: fills that would have
     /// compressed under CM but bypassed instead.
     pub rm_bypassed_fills: u64,
+    /// Checkpoint blocks whose compressed payload failed to decode and
+    /// were dropped — *detected* consistency violations. Always zero in
+    /// real runs; nonzero only under an injected
+    /// [`crate::machine::FaultKind::CorruptPayload`] fault.
+    #[serde(default)]
+    pub decode_faults: u64,
     /// Final Kagura registers and RM-entry count, when the governor was
     /// Kagura.
     pub kagura_state: Option<(KaguraRegisters, u64)>,

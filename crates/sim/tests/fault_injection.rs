@@ -1,0 +1,97 @@
+//! System-level crash-consistency certification via fault injection:
+//! exhaustive per-instruction campaigns on the short synthetic kernels
+//! across every design × non-ideal governor, a sampled campaign on a
+//! real application, and the harness's own mutation check. The bench
+//! `faultgrid` experiment runs the full-width version of this grid; the
+//! tests here keep the always-on tier fast while still probing every
+//! recovery path.
+
+use ehs_sim::faultinject::{run_campaign, short_kernels, InjectionPlan};
+use ehs_sim::{EhsDesign, FaultKind, GovernorSpec, SimConfig};
+use ehs_workloads::App;
+
+fn non_ideal_governors() -> Vec<GovernorSpec> {
+    vec![
+        GovernorSpec::NoCompression,
+        GovernorSpec::AlwaysCompress,
+        GovernorSpec::Acc,
+        GovernorSpec::AccKagura(Default::default()),
+    ]
+}
+
+#[test]
+fn exhaustive_injection_converges_for_every_design_and_governor() {
+    for program in short_kernels() {
+        for design in EhsDesign::ALL {
+            for gov in non_ideal_governors() {
+                let cfg = SimConfig::table1().with_design(design).with_governor(gov);
+                let report = run_campaign(
+                    &program,
+                    &cfg,
+                    InjectionPlan::Exhaustive,
+                    FaultKind::PowerFailure,
+                );
+                assert_eq!(report.injections as u64, program.len());
+                assert!(report.is_consistent(), "{}", report.summary());
+                assert_eq!(
+                    report.detected_decode_faults,
+                    0,
+                    "clean failures must not fault decodes: {}",
+                    report.summary()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sampled_injection_converges_on_a_real_application() {
+    // 200+ seeded points per design — the same plan shape `faultgrid`
+    // uses on the full app set, on one app to stay test-sized.
+    let program = App::Sha.build(0.01);
+    for design in EhsDesign::ALL {
+        let cfg = SimConfig::table1()
+            .with_design(design)
+            .with_governor(GovernorSpec::AccKagura(Default::default()));
+        let plan = InjectionPlan::Sampled { count: 200, seed: 0xFA17 };
+        let report = run_campaign(&program, &cfg, plan, FaultKind::PowerFailure);
+        assert_eq!(report.injections, 200);
+        assert!(report.is_consistent(), "{}", report.summary());
+    }
+}
+
+#[test]
+fn broken_checkpoint_paths_are_caught() {
+    // Mutation check: if either of these passes silently, the harness
+    // cannot be trusted to certify anything.
+    let stream = &short_kernels()[0];
+    let torn = run_campaign(
+        stream,
+        &SimConfig::table1().with_governor(GovernorSpec::NoCompression),
+        InjectionPlan::Stride { step: 97 },
+        FaultKind::TornCheckpoint { persist_blocks: 0 },
+    );
+    assert!(torn.detected_violation(), "torn checkpoint undetected: {}", torn.summary());
+
+    let corrupt = run_campaign(
+        stream,
+        &SimConfig::table1().with_governor(GovernorSpec::AlwaysCompress),
+        InjectionPlan::Stride { step: 61 },
+        FaultKind::CorruptPayload { bit: 5 },
+    );
+    assert!(corrupt.detected_violation(), "corrupt payload undetected: {}", corrupt.summary());
+}
+
+#[test]
+fn partial_torn_checkpoint_still_detected() {
+    // Persisting *some* blocks is the subtle case: the image is mostly
+    // right. The differential check must still see the tail loss.
+    let stream = &short_kernels()[0];
+    let report = run_campaign(
+        stream,
+        &SimConfig::table1().with_governor(GovernorSpec::NoCompression),
+        InjectionPlan::Stride { step: 151 },
+        FaultKind::TornCheckpoint { persist_blocks: 1 },
+    );
+    assert!(report.detected_violation(), "partial tear undetected: {}", report.summary());
+}

@@ -92,6 +92,13 @@ pub enum Event {
         /// `true` for the DCache, `false` for the ICache.
         dcache: bool,
     },
+    /// A checkpoint block's compressed payload failed to decode and was
+    /// dropped: a *detected* crash-consistency violation. Only emitted
+    /// under fault injection (a real run never corrupts its own stream).
+    DecodeFault {
+        /// Checkpoint blocks dropped by this failure.
+        blocks: u32,
+    },
     /// One per power-cycle boundary under Kagura: the cycle-length
     /// prediction made at reboot vs what the cycle actually delivered
     /// (the oracle ground truth), both in committed memory operations.
@@ -115,6 +122,7 @@ impl Event {
             Event::CompressedFill { .. } => "CompressedFill",
             Event::BypassedFill { .. } => "BypassedFill",
             Event::Eviction { .. } => "Eviction",
+            Event::DecodeFault { .. } => "DecodeFault",
             Event::EstimatorSample { .. } => "EstimatorSample",
         }
     }
@@ -146,6 +154,7 @@ impl Event {
             Event::Eviction { count, dcache } => {
                 vec![("count", Value::U64(count as u64)), ("dcache", dcache.into())]
             }
+            Event::DecodeFault { blocks } => vec![("blocks", Value::U64(blocks as u64))],
             Event::EstimatorSample { predicted_remaining, actual_remaining } => vec![
                 ("predicted_remaining", predicted_remaining.into()),
                 ("actual_remaining", actual_remaining.into()),
@@ -179,6 +188,7 @@ impl Event {
             "CompressedFill" => Event::CompressedFill { dcache: b("dcache")? },
             "BypassedFill" => Event::BypassedFill { dcache: b("dcache")? },
             "Eviction" => Event::Eviction { count: u("count")? as u32, dcache: b("dcache")? },
+            "DecodeFault" => Event::DecodeFault { blocks: u("blocks")? as u32 },
             "EstimatorSample" => Event::EstimatorSample {
                 predicted_remaining: u("predicted_remaining")?,
                 actual_remaining: u("actual_remaining")?,
@@ -278,6 +288,7 @@ mod tests {
             Event::CompressedFill { dcache: false },
             Event::BypassedFill { dcache: true },
             Event::Eviction { count: 2, dcache: true },
+            Event::DecodeFault { blocks: 1 },
             Event::EstimatorSample { predicted_remaining: 7, actual_remaining: 9 },
         ];
         for (i, event) in all.into_iter().enumerate() {

@@ -9,14 +9,16 @@
 
 use proc_macro::TokenStream;
 
-/// No-op `#[derive(Serialize)]`.
-#[proc_macro_derive(Serialize)]
+/// No-op `#[derive(Serialize)]`; accepts `#[serde(...)]` field attributes
+/// like the real derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// No-op `#[derive(Deserialize)]`.
-#[proc_macro_derive(Deserialize)]
+/// No-op `#[derive(Deserialize)]`; accepts `#[serde(...)]` field
+/// attributes like the real derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
