@@ -21,8 +21,34 @@ echo "== faultgrid smoke (crash-consistency gate) =="
 # the experiment asserts internally, so any recovery regression fails
 # the gate here.
 FAULTGRID_OUT="$(mktemp -d)"
-trap 'rm -rf "$FAULTGRID_OUT"' EXIT
+RESUME_BASE="$(mktemp -d)"
+RESUME_CUT="$(mktemp -d)"
+trap 'rm -rf "$FAULTGRID_OUT" "$RESUME_BASE" "$RESUME_CUT"' EXIT
 cargo run --release --offline -q -p kagura-bench --bin repro -- \
     faultgrid --scale 0.005 --apps sha,crc32 --out "$FAULTGRID_OUT" --quiet
+
+echo "== kill-and-resume gate (journaled resumable runs) =="
+# A short two-experiment run, SIGKILLed mid-grid once the first artifact
+# lands, then resumed; the resumed tree must be byte-identical to an
+# uninterrupted run of the same invocation (the journal and any swept
+# .tmp debris are the only permitted differences).
+REPRO="$(pwd)/target/release/repro"
+cargo build --release --offline -q -p kagura-bench --bin repro
+RESUME_ARGS=(fig3 fig13 --scale 1.0 --apps sha,crc32 --jobs 1 --quiet)
+"$REPRO" "${RESUME_ARGS[@]}" --out "$RESUME_BASE" > /dev/null
+
+"$REPRO" "${RESUME_ARGS[@]}" --out "$RESUME_CUT" > /dev/null 2>&1 &
+REPRO_PID=$!
+# SIGKILL as soon as fig3's artifact is in place, i.e. mid-fig13-grid.
+for _ in $(seq 1 600); do
+    [ -f "$RESUME_CUT/fig3.json" ] && break
+    sleep 0.01
+done
+kill -9 "$REPRO_PID" 2>/dev/null || true
+wait "$REPRO_PID" 2>/dev/null || true
+
+"$REPRO" "${RESUME_ARGS[@]}" --resume "$RESUME_CUT" > /dev/null
+diff -r --exclude run_journal.jsonl --exclude '*.tmp' "$RESUME_BASE" "$RESUME_CUT"
+echo "resume converged: output tree is byte-identical to the uninterrupted run"
 
 echo "ci: all checks passed"

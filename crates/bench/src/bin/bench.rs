@@ -121,7 +121,8 @@ fn main() -> ExitCode {
         },
     });
     let text = serde_json::to_string_pretty(&report).expect("serializable");
-    if let Err(e) = std::fs::write(&out, text) {
+    if let Err(e) = kagura_bench::fsutil::atomic_write(std::path::Path::new(&out), text.as_bytes())
+    {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;
     }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro <experiment-id>... [--scale S] [--apps a,b,c] [--out DIR] [--jobs N]
-//!                          [--telemetry DIR] [--quiet]
+//!                          [--telemetry DIR] [--quiet] [--resume DIR]
+//!                          [--job-timeout SECS] [--job-max-insts N]
 //! repro all                # every experiment
 //! repro list               # show available experiments
 //! ```
@@ -21,19 +22,38 @@
 //!
 //! Each experiment reports start/finish on stderr (id, wall-clock, which
 //! worker slot ran it); `--quiet` suppresses those lines. `--telemetry
-//! DIR` enables timing spans (written to `DIR/spans.json`) and lets
-//! event-capturing experiments dump their streams under `DIR`.
+//! DIR` enables timing spans (written to `DIR/spans.json`), dumps the
+//! worker pool's job events (`DIR/pool_events.jsonl`) and per-job latency
+//! histogram (`DIR/pool_metrics.json`), and lets event-capturing
+//! experiments dump their streams under `DIR`.
+//!
+//! # Resilience
+//!
+//! Every artifact is written atomically (tmp file + fsync + rename) and
+//! each finished experiment is journaled to `<out>/run_journal.jsonl`, so
+//! a run killed at any instant — SIGKILL included — leaves only complete
+//! artifacts plus a journal of what finished. `--resume DIR` re-runs only
+//! the experiments missing from DIR's journal (the journal must
+//! fingerprint the same `--scale`/`--apps`), converging to byte-identical
+//! output. `--job-timeout SECS` arms a wall-clock watchdog per simulation
+//! job and `--job-max-insts N` a deterministic instruction budget; a
+//! cancelled or panicking grid cell degrades to `null` report cells plus a
+//! record in `<out>/failures.json` instead of aborting the run.
 
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use ehs_telemetry::spans;
 use ehs_workloads::App;
 use kagura_bench::experiments::{find, ExpFn, REGISTRY};
-use kagura_bench::ExpContext;
+use kagura_bench::journal::RunJournal;
+use kagura_bench::{fsutil, ExpContext};
 
 fn usage() {
     println!("usage: repro <experiment-id>... [--scale S] [--apps a,b,c] [--out DIR] [--jobs N]");
-    println!("                                [--telemetry DIR] [--quiet]");
+    println!("                                [--telemetry DIR] [--quiet] [--resume DIR]");
+    println!("                                [--job-timeout SECS] [--job-max-insts N]");
     println!("       repro all | list");
     println!();
     list();
@@ -55,6 +75,7 @@ fn main() -> ExitCode {
 
     let mut ids: Vec<String> = Vec::new();
     let mut ctx = ExpContext::default();
+    let mut resume = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -121,6 +142,39 @@ fn main() -> ExitCode {
                 };
                 ctx.telemetry_dir = Some(dir.into());
             }
+            "--resume" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--resume needs the results directory of the interrupted run");
+                    return ExitCode::FAILURE;
+                };
+                resume = true;
+                ctx.out_dir = dir.into();
+            }
+            "--job-timeout" => {
+                i += 1;
+                let Some(secs) = args.get(i).and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("--job-timeout needs a positive number of seconds");
+                    return ExitCode::FAILURE;
+                };
+                if secs <= 0.0 {
+                    eprintln!("--job-timeout needs a positive number of seconds");
+                    return ExitCode::FAILURE;
+                }
+                ctx.job_budget.max_wall = Some(Duration::from_secs_f64(secs));
+            }
+            "--job-max-insts" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse::<u64>().ok()) else {
+                    eprintln!("--job-max-insts needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                if n == 0 {
+                    eprintln!("--job-max-insts needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+                ctx.job_budget.max_executed_insts = Some(n);
+            }
             "--quiet" | "-q" => ctx.quiet = true,
             "list" | "--list" | "-l" => {
                 list();
@@ -154,6 +208,52 @@ fn main() -> ExitCode {
         runs.push((id, f));
     }
 
+    // The journal fingerprints the knobs that change simulation results;
+    // resuming under different ones would splice incompatible outputs.
+    let fingerprint = serde_json::json!({
+        "scale": ctx.scale,
+        "apps": ctx.apps.iter().map(|a| a.to_string()).collect::<Vec<_>>(),
+        "sens_apps": ctx.sens_apps.iter().map(|a| a.to_string()).collect::<Vec<_>>(),
+    });
+    let journal = if resume {
+        match RunJournal::resume(&ctx.out_dir, fingerprint) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("cannot resume: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        // A stale manifest from an earlier run in the same directory must
+        // not survive into this run's output tree.
+        let _ = std::fs::remove_file(ctx.out_dir.join("failures.json"));
+        match RunJournal::create(&ctx.out_dir, fingerprint) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("cannot start journal in {}: {e}", ctx.out_dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    if resume {
+        match fsutil::sweep_tmp_files(&ctx.out_dir) {
+            Ok(n) if n > 0 => println!("[resume] swept {n} torn .tmp file(s)"),
+            Ok(_) => {}
+            Err(e) => eprintln!("[resume] warning: could not sweep .tmp files: {e}"),
+        }
+        let before = runs.len();
+        runs.retain(|(id, _)| !journal.is_done(id));
+        if before > runs.len() {
+            println!(
+                "[resume] {} experiment(s) already journaled in {}; {} left to run",
+                before - runs.len(),
+                journal.path().display(),
+                runs.len(),
+            );
+        }
+    }
+    let journal = Arc::new(Mutex::new(journal));
+
     let jobs = ehs_sim::parallel::max_workers();
     println!(
         "running {} experiment(s) at workload scale {} over {} apps ({} for sweeps), {} job(s)\n",
@@ -180,7 +280,20 @@ fn main() -> ExitCode {
         }
         let _span = spans::span("experiment", || id.to_string());
         println!("=== {id} ===");
-        let _ = f(&ctx);
+        // Each experiment gets its own failure collector so records from
+        // concurrently running experiments cannot interleave, and its id
+        // for attribution.
+        let mut run_ctx = ctx.clone();
+        run_ctx.exp_id = Some(id.to_string());
+        run_ctx.failures = Arc::new(Mutex::new(Vec::new()));
+        let _ = f(&run_ctx);
+        // Journal ordering is the crash-safety invariant: the experiment's
+        // artifact was atomically renamed into place inside `f`, so once
+        // this record is durable a resume may safely skip the id.
+        let failures = run_ctx.take_failures();
+        if let Err(e) = journal.lock().unwrap_or_else(|e| e.into_inner()).record(id, failures) {
+            eprintln!("[{id}] warning: could not journal completion: {e}");
+        }
         println!("  [{id} done in {:.1}s]\n", t.elapsed().as_secs_f64());
         if !ctx.quiet {
             eprintln!(
@@ -191,6 +304,23 @@ fn main() -> ExitCode {
         }
     });
     println!("all experiments done in {:.1}s", start.elapsed().as_secs_f64());
+
+    // The failure manifest spans the whole run — journaled cells from an
+    // interrupted predecessor included — so a resumed run reconstructs the
+    // same failures.json an uninterrupted one would have written.
+    let failures = journal.lock().unwrap_or_else(|e| e.into_inner()).all_failures();
+    if !failures.is_empty() {
+        let path = ctx.out_dir.join("failures.json");
+        let n_failures = failures.len();
+        let doc = serde_json::json!({ "failures": failures });
+        let text = serde_json::to_string_pretty(&doc).expect("serializable");
+        if let Err(e) = fsutil::atomic_write(&path, text.as_bytes()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("  [{n_failures} failed cell(s); manifest in {}]", path.display());
+    }
+
     if let Some(dir) = &ctx.telemetry_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {}: {e}", dir.display());
@@ -200,7 +330,7 @@ fn main() -> ExitCode {
         let doc = spans::to_json(&spans::drain());
         match serde_json::to_string_pretty(&doc) {
             Ok(text) => {
-                if let Err(e) = std::fs::write(&path, text) {
+                if let Err(e) = fsutil::atomic_write(&path, text.as_bytes()) {
                     eprintln!("cannot write {}: {e}", path.display());
                     return ExitCode::FAILURE;
                 }
@@ -208,6 +338,33 @@ fn main() -> ExitCode {
             }
             Err(e) => eprintln!("cannot serialize spans: {e}"),
         }
+        // Pool observability: harness-level job events and the per-job
+        // latency histogram accumulated by run_batch.
+        let events = ehs_sim::parallel::drain_pool_events();
+        if !events.is_empty() {
+            let lines: String = events
+                .iter()
+                .map(|e| {
+                    let mut l = serde_json::to_string(&e.to_value()).expect("serializable");
+                    l.push('\n');
+                    l
+                })
+                .collect();
+            let path = dir.join("pool_events.jsonl");
+            if let Err(e) = fsutil::atomic_write(&path, lines.as_bytes()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("  [{} pool event(s) in {}]", events.len(), path.display());
+        }
+        let metrics = ehs_sim::parallel::pool_metrics().to_json();
+        let path = dir.join("pool_metrics.json");
+        let text = serde_json::to_string_pretty(&metrics).expect("serializable");
+        if let Err(e) = fsutil::atomic_write(&path, text.as_bytes()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("  [pool metrics in {}]", path.display());
     }
     ExitCode::SUCCESS
 }

@@ -339,7 +339,8 @@ fn run() -> Result<(), String> {
     let trace = match args.flag("--trace-file") {
         Some(path) => {
             let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
-            PowerTrace::read_text(BufReader::new(f)).map_err(|e| e.to_string())?
+            // TraceError names the offending line; prepend the file.
+            PowerTrace::read_text(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))?
         }
         None => PowerTrace::generate(cfg.trace_kind, cfg.trace_seed, 4_000_000),
     };

@@ -36,8 +36,12 @@ fn parse_kind(name: &str) -> Option<TraceKind> {
 fn write_out(trace: &PowerTrace, out: Option<&str>) -> io::Result<()> {
     match out {
         Some(path) => {
-            let f = File::create(path)?;
-            trace.write_text(BufWriter::new(f))?;
+            // Buffer the whole trace so the file write is atomic (tmp +
+            // fsync + rename): a killed tracegen never leaves a torn
+            // trace for a later simulation to trip over.
+            let mut buf = Vec::with_capacity(trace.len() * 12);
+            trace.write_text(&mut buf)?;
+            kagura_bench::fsutil::atomic_write(std::path::Path::new(path), &buf)?;
             eprintln!("wrote {} samples ({}) to {path}", trace.len(), trace.duration());
         }
         None => {
@@ -114,7 +118,9 @@ fn run() -> Result<(), String> {
         Some("stats") => {
             let path = args.get(1).ok_or("stats needs a trace file")?;
             let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
-            let trace = PowerTrace::read_text(BufReader::new(f)).map_err(|e| e.to_string())?;
+            // TraceError carries the offending line; prepend the file.
+            let trace =
+                PowerTrace::read_text(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))?;
             print_stats(&trace);
             Ok(())
         }

@@ -86,7 +86,7 @@ pub fn estimator_accuracy(ctx: &ExpContext) -> Value {
                 .filter(|s| matches!(s.event, Event::EstimatorSample { .. }))
                 .map(|s| serde_json::to_string(&s.to_value()).expect("serializable") + "\n")
                 .collect();
-            std::fs::write(&path, lines)
+            crate::fsutil::atomic_write(&path, lines.as_bytes())
                 .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
         }
         println!("  [estimator sample streams under {}]", dir.display());

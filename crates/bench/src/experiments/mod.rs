@@ -85,6 +85,14 @@ pub(crate) fn cfg(gov: GovernorSpec) -> SimConfig {
 /// at a time) keeps every worker busy until the last cell finishes; with
 /// `--jobs 1` the cells run inline in submission order, so results are
 /// identical at any job count.
+///
+/// Failures are contained per cell: a panicking, watchdog-cancelled or
+/// worker-killed simulation degrades to a default (incomplete) stats
+/// record — so every speedup-derived report cell downstream becomes
+/// `null` via [`SimStats::try_speedup_over`] — and one attributed record
+/// lands in the context's failure manifest. The context's
+/// [`job_budget`](ExpContext::job_budget) is applied to every cell whose
+/// config does not carry its own budget.
 pub(crate) fn run_grid(
     ctx: &ExpContext,
     apps: &[App],
@@ -92,24 +100,56 @@ pub(crate) fn run_grid(
 ) -> Vec<Vec<SimStats>> {
     let jobs: Vec<SimJob> = apps
         .iter()
-        .flat_map(|&app| configs.iter().map(move |c| SimJob::new(app, ctx.scale, c.clone())))
+        .flat_map(|&app| {
+            configs.iter().map(move |c| {
+                let job = SimJob::new(app, ctx.scale, c.clone());
+                if c.step_budget.is_unlimited() {
+                    job.with_budget(ctx.job_budget)
+                } else {
+                    job
+                }
+            })
+        })
         .collect();
-    let mut stats = ehs_sim::run_batch(jobs).into_iter();
+    let mut results = ehs_sim::run_batch(jobs).into_iter();
     apps.iter()
         .map(|&app| {
             configs
                 .iter()
                 .map(|c| {
-                    let s = stats.next().expect("one result per grid cell");
-                    if !s.completed {
-                        eprintln!(
-                            "warning: {app} did not complete under {} (design {}) — \
-                             speedup-derived cells for this row degrade to null",
-                            c.governor.label(),
-                            c.design
-                        );
+                    let cell = results.next().expect("one result per grid cell");
+                    match cell {
+                        Ok(s) => {
+                            if !s.completed {
+                                eprintln!(
+                                    "warning: {app} did not complete under {} (design {}) — \
+                                     speedup-derived cells for this row degrade to null",
+                                    c.governor.label(),
+                                    c.design
+                                );
+                            }
+                            s
+                        }
+                        Err(failure) => {
+                            eprintln!(
+                                "warning: {app} under {} (design {}) failed ({failure}) — \
+                                 its report cells degrade to null",
+                                c.governor.label(),
+                                c.design
+                            );
+                            ctx.record_failure(serde_json::json!({
+                                "exp": ctx.exp_id.as_deref().unwrap_or("?"),
+                                "app": app.to_string(),
+                                "governor": c.governor.label(),
+                                "design": c.design.to_string(),
+                                "kind": failure.kind(),
+                                "detail": failure.to_string(),
+                            }));
+                            // Default stats are `completed == false`, which
+                            // every derived metric already nulls out.
+                            SimStats::default()
+                        }
                     }
-                    s
                 })
                 .collect()
         })

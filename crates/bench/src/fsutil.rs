@@ -1,0 +1,92 @@
+//! Crash-safe artifact writes.
+//!
+//! Every report and journal artifact in the harness goes through
+//! [`atomic_write`]: the bytes land in a `<final>.tmp` sibling, are
+//! fsynced, and only then renamed over the destination. A power cut or
+//! SIGKILL at any instant therefore leaves either the old complete file
+//! or the new complete file — never a torn half-write — which is what
+//! lets `repro --resume` trust any artifact it finds on disk.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Extension used for in-flight writes; `repro --resume` sweeps strays.
+pub const TMP_SUFFIX: &str = "tmp";
+
+/// Writes `bytes` to `path` atomically: tmp sibling → fsync → rename.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating, writing, syncing or renaming the
+/// temporary file. On error the destination is untouched (a stray `.tmp`
+/// may remain; resume sweeps them).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        // Durability before visibility: the rename must never expose a
+        // file whose contents are still in the page cache only.
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// The `<path>.tmp` sibling used by [`atomic_write`].
+fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".");
+    os.push(TMP_SUFFIX);
+    os.into()
+}
+
+/// Deletes leftover `*.tmp` files under `dir` (non-recursive): the
+/// debris of a run killed mid-write. Missing directory is fine.
+pub fn sweep_tmp_files(dir: &Path) -> io::Result<usize> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let mut swept = 0;
+    for entry in entries {
+        let path = entry?.path();
+        if path.is_file() && path.extension().is_some_and(|e| e == TMP_SUFFIX) {
+            fs::remove_file(&path)?;
+            swept += 1;
+        }
+    }
+    Ok(swept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join("kagura_fsutil_atomic");
+        fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("report.json");
+        atomic_write(&target, b"{\"v\":1}").unwrap();
+        assert_eq!(fs::read(&target).unwrap(), b"{\"v\":1}");
+        atomic_write(&target, b"{\"v\":2}").unwrap();
+        assert_eq!(fs::read(&target).unwrap(), b"{\"v\":2}");
+        assert!(!tmp_path(&target).exists(), "tmp sibling must not survive");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_removes_only_tmp_debris() {
+        let dir = std::env::temp_dir().join("kagura_fsutil_sweep");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("good.json"), b"{}").unwrap();
+        fs::write(dir.join("torn.json.tmp"), b"{\"incompl").unwrap();
+        assert_eq!(sweep_tmp_files(&dir).unwrap(), 1);
+        assert!(dir.join("good.json").exists());
+        assert!(!dir.join("torn.json.tmp").exists());
+        assert_eq!(sweep_tmp_files(&dir.join("missing")).unwrap(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,263 @@
+//! Append-only journal of completed experiment cells, the backbone of
+//! `repro --resume`.
+//!
+//! The journal lives at `<out_dir>/run_journal.jsonl`. Line one is a
+//! header fingerprinting the run configuration (scale, app sets); every
+//! further line records one experiment that finished *after* its JSON
+//! artifact was atomically renamed into place, together with the failure
+//! records its grid produced. The write ordering (artifact rename →
+//! journal append → fsync) means a journaled id always has a complete
+//! artifact on disk, so a resumed run can skip it outright and still
+//! converge to byte-identical output — including `failures.json`, which
+//! is reconstructed from the journaled failure records of skipped cells.
+//!
+//! A SIGKILL mid-append can tear at most the final line; [`RunJournal::resume`]
+//! tolerates (and drops) exactly that line.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use serde_json::{json, Value};
+
+/// Journal file name inside the results directory.
+pub const JOURNAL_FILE: &str = "run_journal.jsonl";
+
+const FORMAT_NAME: &str = "kagura-repro";
+const FORMAT_VERSION: u64 = 1;
+
+/// The append-only run journal (see module docs).
+#[derive(Debug)]
+pub struct RunJournal {
+    path: PathBuf,
+    file: File,
+    /// Completed experiment id → the failure records its run produced.
+    completed: BTreeMap<String, Vec<Value>>,
+}
+
+impl RunJournal {
+    /// Starts a fresh journal in `out_dir`, truncating any previous one,
+    /// and writes the fingerprint header.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the journal file.
+    pub fn create(out_dir: &Path, fingerprint: Value) -> io::Result<Self> {
+        fs::create_dir_all(out_dir)?;
+        let path = out_dir.join(JOURNAL_FILE);
+        let mut file = File::create(&path)?;
+        let header = json!({
+            "journal": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "fingerprint": fingerprint,
+        });
+        writeln!(file, "{}", serde_json::to_string(&header).expect("serializable"))?;
+        file.sync_data()?;
+        Ok(RunJournal { path, file, completed: BTreeMap::new() })
+    }
+
+    /// Reopens an existing journal for appending, returning the set of
+    /// already-completed cells. A missing journal degrades to
+    /// [`RunJournal::create`]; a torn final line (killed mid-append) is
+    /// dropped.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::InvalidData`] when the header is
+    /// unreadable or fingerprints the journal for a *different* run
+    /// configuration — resuming under changed parameters would splice
+    /// incompatible results into one output tree.
+    pub fn resume(out_dir: &Path, fingerprint: Value) -> io::Result<Self> {
+        let path = out_dir.join(JOURNAL_FILE);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Self::create(out_dir, fingerprint);
+            }
+            Err(e) => return Err(e),
+        };
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let mut lines = text.lines();
+        let header: Value = lines
+            .next()
+            .and_then(|l| serde_json::from_str(l).ok())
+            .ok_or_else(|| bad(format!("{}: missing or corrupt journal header", path.display())))?;
+        if header.get("journal").and_then(Value::as_str) != Some(FORMAT_NAME)
+            || header.get("version").and_then(Value::as_u64) != Some(FORMAT_VERSION)
+        {
+            return Err(bad(format!(
+                "{}: not a {FORMAT_NAME} v{FORMAT_VERSION} journal",
+                path.display()
+            )));
+        }
+        let found = header.get("fingerprint").cloned().unwrap_or(Value::Null);
+        if found != fingerprint {
+            let show = |v: &Value| serde_json::to_string(v).unwrap_or_else(|_| "?".into());
+            return Err(bad(format!(
+                "{}: journal fingerprint does not match this invocation \
+                 (journal {}, requested {}); \
+                 resume with the original --scale/--apps or start a fresh --out",
+                path.display(),
+                show(&found),
+                show(&fingerprint),
+            )));
+        }
+        let mut completed = BTreeMap::new();
+        let entries: Vec<&str> = lines.collect();
+        for (i, line) in entries.iter().enumerate() {
+            match serde_json::from_str(line) {
+                Ok(cell) => {
+                    let cell: Value = cell;
+                    if let Some(id) = cell.get("id").and_then(Value::as_str) {
+                        let failures = cell
+                            .get("failures")
+                            .and_then(Value::as_array)
+                            .map(<[Value]>::to_vec)
+                            .unwrap_or_default();
+                        completed.insert(id.to_string(), failures);
+                    }
+                }
+                // Only the final line can legitimately be torn (the
+                // journal is append-only and fsynced per record).
+                Err(e) if i + 1 == entries.len() => {
+                    eprintln!(
+                        "[resume] dropping torn final journal line ({e}); \
+                         its experiment will re-run"
+                    );
+                }
+                Err(e) => {
+                    return Err(bad(format!(
+                        "{}: corrupt journal line {}: {e}",
+                        path.display(),
+                        i + 2
+                    )));
+                }
+            }
+        }
+        let file = OpenOptions::new().append(true).open(&path)?;
+        Ok(RunJournal { path, file, completed })
+    }
+
+    /// Whether `id` already completed (in this process or a journaled
+    /// predecessor).
+    pub fn is_done(&self, id: &str) -> bool {
+        self.completed.contains_key(id)
+    }
+
+    /// Count of completed cells.
+    pub fn len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// `true` when nothing has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.completed.is_empty()
+    }
+
+    /// Journals one completed experiment with its failure records,
+    /// fsyncing before returning: once this call comes back the cell is
+    /// durable and will be skipped by any future resume.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the append or sync.
+    pub fn record(&mut self, id: &str, failures: Vec<Value>) -> io::Result<()> {
+        let cell = json!({ "id": id, "failures": failures.clone() });
+        writeln!(self.file, "{}", serde_json::to_string(&cell).expect("serializable"))?;
+        self.file.sync_data()?;
+        self.completed.insert(id.to_string(), failures);
+        Ok(())
+    }
+
+    /// Every failure record across all completed cells, in deterministic
+    /// (id-sorted, then submission) order — the input to `failures.json`.
+    pub fn all_failures(&self) -> Vec<Value> {
+        self.completed.values().flat_map(|v| v.iter().cloned()).collect()
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("kagura_journal_{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn journal_round_trips_completed_cells() {
+        let dir = tmp("roundtrip");
+        let fp = json!({"scale": 0.1});
+        {
+            let mut j = RunJournal::create(&dir, fp.clone()).unwrap();
+            j.record("fig3", vec![]).unwrap();
+            j.record("fig13", vec![json!({"app": "sha", "kind": "panic"})]).unwrap();
+        }
+        let j = RunJournal::resume(&dir, fp).unwrap();
+        assert!(j.is_done("fig3") && j.is_done("fig13"));
+        assert!(!j.is_done("fig14"));
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.all_failures(), vec![json!({"app": "sha", "kind": "panic"})]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_fingerprint() {
+        let dir = tmp("fingerprint");
+        RunJournal::create(&dir, json!({"scale": 0.1})).unwrap();
+        let err = RunJournal::resume(&dir, json!({"scale": 0.2})).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("fingerprint"), "unhelpful error: {err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_tolerates_a_torn_final_line_only() {
+        let dir = tmp("torn");
+        let fp = json!({"scale": 0.1});
+        {
+            let mut j = RunJournal::create(&dir, fp.clone()).unwrap();
+            j.record("fig3", vec![]).unwrap();
+        }
+        // Simulate SIGKILL mid-append: a partial record with no newline.
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(dir.join(JOURNAL_FILE)).unwrap();
+        f.write_all(b"{\"id\":\"fig1").unwrap();
+        drop(f);
+        let j = RunJournal::resume(&dir, fp.clone()).unwrap();
+        assert!(j.is_done("fig3"));
+        assert_eq!(j.len(), 1, "torn cell must not count as done");
+        // Corruption *before* the end is a hard error, not silent loss.
+        let header =
+            json!({"journal": FORMAT_NAME, "version": FORMAT_VERSION, "fingerprint": fp.clone()});
+        fs::write(
+            dir.join(JOURNAL_FILE),
+            format!(
+                "{}\nnot json\n{}\n",
+                serde_json::to_string(&header).unwrap(),
+                serde_json::to_string(&json!({"id": "fig3", "failures": []})).unwrap(),
+            ),
+        )
+        .unwrap();
+        assert!(RunJournal::resume(&dir, fp).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_without_journal_starts_fresh() {
+        let dir = tmp("fresh");
+        let j = RunJournal::resume(&dir, json!({"scale": 0.1})).unwrap();
+        assert!(j.is_empty());
+        assert!(j.path().exists(), "resume must leave a journal behind");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

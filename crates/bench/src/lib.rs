@@ -12,10 +12,14 @@
 //! crossovers fall) is the reproduction target; see EXPERIMENTS.md.
 
 pub mod experiments;
+pub mod fsutil;
+pub mod journal;
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
+use ehs_sim::StepBudget;
 use ehs_workloads::App;
 use serde_json::Value;
 
@@ -37,6 +41,16 @@ pub struct ExpContext {
     /// Suppresses the per-experiment progress lines on stderr
     /// (`repro --quiet`).
     pub quiet: bool,
+    /// Per-job watchdog applied to every grid cell whose config does not
+    /// set its own budget (`repro --job-timeout` / `--job-max-insts`).
+    pub job_budget: StepBudget,
+    /// The experiment id currently running under this context, for
+    /// attributing failure records; set by the `repro` driver.
+    pub exp_id: Option<String>,
+    /// Failure manifest collector: [`experiments`] grid runners append
+    /// one record per failed cell here instead of aborting. Shared so
+    /// the driver can drain it after the experiment returns.
+    pub failures: Arc<Mutex<Vec<Value>>>,
 }
 
 impl ExpContext {
@@ -59,10 +73,15 @@ impl ExpContext {
             out_dir: PathBuf::from("results"),
             telemetry_dir: None,
             quiet: false,
+            job_budget: StepBudget::UNLIMITED,
+            exp_id: None,
+            failures: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
-    /// Writes `value` as pretty JSON to `<out_dir>/<id>.json`.
+    /// Writes `value` as pretty JSON to `<out_dir>/<id>.json`, atomically
+    /// (tmp sibling + fsync + rename): a run killed mid-save leaves either
+    /// the previous artifact or the new one, never a torn file.
     ///
     /// # Panics
     ///
@@ -72,9 +91,21 @@ impl ExpContext {
         fs::create_dir_all(&self.out_dir)
             .unwrap_or_else(|e| panic!("cannot create {}: {e}", self.out_dir.display()));
         let path = self.out_dir.join(format!("{id}.json"));
-        fs::write(&path, serde_json::to_string_pretty(value).expect("serializable"))
+        let text = serde_json::to_string_pretty(value).expect("serializable");
+        fsutil::atomic_write(&path, text.as_bytes())
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
         println!("  [saved {}]", path.display());
+    }
+
+    /// Appends one failure record to the shared manifest.
+    pub fn record_failure(&self, record: Value) {
+        self.failures.lock().unwrap_or_else(|e| e.into_inner()).push(record);
+    }
+
+    /// Drains the failure records collected so far (driver-side, after an
+    /// experiment returns).
+    pub fn take_failures(&self) -> Vec<Value> {
+        std::mem::take(&mut *self.failures.lock().unwrap_or_else(|e| e.into_inner()))
     }
 }
 
@@ -184,5 +215,10 @@ mod tests {
         assert!(ctx.scale > 0.0);
         assert!(ctx.telemetry_dir.is_none());
         assert!(!ctx.quiet);
+        assert!(ctx.job_budget.is_unlimited());
+        assert!(ctx.exp_id.is_none());
+        ctx.record_failure(serde_json::json!({"kind": "panic"}));
+        assert_eq!(ctx.take_failures().len(), 1);
+        assert!(ctx.take_failures().is_empty(), "take must drain");
     }
 }

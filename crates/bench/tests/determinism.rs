@@ -24,8 +24,7 @@ fn run_at(jobs: usize, id: &str) -> Vec<u8> {
         apps: vec![App::Sha, App::Crc32, App::G721d],
         sens_apps: vec![App::Sha, App::G721d],
         out_dir: out_dir.clone(),
-        telemetry_dir: None,
-        quiet: false,
+        ..ExpContext::default()
     };
     ehs_sim::parallel::set_max_workers(jobs);
     let f = find(id).expect("known experiment");

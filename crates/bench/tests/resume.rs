@@ -1,0 +1,148 @@
+//! End-to-end resilience of the `repro` driver: an interrupted run —
+//! torn `.tmp` artifact and torn journal line included — resumes to
+//! byte-identical output, mismatched fingerprints refuse to resume, and
+//! watchdog-failed grid cells degrade to `null` report cells plus a
+//! failure manifest.
+
+use std::collections::BTreeMap;
+use std::fs::{self, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::{Arc, Mutex};
+
+use ehs_sim::StepBudget;
+use ehs_workloads::App;
+use kagura_bench::journal::JOURNAL_FILE;
+use kagura_bench::ExpContext;
+use serde_json::Value;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kagura_resume_{name}"));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_ok(cmd: &mut Command) {
+    let out = cmd.output().expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "repro failed: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Every artifact in `dir` except the journal (whose cell order reflects
+/// completion order, not content).
+fn read_tree(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut tree = BTreeMap::new();
+    for entry in fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if path.is_file() && name != JOURNAL_FILE {
+            tree.insert(name, fs::read(&path).unwrap());
+        }
+    }
+    tree
+}
+
+#[test]
+fn interrupted_run_resumes_to_byte_identical_output() {
+    let baseline = tmpdir("baseline");
+    let cut = tmpdir("interrupted");
+
+    // The uninterrupted reference run: two cheap analytic experiments.
+    run_ok(repro().args(["fig3", "hw", "--quiet", "--jobs", "1", "--out"]).arg(&baseline));
+
+    // The "interrupted" run completed only fig3 before dying…
+    run_ok(repro().args(["fig3", "--quiet", "--jobs", "1", "--out"]).arg(&cut));
+    // …and left SIGKILL debris behind: a torn artifact mid-atomic-write
+    // and a torn journal line mid-append.
+    fs::write(cut.join("hw.json.tmp"), b"{\"torn").unwrap();
+    let mut j = OpenOptions::new().append(true).open(cut.join(JOURNAL_FILE)).unwrap();
+    j.write_all(b"{\"id\":\"hw").unwrap();
+    drop(j);
+
+    run_ok(repro().args(["fig3", "hw", "--quiet", "--jobs", "1", "--resume"]).arg(&cut));
+
+    assert!(!cut.join("hw.json.tmp").exists(), "resume must sweep torn .tmp debris");
+    assert_eq!(
+        read_tree(&baseline),
+        read_tree(&cut),
+        "resumed output tree must be byte-identical to the uninterrupted run"
+    );
+}
+
+#[test]
+fn resume_skips_journaled_experiments() {
+    let dir = tmpdir("skip");
+    run_ok(repro().args(["fig3", "--quiet", "--jobs", "1", "--out"]).arg(&dir));
+    let first = fs::metadata(dir.join("fig3.json")).unwrap().modified().unwrap();
+    let out = repro()
+        .args(["fig3", "--quiet", "--jobs", "1", "--resume"])
+        .arg(&dir)
+        .output()
+        .expect("spawn repro");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("already journaled"), "missing skip notice:\n{stdout}");
+    let second = fs::metadata(dir.join("fig3.json")).unwrap().modified().unwrap();
+    assert_eq!(first, second, "journaled artifact must not be rewritten on resume");
+}
+
+#[test]
+fn resume_refuses_a_mismatched_fingerprint() {
+    let dir = tmpdir("fingerprint");
+    run_ok(repro().args(["fig3", "--quiet", "--jobs", "1", "--out"]).arg(&dir));
+    let out = repro()
+        .args(["fig3", "--quiet", "--jobs", "1", "--scale", "0.123", "--resume"])
+        .arg(&dir)
+        .output()
+        .expect("spawn repro");
+    assert!(!out.status.success(), "resume under a different --scale must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("fingerprint"), "unhelpful refusal:\n{stderr}");
+}
+
+#[test]
+fn watchdog_failed_cells_become_null_with_manifest_records() {
+    let dir = tmpdir("nullcells");
+    let ctx = ExpContext {
+        scale: 0.02,
+        apps: vec![App::Sha],
+        sens_apps: vec![App::Sha],
+        out_dir: dir.clone(),
+        telemetry_dir: None,
+        quiet: true,
+        // Far below any kernel's length: every grid cell is cancelled.
+        job_budget: StepBudget::insts(2_000),
+        exp_id: Some("fig13".into()),
+        failures: Arc::new(Mutex::new(Vec::new())),
+    };
+    let out = kagura_bench::experiments::headline::fig13(&ctx);
+
+    let rows = out.get("rows").and_then(Value::as_array).expect("fig13 rows");
+    assert!(!rows.is_empty());
+    for row in rows {
+        assert_eq!(
+            row.get("speedup_pct"),
+            Some(&Value::Null),
+            "failed cell must degrade to null, got {row:?}"
+        );
+    }
+    let failures = ctx.take_failures();
+    // fig13 runs baseline + 4 variants: 5 cells, all cancelled.
+    assert_eq!(failures.len(), 5, "one manifest record per failed cell");
+    for f in &failures {
+        assert_eq!(f.get("kind").and_then(Value::as_str), Some("timeout"));
+        assert_eq!(f.get("exp").and_then(Value::as_str), Some("fig13"));
+        assert_eq!(f.get("app").and_then(Value::as_str), Some("sha"));
+    }
+    assert!(dir.join("fig13.json").exists(), "experiment must still save its artifact");
+}

@@ -40,4 +40,4 @@ pub mod trace;
 pub use accounting::{EnergyBreakdown, EnergyCategory};
 pub use capacitor::{Capacitor, CapacitorConfig};
 pub use monitor::VoltageMonitor;
-pub use trace::{PowerTrace, TraceKind, TraceStats};
+pub use trace::{PowerTrace, TraceError, TraceKind, TraceStats};

@@ -27,6 +27,62 @@ use serde::{Deserialize, Serialize};
 /// Sampling interval used by the paper's harvester logger: 10 µs.
 pub const TRACE_INTERVAL: SimTime = SimTime::from_micros(10.0);
 
+/// Why a power-trace file failed to parse, with the 1-based line that
+/// broke (where one exists): harness error reports can point the user at
+/// the exact offending sample rather than a generic I/O failure.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The underlying stream failed before parsing could finish.
+    Io(io::Error),
+    /// A line did not parse as a number.
+    Malformed {
+        /// 1-based line number of the bad sample.
+        line: u64,
+        /// The offending text (trimmed).
+        text: String,
+    },
+    /// A line parsed but is NaN/infinite or negative — physically
+    /// meaningless as harvested power.
+    OutOfRange {
+        /// 1-based line number of the bad sample.
+        line: u64,
+        /// The parsed value.
+        value: f64,
+    },
+    /// The file held no samples at all (blank lines excluded).
+    Empty,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace read failed: {e}"),
+            TraceError::Malformed { line, text } => {
+                write!(f, "line {line}: not a power sample: {text:?}")
+            }
+            TraceError::OutOfRange { line, value } => {
+                write!(f, "line {line}: power must be finite and non-negative, got {value}")
+            }
+            TraceError::Empty => f.write_str("empty power trace"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
 /// Which ambient source a synthetic trace mimics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TraceKind {
@@ -211,9 +267,12 @@ impl PowerTrace {
     ///
     /// # Errors
     ///
-    /// Returns an error if the stream is unreadable, empty, or contains a
-    /// non-numeric or negative line.
-    pub fn read_text<R: BufRead>(r: R) -> io::Result<Self> {
+    /// Returns a [`TraceError`] naming the offending 1-based line when the
+    /// stream is unreadable ([`TraceError::Io`]), contains a non-numeric
+    /// sample ([`TraceError::Malformed`]), contains a NaN/infinite/negative
+    /// sample ([`TraceError::OutOfRange`]), or holds no samples at all
+    /// ([`TraceError::Empty`]).
+    pub fn read_text<R: BufRead>(r: R) -> Result<Self, TraceError> {
         let mut samples = Vec::new();
         for (lineno, line) in r.lines().enumerate() {
             let line = line?;
@@ -221,19 +280,17 @@ impl PowerTrace {
             if trimmed.is_empty() {
                 continue;
             }
-            let uw: f64 = trimmed.parse().map_err(|e| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1))
-            })?;
+            let lineno = lineno as u64 + 1;
+            let uw: f64 = trimmed
+                .parse()
+                .map_err(|_| TraceError::Malformed { line: lineno, text: trimmed.to_string() })?;
             if !uw.is_finite() || uw < 0.0 {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("line {}: power must be finite and non-negative", lineno + 1),
-                ));
+                return Err(TraceError::OutOfRange { line: lineno, value: uw });
             }
             samples.push(Power::from_microwatts(uw));
         }
         if samples.is_empty() {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "empty power trace"));
+            return Err(TraceError::Empty);
         }
         Ok(PowerTrace { samples })
     }
@@ -310,10 +367,35 @@ mod tests {
     }
 
     #[test]
-    fn malformed_text_is_rejected() {
-        assert!(PowerTrace::read_text("12.0\nbogus\n".as_bytes()).is_err());
-        assert!(PowerTrace::read_text("-5.0\n".as_bytes()).is_err());
-        assert!(PowerTrace::read_text("".as_bytes()).is_err());
+    fn malformed_text_is_rejected_with_line_context() {
+        match PowerTrace::read_text("12.0\nbogus\n".as_bytes()) {
+            Err(TraceError::Malformed { line: 2, text }) => assert_eq!(text, "bogus"),
+            other => panic!("expected Malformed at line 2, got {other:?}"),
+        }
+        match PowerTrace::read_text("1.0\n\n  \n-5.0\n".as_bytes()) {
+            // Blank lines are skipped but still counted for context.
+            Err(TraceError::OutOfRange { line: 4, value }) => assert_eq!(value, -5.0),
+            other => panic!("expected OutOfRange at line 4, got {other:?}"),
+        }
+        match PowerTrace::read_text("3.0\nNaN\n".as_bytes()) {
+            Err(TraceError::OutOfRange { line: 2, value }) => assert!(value.is_nan()),
+            other => panic!("expected OutOfRange NaN at line 2, got {other:?}"),
+        }
+        match PowerTrace::read_text("2.0\ninf\n".as_bytes()) {
+            Err(TraceError::OutOfRange { line: 2, value }) => assert!(value.is_infinite()),
+            other => panic!("expected OutOfRange inf at line 2, got {other:?}"),
+        }
+        assert!(matches!(PowerTrace::read_text("".as_bytes()), Err(TraceError::Empty)));
+        assert!(matches!(PowerTrace::read_text("\n  \n".as_bytes()), Err(TraceError::Empty)));
+    }
+
+    #[test]
+    fn trace_error_messages_name_the_line() {
+        let e = PowerTrace::read_text("x\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("line 1"), "message lacks line context: {e}");
+        let e = PowerTrace::read_text("1.0\n-2.5\n".as_bytes()).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("line 2") && msg.contains("-2.5"), "bad message: {msg}");
     }
 
     #[test]

@@ -150,6 +150,54 @@ impl std::fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// Cooperative per-job watchdog budget, checked in the simulator's step
+/// loop so a stuck or runaway configuration is cancelled cleanly instead
+/// of hanging a whole experiment batch.
+///
+/// Two independent limits:
+///
+/// * `max_executed_insts` — cancels after that many *executed*
+///   instructions (SweepCache re-execution counts). This limit is
+///   **deterministic**: the same config cancels at the same point on
+///   every host, so budget-cancelled grid cells stay byte-identical
+///   across runs and `--resume`.
+/// * `max_wall` — cancels once the run has consumed that much host
+///   wall-clock time. Nondeterministic by nature; an operational safety
+///   net (`repro --job-timeout`) for configs that would otherwise wedge
+///   a worker forever.
+///
+/// A cancelled run returns normally with
+/// [`SimStats::budget_exhausted`](crate::stats::SimStats::budget_exhausted)
+/// set and `completed == false`; the parallel pool surfaces it as
+/// [`JobFailure::TimedOut`](crate::parallel::JobFailure::TimedOut).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepBudget {
+    /// Cancel after this many executed instructions (`None` = unlimited).
+    pub max_executed_insts: Option<u64>,
+    /// Cancel after this much host wall-clock time (`None` = unlimited).
+    pub max_wall: Option<std::time::Duration>,
+}
+
+impl StepBudget {
+    /// No limits: the default for every config.
+    pub const UNLIMITED: StepBudget = StepBudget { max_executed_insts: None, max_wall: None };
+
+    /// Budget limited to `n` executed instructions.
+    pub fn insts(n: u64) -> Self {
+        StepBudget { max_executed_insts: Some(n), ..Self::UNLIMITED }
+    }
+
+    /// Budget limited to `d` of host wall-clock time.
+    pub fn wall(d: std::time::Duration) -> Self {
+        StepBudget { max_wall: Some(d), ..Self::UNLIMITED }
+    }
+
+    /// `true` when neither limit is set (the watchdog is disarmed).
+    pub fn is_unlimited(&self) -> bool {
+        self.max_executed_insts.is_none() && self.max_wall.is_none()
+    }
+}
+
 /// Fixed runtime costs of the EHS designs (documented extrapolations; see
 /// DESIGN.md).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -204,6 +252,8 @@ pub struct SimConfig {
     pub trace_seed: u64,
     /// Hard stop on simulated wall-clock time (guards against dead traces).
     pub max_sim_time: SimTime,
+    /// Cooperative watchdog budget ([`StepBudget::UNLIMITED`] by default).
+    pub step_budget: StepBudget,
 }
 
 impl SimConfig {
@@ -221,6 +271,7 @@ impl SimConfig {
             trace_kind: TraceKind::RfHome,
             trace_seed: 0xE45,
             max_sim_time: SimTime::from_seconds(600.0),
+            step_budget: StepBudget::UNLIMITED,
         }
     }
 
@@ -233,6 +284,12 @@ impl SimConfig {
     /// Copy with a different design.
     pub fn with_design(mut self, design: EhsDesign) -> Self {
         self.design = design;
+        self
+    }
+
+    /// Copy with a watchdog budget.
+    pub fn with_step_budget(mut self, budget: StepBudget) -> Self {
+        self.step_budget = budget;
         self
     }
 }
@@ -263,6 +320,17 @@ mod tests {
         assert!(!GovernorSpec::Acc.is_ideal());
         assert_eq!(EhsDesign::Nvmr.to_string(), "NvMR");
         assert_eq!(EhsDesign::ALL.len(), 3);
+    }
+
+    #[test]
+    fn step_budget_defaults_to_unlimited() {
+        let cfg = SimConfig::table1();
+        assert!(cfg.step_budget.is_unlimited());
+        assert!(!StepBudget::insts(1_000).is_unlimited());
+        assert!(!StepBudget::wall(std::time::Duration::from_secs(1)).is_unlimited());
+        let b = SimConfig::table1().with_step_budget(StepBudget::insts(42)).step_budget;
+        assert_eq!(b.max_executed_insts, Some(42));
+        assert_eq!(b.max_wall, None);
     }
 
     #[test]

@@ -45,11 +45,11 @@ pub mod parallel;
 pub mod runner;
 pub mod stats;
 
-pub use config::{ConfigError, EhsDesign, Extension, GovernorSpec, SimConfig};
+pub use config::{ConfigError, EhsDesign, Extension, GovernorSpec, SimConfig, StepBudget};
 pub use faultinject::{FaultCampaignReport, GoldenState, InjectionPlan};
 pub use governor::Governor;
 pub use machine::{FaultKind, Simulator};
-pub use parallel::{run_batch, SimJob};
+pub use parallel::{run_batch, run_batch_with, JobFailure, RetryPolicy, SimJob};
 pub use runner::{
     run_app, run_app_with_telemetry, run_ideal_app, run_program, run_program_with_telemetry,
 };

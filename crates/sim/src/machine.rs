@@ -19,6 +19,12 @@ use crate::stats::{CycleRecord, SimStats};
 /// Trace-stepping granularity while hibernating (one trace window).
 const CHARGE_STEP: SimTime = SimTime::from_micros(10.0);
 
+/// Loop iterations between host wall-clock watchdog checks. The
+/// instruction budget is compared every step (one u64 compare); reading
+/// the host clock is amortised over this many iterations so an armed
+/// wall budget costs next to nothing on the hot path.
+const WALL_CHECK_PERIOD: u32 = 4096;
+
 /// Oracle attribution bookkeeping for one cache: which live compressed
 /// blocks were created by which recorded fills, grouped by set.
 ///
@@ -203,6 +209,11 @@ pub struct Simulator<'p> {
     /// an injection point stays meaningful under SweepCache rollback,
     /// where `inst_index` moves backwards.
     fault: Option<(u64, FaultKind)>,
+    /// Host clock at the start of `run_loop`, sampled only when the
+    /// config arms a wall-clock budget (`cfg.step_budget.max_wall`).
+    wall_start: Option<std::time::Instant>,
+    /// Iterations until the next (amortised) wall-clock budget check.
+    wall_countdown: u32,
 
     breakdown: EnergyBreakdown,
     stats: SimStats,
@@ -295,6 +306,8 @@ impl<'p> Simulator<'p> {
             sweeps_this_cycle: 0,
             running: true,
             fault: None,
+            wall_start: None,
+            wall_countdown: WALL_CHECK_PERIOD,
             breakdown: EnergyBreakdown::default(),
             stats: SimStats::default(),
             cycle: CycleRecord::default(),
@@ -395,10 +408,18 @@ impl<'p> Simulator<'p> {
 
     /// The machine loop shared by every run entry point: step while
     /// powered, checkpoint on the failure threshold, hibernate until the
-    /// restore threshold, stop on completion or the simulated-time guard.
+    /// restore threshold, stop on completion, the simulated-time guard,
+    /// or an exhausted watchdog budget ([`StepBudget`]).
     fn run_loop(&mut self) {
+        if self.cfg.step_budget.max_wall.is_some() {
+            self.wall_start = Some(std::time::Instant::now());
+        }
         while self.inst_index < self.program.len() {
             if self.now >= self.cfg.max_sim_time {
+                break;
+            }
+            if let Some(reason) = self.budget_exceeded() {
+                self.stats.budget_exhausted = Some(reason);
                 break;
             }
             if !self.running {
@@ -414,6 +435,34 @@ impl<'p> Simulator<'p> {
                 self.power_failure(None);
             }
         }
+    }
+
+    /// Cooperative watchdog check: the instruction budget is compared
+    /// every call; the host clock is read only every
+    /// [`WALL_CHECK_PERIOD`] calls. Returns the cancellation reason once
+    /// either armed limit is exceeded.
+    fn budget_exceeded(&mut self) -> Option<String> {
+        let budget = self.cfg.step_budget;
+        if let Some(max) = budget.max_executed_insts {
+            if self.stats.executed_insts >= max {
+                return Some(format!("instruction budget exhausted ({max} executed)"));
+            }
+        }
+        if let Some(max) = budget.max_wall {
+            self.wall_countdown -= 1;
+            if self.wall_countdown == 0 {
+                self.wall_countdown = WALL_CHECK_PERIOD;
+                let elapsed = self.wall_start.map(|s| s.elapsed()).unwrap_or_default();
+                if elapsed >= max {
+                    return Some(format!(
+                        "wall-clock budget exhausted ({:.1}s >= {:.1}s)",
+                        elapsed.as_secs_f64(),
+                        max.as_secs_f64()
+                    ));
+                }
+            }
+        }
+        None
     }
 
     fn finish(mut self) -> SimStats {
@@ -1008,6 +1057,13 @@ impl<'p> Simulator<'p> {
         let hibernate_start = self.now;
         while !self.cap.above_restore() {
             if self.now >= self.cfg.max_sim_time {
+                return false;
+            }
+            // A wall-clock budget also covers hibernation: a near-dead
+            // trace with a generous simulated-time guard would otherwise
+            // spin here for a long host time before giving up.
+            if let Some(reason) = self.budget_exceeded() {
+                self.stats.budget_exhausted = Some(reason);
                 return false;
             }
             let harvest = self.trace.power_at(self.now);

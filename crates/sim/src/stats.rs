@@ -104,6 +104,11 @@ pub struct SimStats {
     /// [`crate::machine::FaultKind::CorruptPayload`] fault.
     #[serde(default)]
     pub decode_faults: u64,
+    /// Why the cooperative watchdog cancelled the run, when it did
+    /// ([`StepBudget`](crate::config::StepBudget)); `None` for runs that
+    /// ended naturally. A cancelled run always has `completed == false`.
+    #[serde(default)]
+    pub budget_exhausted: Option<String>,
     /// Final Kagura registers and RM-entry count, when the governor was
     /// Kagura.
     pub kagura_state: Option<(KaguraRegisters, u64)>,

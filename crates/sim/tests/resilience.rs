@@ -1,0 +1,111 @@
+//! Resilient-orchestration guarantees: the cooperative watchdog cancels
+//! runaway simulations deterministically, and a batch containing
+//! panicking and hanging jobs completes with those cells failed while
+//! every healthy cell matches the no-fault run exactly.
+
+use std::time::Duration;
+
+use ehs_sim::{
+    run_batch, run_batch_with, GovernorSpec, JobFailure, RetryPolicy, SimConfig, SimJob, StepBudget,
+};
+use ehs_telemetry::Event;
+use ehs_workloads::App;
+
+fn acc() -> SimConfig {
+    SimConfig::table1().with_governor(GovernorSpec::Acc)
+}
+
+#[test]
+fn instruction_budget_cancels_runaway_run_deterministically() {
+    let cfg = acc().with_step_budget(StepBudget::insts(20_000));
+    let a = ehs_sim::run_app(App::Sha, 0.05, &cfg);
+    let b = ehs_sim::run_app(App::Sha, 0.05, &cfg);
+    assert!(!a.completed, "cancelled run must not report completion");
+    let reason = a.budget_exhausted.as_deref().expect("cancellation reason");
+    assert!(reason.contains("instruction budget"), "wrong reason: {reason}");
+    assert_eq!(a.executed_insts, 20_000, "insts budget must cancel at an exact step");
+    assert_eq!(a, b, "deterministic budget must cancel byte-identically");
+}
+
+#[test]
+fn wall_clock_budget_cancels_a_hanging_job() {
+    let cfg = acc().with_step_budget(StepBudget::wall(Duration::from_millis(1)));
+    let stats = ehs_sim::run_app(App::Sha, 0.5, &cfg);
+    assert!(!stats.completed);
+    let reason = stats.budget_exhausted.expect("cancellation reason");
+    assert!(reason.contains("wall-clock"), "wrong reason: {reason}");
+}
+
+#[test]
+fn unbudgeted_runs_are_untouched() {
+    let stats = ehs_sim::run_app(App::Sha, 0.01, &acc());
+    assert!(stats.completed);
+    assert_eq!(stats.budget_exhausted, None);
+}
+
+/// The acceptance scenario: one batch holding a healthy job, a panicking
+/// job, another healthy job, and a hanging (budget-cancelled) job. The
+/// failures stay in their own slots; the healthy results are exactly the
+/// ones a no-fault batch produces.
+#[test]
+fn mixed_fault_batch_preserves_healthy_cells_exactly() {
+    ehs_sim::parallel::set_max_workers(4);
+    let healthy = |app| SimJob::new(app, 0.01, acc());
+    let reference = run_batch(vec![healthy(App::Sha), healthy(App::Crc32)]);
+
+    let jobs = vec![
+        healthy(App::Sha),
+        // `App::build` asserts scale > 0: a deterministic in-sim panic.
+        SimJob::new(App::Dijkstra, -1.0, acc()),
+        healthy(App::Crc32),
+        // Injected runaway: a budget far below the program length.
+        healthy(App::Patricia).with_budget(StepBudget::insts(2_000)),
+    ];
+    let batch = run_batch_with(jobs, RetryPolicy::NONE);
+
+    assert_eq!(batch[0], reference[0], "healthy cell 0 diverged from the no-fault run");
+    assert_eq!(batch[2], reference[1], "healthy cell 2 diverged from the no-fault run");
+    match &batch[1] {
+        Err(JobFailure::Panicked { message }) => {
+            assert!(
+                message.contains("dijkstra") && message.contains("scale"),
+                "panic must name the simulation and cause: {message}"
+            );
+        }
+        other => panic!("expected contained panic, got {other:?}"),
+    }
+    match &batch[3] {
+        Err(JobFailure::TimedOut { detail, executed_insts }) => {
+            assert_eq!(*executed_insts, 2_000);
+            assert!(detail.contains("patricia"), "timeout must name the simulation: {detail}");
+        }
+        other => panic!("expected watchdog cancellation, got {other:?}"),
+    }
+
+    // Both failures were mirrored into the pool's harness event log.
+    // (The log is process-global and tests run concurrently, so filter
+    // by payloads unique to this batch.)
+    let events = ehs_sim::parallel::drain_pool_events();
+    assert!(
+        events.iter().any(|s| matches!(
+            &s.event,
+            Event::JobFailed { reason, .. } if reason.contains("dijkstra")
+        )),
+        "missing JobFailed event for the panicked cell"
+    );
+    assert!(
+        events.iter().any(|s| matches!(&s.event, Event::JobTimedOut { executed_insts: 2_000, .. })),
+        "missing JobTimedOut event for the cancelled cell"
+    );
+
+    // And counted in the pool metrics, alongside per-job latencies.
+    let mut m = ehs_sim::parallel::pool_metrics();
+    let failed = m.counter("jobs_failed");
+    let timed_out = m.counter("jobs_timed_out");
+    let ok = m.counter("jobs_ok");
+    assert!(m.counter_value(failed) >= 2, "both failures must be counted");
+    assert!(m.counter_value(timed_out) >= 1);
+    assert!(m.counter_value(ok) >= 4, "healthy jobs must be counted");
+    let hist = m.histogram("job_latency_ms", &[]);
+    assert!(m.histogram_data(hist).count() >= 6, "every job must record a latency sample");
+}

@@ -108,6 +108,29 @@ pub enum Event {
         /// Memory ops the cycle actually committed.
         actual_remaining: u64,
     },
+    /// A harness job failed terminally (after any retries). Emitted by
+    /// the parallel pool, not the simulator: `t_us` is host wall-clock
+    /// microseconds since process start and `cycle` is always 0.
+    JobFailed {
+        /// Submission index of the job within its batch.
+        job: u64,
+        /// Human-readable failure description (the `JobFailure` text).
+        reason: String,
+    },
+    /// A harness job failed transiently and is being retried.
+    JobRetried {
+        /// Submission index of the job within its batch.
+        job: u64,
+        /// 1-based attempt number that just failed.
+        attempt: u64,
+    },
+    /// A harness job was cancelled by its cooperative watchdog budget.
+    JobTimedOut {
+        /// Submission index of the job within its batch.
+        job: u64,
+        /// Instructions the simulation had executed when cancelled.
+        executed_insts: u64,
+    },
 }
 
 impl Event {
@@ -124,11 +147,17 @@ impl Event {
             Event::Eviction { .. } => "Eviction",
             Event::DecodeFault { .. } => "DecodeFault",
             Event::EstimatorSample { .. } => "EstimatorSample",
+            Event::JobFailed { .. } => "JobFailed",
+            Event::JobRetried { .. } => "JobRetried",
+            Event::JobTimedOut { .. } => "JobTimedOut",
         }
     }
 
     /// The event's payload as ordered `(name, value)` pairs.
     pub fn fields(&self) -> Vec<(&'static str, Value)> {
+        if let Event::JobFailed { job, reason } = self {
+            return vec![("job", (*job).into()), ("reason", reason.clone().into())];
+        }
         match *self {
             Event::PowerFailure { insts, voltage } => {
                 vec![("insts", insts.into()), ("voltage", voltage.into())]
@@ -159,6 +188,14 @@ impl Event {
                 ("predicted_remaining", predicted_remaining.into()),
                 ("actual_remaining", actual_remaining.into()),
             ],
+            // Handled by the borrow-matching prologue above (String field).
+            Event::JobFailed { .. } => unreachable!("JobFailed returned early"),
+            Event::JobRetried { job, attempt } => {
+                vec![("job", job.into()), ("attempt", attempt.into())]
+            }
+            Event::JobTimedOut { job, executed_insts } => {
+                vec![("job", job.into()), ("executed_insts", executed_insts.into())]
+            }
         }
     }
 
@@ -193,6 +230,14 @@ impl Event {
                 predicted_remaining: u("predicted_remaining")?,
                 actual_remaining: u("actual_remaining")?,
             },
+            "JobFailed" => Event::JobFailed {
+                job: u("job")?,
+                reason: obj.get("reason").and_then(Value::as_str)?.to_string(),
+            },
+            "JobRetried" => Event::JobRetried { job: u("job")?, attempt: u("attempt")? },
+            "JobTimedOut" => {
+                Event::JobTimedOut { job: u("job")?, executed_insts: u("executed_insts")? }
+            }
             _ => return None,
         })
     }
@@ -290,6 +335,9 @@ mod tests {
             Event::Eviction { count: 2, dcache: true },
             Event::DecodeFault { blocks: 1 },
             Event::EstimatorSample { predicted_remaining: 7, actual_remaining: 9 },
+            Event::JobFailed { job: 3, reason: "simulation panicked: boom".to_string() },
+            Event::JobRetried { job: 3, attempt: 1 },
+            Event::JobTimedOut { job: 4, executed_insts: 1_000_000 },
         ];
         for (i, event) in all.into_iter().enumerate() {
             let s = Stamped { t_us: i as f64 + 0.125, cycle: i as u64, event };

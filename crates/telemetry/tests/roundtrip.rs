@@ -38,6 +38,19 @@ fn known_sequence() -> Vec<Stamped> {
         },
         Stamped { t_us: 11.0, cycle: 1, event: Event::BypassedFill { dcache: false } },
         Stamped { t_us: 12.5, cycle: 1, event: Event::PowerFailure { insts: 128, voltage: 1.999 } },
+        // Harness-level job events (wall-clock stamps, cycle 0 by
+        // convention — they do not belong to any simulated power cycle).
+        Stamped { t_us: 13.0, cycle: 1, event: Event::JobRetried { job: 7, attempt: 1 } },
+        Stamped {
+            t_us: 13.5,
+            cycle: 1,
+            event: Event::JobTimedOut { job: 8, executed_insts: 4096 },
+        },
+        Stamped {
+            t_us: 14.0,
+            cycle: 1,
+            event: Event::JobFailed { job: 7, reason: "simulation sha:ACC panicked".to_string() },
+        },
     ]
 }
 
