@@ -21,11 +21,25 @@ echo "== faultgrid smoke (crash-consistency gate) =="
 # the experiment asserts internally, so any recovery regression fails
 # the gate here.
 FAULTGRID_OUT="$(mktemp -d)"
+LEDGER_OUT="$(mktemp -d)"
 RESUME_BASE="$(mktemp -d)"
 RESUME_CUT="$(mktemp -d)"
-trap 'rm -rf "$FAULTGRID_OUT" "$RESUME_BASE" "$RESUME_CUT"' EXIT
+trap 'rm -rf "$FAULTGRID_OUT" "$LEDGER_OUT" "$RESUME_BASE" "$RESUME_CUT"' EXIT
 cargo run --release --offline -q -p kagura-bench --bin repro -- \
     faultgrid --scale 0.005 --apps sha,crc32 --out "$FAULTGRID_OUT" --quiet
+
+echo "== ledger-audit smoke (energy-conservation gate) =="
+# A short grid under --audit-strict: any power cycle whose energy ledger
+# fails harvested = consumed + delta-stored aborts its cell, and repro
+# exits non-zero on any violation or failed cell. energy_waste also dumps
+# flight-record streams, which `repro explain` then parses back strictly
+# (every JSONL line must round-trip) — the flight-record schema gate.
+cargo run --release --offline -q -p kagura-bench --bin repro -- \
+    summary energy_waste --scale 0.01 --apps sha,crc32 --audit-strict \
+    --out "$LEDGER_OUT" --telemetry "$LEDGER_OUT" --quiet
+cargo run --release --offline -q -p kagura-bench --bin repro -- \
+    explain "$LEDGER_OUT" > /dev/null
+echo "ledger balanced across the smoke grid; flight records parse back"
 
 echo "== kill-and-resume gate (journaled resumable runs) =="
 # A short two-experiment run, SIGKILLed mid-grid once the first artifact

@@ -4,8 +4,10 @@
 //! repro <experiment-id>... [--scale S] [--apps a,b,c] [--out DIR] [--jobs N]
 //!                          [--telemetry DIR] [--quiet] [--resume DIR]
 //!                          [--job-timeout SECS] [--job-max-insts N]
+//!                          [--audit-strict]
 //! repro all                # every experiment
 //! repro list               # show available experiments
+//! repro explain DIR        # render flight-record decision reports
 //! ```
 //!
 //! Results print as tables (with the paper's reference numbers quoted
@@ -39,8 +41,22 @@
 //! job and `--job-max-insts N` a deterministic instruction budget; a
 //! cancelled or panicking grid cell degrades to `null` report cells plus a
 //! record in `<out>/failures.json` instead of aborting the run.
+//!
+//! # Energy-flow observability
+//!
+//! Every simulation audits an energy-conservation ledger at each
+//! power-cycle boundary; violations are counted per experiment and
+//! reported on the finish line. `--audit-strict` escalates them to
+//! per-cell failures and makes the whole run exit non-zero when any
+//! cell violated conservation or failed. `repro explain DIR` renders
+//! per-app decision reports (mode switches, `R_thres` trajectory,
+//! estimator error, wasted compression energy) from the
+//! `flight_<app>.jsonl` streams that `repro energy_waste --telemetry
+//! DIR` dumps, parsing them strictly — a malformed line fails the
+//! command with a `file:line` diagnostic.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -54,7 +70,9 @@ fn usage() {
     println!("usage: repro <experiment-id>... [--scale S] [--apps a,b,c] [--out DIR] [--jobs N]");
     println!("                                [--telemetry DIR] [--quiet] [--resume DIR]");
     println!("                                [--job-timeout SECS] [--job-max-insts N]");
+    println!("                                [--audit-strict]");
     println!("       repro all | list");
+    println!("       repro explain DIR       render flight-record decision reports from DIR");
     println!();
     list();
 }
@@ -71,6 +89,25 @@ fn main() -> ExitCode {
     if args.is_empty() {
         usage();
         return ExitCode::FAILURE;
+    }
+
+    // `repro explain DIR` is a pure renderer over already-dumped flight
+    // streams: no simulation, no journal — dispatch before flag parsing.
+    if args[0] == "explain" {
+        let Some(dir) = args.get(1) else {
+            eprintln!("usage: repro explain RESULTS_DIR");
+            return ExitCode::FAILURE;
+        };
+        return match kagura_bench::explain::explain_dir(std::path::Path::new(dir)) {
+            Ok(n) => {
+                eprintln!("[explain] rendered {n} report(s) from {dir}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("explain: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     let mut ids: Vec<String> = Vec::new();
@@ -175,6 +212,7 @@ fn main() -> ExitCode {
                 }
                 ctx.job_budget.max_executed_insts = Some(n);
             }
+            "--audit-strict" => ctx.audit_strict = true,
             "--quiet" | "-q" => ctx.quiet = true,
             "list" | "--list" | "-l" => {
                 list();
@@ -270,6 +308,8 @@ fn main() -> ExitCode {
         spans::set_enabled(true);
     }
     let start = std::time::Instant::now();
+    // Ledger violations across the whole run, for the strict exit code.
+    let run_violations = Arc::new(AtomicU64::new(0));
     // Experiments are independent coordinators: they hold no worker
     // permits themselves, so however many overlap, at most `jobs`
     // simulations execute at once.
@@ -280,12 +320,14 @@ fn main() -> ExitCode {
         }
         let _span = spans::span("experiment", || id.to_string());
         println!("=== {id} ===");
-        // Each experiment gets its own failure collector so records from
-        // concurrently running experiments cannot interleave, and its id
-        // for attribution.
+        // Each experiment gets its own failure collector and cycle/
+        // violation counters so records from concurrently running
+        // experiments cannot interleave, and its id for attribution.
         let mut run_ctx = ctx.clone();
         run_ctx.exp_id = Some(id.to_string());
         run_ctx.failures = Arc::new(Mutex::new(Vec::new()));
+        run_ctx.cycle_total = Arc::new(AtomicU64::new(0));
+        run_ctx.violation_total = Arc::new(AtomicU64::new(0));
         let _ = f(&run_ctx);
         // Journal ordering is the crash-safety invariant: the experiment's
         // artifact was atomically renamed into place inside `f`, so once
@@ -294,10 +336,13 @@ fn main() -> ExitCode {
         if let Err(e) = journal.lock().unwrap_or_else(|e| e.into_inner()).record(id, failures) {
             eprintln!("[{id}] warning: could not journal completion: {e}");
         }
+        let (cycles, violations) = run_ctx.take_cell_totals();
+        run_violations.fetch_add(violations, Ordering::Relaxed);
         println!("  [{id} done in {:.1}s]\n", t.elapsed().as_secs_f64());
         if !ctx.quiet {
             eprintln!(
-                "[{id}] finished in {:.1}s (worker {})",
+                "[{id}] finished in {:.1}s (worker {}) — {cycles} power cycle(s), \
+                 {violations} ledger violation(s)",
                 t.elapsed().as_secs_f64(),
                 spans::worker_slot()
             );
@@ -309,9 +354,9 @@ fn main() -> ExitCode {
     // interrupted predecessor included — so a resumed run reconstructs the
     // same failures.json an uninterrupted one would have written.
     let failures = journal.lock().unwrap_or_else(|e| e.into_inner()).all_failures();
+    let n_failures = failures.len();
     if !failures.is_empty() {
         let path = ctx.out_dir.join("failures.json");
-        let n_failures = failures.len();
         let doc = serde_json::json!({ "failures": failures });
         let text = serde_json::to_string_pretty(&doc).expect("serializable");
         if let Err(e) = fsutil::atomic_write(&path, text.as_bytes()) {
@@ -319,6 +364,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("  [{n_failures} failed cell(s); manifest in {}]", path.display());
+    }
+    // Under `--audit-strict` the run's contract is "every cell balanced
+    // its energy ledger and completed": any violation (counted in a
+    // lenient cell) or failed cell (a strict cell aborts on imbalance)
+    // fails the whole invocation.
+    let total_violations = run_violations.load(Ordering::Relaxed);
+    if ctx.audit_strict && (total_violations > 0 || n_failures > 0) {
+        eprintln!(
+            "audit-strict: {total_violations} ledger violation(s), {n_failures} failed cell(s) — \
+             failing the run"
+        );
+        return ExitCode::FAILURE;
     }
 
     if let Some(dir) = &ctx.telemetry_dir {

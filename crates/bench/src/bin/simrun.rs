@@ -9,13 +9,22 @@
 //!              [--extension none|edbp|ipex] [--json]
 //!              [--inject-at N] [--inject-fault power|torn|corrupt]
 //!              [--emit-events FILE] [--chrome-trace FILE]
+//!              [--flight-record FILE] [--audit-strict]
 //! ```
 //!
 //! `--emit-events FILE` streams every telemetry event of the run as JSONL;
 //! `--chrome-trace FILE` writes the same run as a Chrome trace-event file
 //! (loadable in Perfetto / `chrome://tracing`, with one duration slice per
-//! power cycle). Either flag attaches telemetry to the simulator; without
-//! them the run takes the uninstrumented fast path.
+//! power cycle); `--flight-record FILE` writes only the decision-relevant
+//! subset ([`ehs_telemetry::Event::flight_relevant`]: per-cycle flight
+//! records, ledger imbalances, mode switches, threshold adjustments,
+//! estimator samples, reboots) — the stream `repro explain` renders. Any
+//! of these flags attaches telemetry to the simulator; without them the
+//! run takes the uninstrumented fast path.
+//!
+//! The energy-conservation ledger is always audited at power-cycle
+//! boundaries (violations are counted in the report); `--audit-strict`
+//! turns the first violation into a hard error.
 //!
 //! `--inject-at N` arms a one-shot forced power failure immediately after
 //! the `N`-th executed instruction (see `ehs_sim::faultinject`);
@@ -50,17 +59,20 @@ fn usage() {
          \x20                [--ways N] [--block BYTES] [--cap UF] [--extension E] [--json]\n\
          \x20                [--inject-at N] [--inject-fault power|torn|corrupt]\n\
          \x20                [--emit-events FILE] [--chrome-trace FILE]\n\
+         \x20                [--flight-record FILE] [--audit-strict]\n\
          apps: {}",
         App::ALL.map(|a| a.name()).join(" ")
     );
 }
 
-/// Fans one event stream out to the optional JSONL and Chrome-trace
-/// sinks, so one instrumented run can feed both outputs.
+/// Fans one event stream out to the optional JSONL, Chrome-trace and
+/// flight-record sinks, so one instrumented run can feed all outputs.
+/// The flight sink sees only the decision-relevant subset.
 #[derive(Default)]
 struct TeeSink {
     jsonl: Option<JsonlSink<BufWriter<File>>>,
     chrome: Option<ChromeTraceSink>,
+    flight: Option<JsonlSink<BufWriter<File>>>,
 }
 
 impl Sink for TeeSink {
@@ -71,6 +83,11 @@ impl Sink for TeeSink {
         if let Some(c) = &mut self.chrome {
             c.record(ev);
         }
+        if let Some(f) = &mut self.flight {
+            if ev.event.flight_relevant() {
+                f.record(ev);
+            }
+        }
     }
 
     fn flush(&mut self) {
@@ -79,6 +96,9 @@ impl Sink for TeeSink {
         }
         if let Some(c) = &mut self.chrome {
             c.flush();
+        }
+        if let Some(f) = &mut self.flight {
+            f.flush();
         }
     }
 }
@@ -165,6 +185,9 @@ fn build_config(args: &Args) -> Result<SimConfig, String> {
             other => return Err(format!("unknown extension {other:?}")),
         };
     }
+    if args.has("--audit-strict") {
+        cfg.audit_strict = true;
+    }
     Ok(cfg)
 }
 
@@ -198,6 +221,7 @@ fn json_report(stats: &SimStats) -> serde_json::Value {
             "checkpoints": stats.checkpoints,
             "avg_insts_per_cycle": stats.avg_insts_per_cycle(),
             "decode_faults": stats.decode_faults,
+            "ledger_violations": stats.ledger_violations,
         },
         "caches": {
             "icache_miss_rate": stats.icache.miss_rate(),
@@ -248,6 +272,7 @@ fn print_report(stats: &SimStats) {
             stats.decode_faults
         );
     }
+    println!("  ledger audit    : {} violation(s)", stats.ledger_violations);
     let lc = stats.load_consistency();
     println!("  cycle stability : {:.1}% of neighbours within 20%", lc.frac_below_20 * 100.0);
     println!("caches");
@@ -359,13 +384,18 @@ fn run() -> Result<(), String> {
     }
     let events_path = args.flag("--emit-events");
     let chrome_path = args.flag("--chrome-trace");
-    let (stats, metrics) = if events_path.is_some() || chrome_path.is_some() {
+    let flight_path = args.flag("--flight-record");
+    let instrumented = events_path.is_some() || chrome_path.is_some() || flight_path.is_some();
+    let (stats, metrics) = if instrumented {
         let mut sink = TeeSink::default();
         if let Some(p) = events_path {
             sink.jsonl = Some(JsonlSink::create(Path::new(p)).map_err(|e| format!("{p}: {e}"))?);
         }
         if chrome_path.is_some() {
             sink.chrome = Some(ChromeTraceSink::new());
+        }
+        if let Some(p) = flight_path {
+            sink.flight = Some(JsonlSink::create(Path::new(p)).map_err(|e| format!("{p}: {e}"))?);
         }
         let (stats, metrics) = match inject {
             Some((at, kind)) => {
@@ -379,12 +409,18 @@ fn run() -> Result<(), String> {
         if let Some(err) = sink.jsonl.as_ref().and_then(JsonlSink::error) {
             return Err(format!("writing {}: {err}", events_path.unwrap_or("events")));
         }
+        if let Some(err) = sink.flight.as_ref().and_then(JsonlSink::error) {
+            return Err(format!("writing {}: {err}", flight_path.unwrap_or("flight record")));
+        }
         if let (Some(p), Some(chrome)) = (chrome_path, &sink.chrome) {
             chrome.write_to(Path::new(p)).map_err(|e| format!("{p}: {e}"))?;
             eprintln!("chrome trace written to {p}");
         }
         if let Some(p) = events_path {
             eprintln!("event stream written to {p}");
+        }
+        if let Some(p) = flight_path {
+            eprintln!("flight record written to {p}");
         }
         (stats, Some(metrics))
     } else {

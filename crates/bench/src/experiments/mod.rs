@@ -1,6 +1,7 @@
 //! Experiment registry: one entry per paper table/figure.
 
 pub mod analytic;
+pub mod energy_waste;
 pub mod estimator;
 pub mod faultgrid;
 pub mod headline;
@@ -65,6 +66,11 @@ pub const REGISTRY: &[(&str, &str, ExpFn)] = &[
         "crash-consistency certification: injected power failures vs golden image",
         faultgrid::faultgrid,
     ),
+    (
+        "energy_waste",
+        "per-cycle wasted compression energy: design x governor counterfactual",
+        energy_waste::energy_waste,
+    ),
 ];
 
 /// Looks up an experiment by id.
@@ -102,7 +108,12 @@ pub(crate) fn run_grid(
         .iter()
         .flat_map(|&app| {
             configs.iter().map(move |c| {
-                let job = SimJob::new(app, ctx.scale, c.clone());
+                let mut cell_cfg = c.clone();
+                // `--audit-strict` escalates per-cycle ledger imbalances
+                // from counted to fatal; the panic is contained by the
+                // pool and surfaces as a failed-cell record below.
+                cell_cfg.audit_strict |= ctx.audit_strict;
+                let job = SimJob::new(app, ctx.scale, cell_cfg);
                 if c.step_budget.is_unlimited() {
                     job.with_budget(ctx.job_budget)
                 } else {
@@ -120,6 +131,7 @@ pub(crate) fn run_grid(
                     let cell = results.next().expect("one result per grid cell");
                     match cell {
                         Ok(s) => {
+                            ctx.add_cell_stats(&s);
                             if !s.completed {
                                 eprintln!(
                                     "warning: {app} did not complete under {} (design {}) — \

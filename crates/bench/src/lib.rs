@@ -12,14 +12,16 @@
 //! crossovers fall) is the reproduction target; see EXPERIMENTS.md.
 
 pub mod experiments;
+pub mod explain;
 pub mod fsutil;
 pub mod journal;
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use ehs_sim::StepBudget;
+use ehs_sim::{SimStats, StepBudget};
 use ehs_workloads::App;
 use serde_json::Value;
 
@@ -51,6 +53,16 @@ pub struct ExpContext {
     /// one record per failed cell here instead of aborting. Shared so
     /// the driver can drain it after the experiment returns.
     pub failures: Arc<Mutex<Vec<Value>>>,
+    /// Run every grid cell with strict energy-ledger auditing
+    /// (`repro --audit-strict`): a conservation violation aborts the
+    /// cell (contained as a failed-cell record) instead of counting.
+    pub audit_strict: bool,
+    /// Power cycles simulated by this experiment's grid cells so far;
+    /// the driver reads (and resets) it for the progress line.
+    pub cycle_total: Arc<AtomicU64>,
+    /// Energy-ledger conservation violations across this experiment's
+    /// grid cells so far (lenient mode counts instead of aborting).
+    pub violation_total: Arc<AtomicU64>,
 }
 
 impl ExpContext {
@@ -76,6 +88,9 @@ impl ExpContext {
             job_budget: StepBudget::UNLIMITED,
             exp_id: None,
             failures: Arc::new(Mutex::new(Vec::new())),
+            audit_strict: false,
+            cycle_total: Arc::new(AtomicU64::new(0)),
+            violation_total: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -106,6 +121,21 @@ impl ExpContext {
     /// experiment returns).
     pub fn take_failures(&self) -> Vec<Value> {
         std::mem::take(&mut *self.failures.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Folds one finished grid cell into the running power-cycle and
+    /// ledger-violation totals surfaced by the driver's progress line.
+    pub fn add_cell_stats(&self, stats: &SimStats) {
+        self.cycle_total.fetch_add(stats.power_cycles.len() as u64, Ordering::Relaxed);
+        self.violation_total.fetch_add(stats.ledger_violations, Ordering::Relaxed);
+    }
+
+    /// Reads and clears the (power cycles, ledger violations) totals.
+    pub fn take_cell_totals(&self) -> (u64, u64) {
+        (
+            self.cycle_total.swap(0, Ordering::Relaxed),
+            self.violation_total.swap(0, Ordering::Relaxed),
+        )
     }
 }
 
@@ -217,8 +247,16 @@ mod tests {
         assert!(!ctx.quiet);
         assert!(ctx.job_budget.is_unlimited());
         assert!(ctx.exp_id.is_none());
+        assert!(!ctx.audit_strict);
         ctx.record_failure(serde_json::json!({"kind": "panic"}));
         assert_eq!(ctx.take_failures().len(), 1);
         assert!(ctx.take_failures().is_empty(), "take must drain");
+        ctx.add_cell_stats(&SimStats {
+            power_cycles: vec![Default::default(); 3],
+            ledger_violations: 1,
+            ..SimStats::default()
+        });
+        assert_eq!(ctx.take_cell_totals(), (3, 1));
+        assert_eq!(ctx.take_cell_totals(), (0, 0), "take must drain");
     }
 }

@@ -9,6 +9,7 @@ use std::fs::{self, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::Command;
+use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Mutex};
 
 use ehs_sim::StepBudget;
@@ -124,6 +125,9 @@ fn watchdog_failed_cells_become_null_with_manifest_records() {
         job_budget: StepBudget::insts(2_000),
         exp_id: Some("fig13".into()),
         failures: Arc::new(Mutex::new(Vec::new())),
+        audit_strict: false,
+        cycle_total: Arc::new(AtomicU64::new(0)),
+        violation_total: Arc::new(AtomicU64::new(0)),
     };
     let out = kagura_bench::experiments::headline::fig13(&ctx);
 

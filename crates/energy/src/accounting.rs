@@ -3,10 +3,11 @@
 //! *Checkpoint/Restoration* and *Others*.
 
 use std::fmt;
-use std::ops::{Add, AddAssign, Index};
+use std::ops::{Add, AddAssign, Index, Sub, SubAssign};
 
 use ehs_model::Energy;
 use serde::{Deserialize, Serialize};
+use serde_json::Value;
 
 /// The Fig 16 energy categories.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -45,6 +46,19 @@ impl EnergyCategory {
             EnergyCategory::Memory => "Memory",
             EnergyCategory::CheckpointRestore => "Checkpoint/Restoration",
             EnergyCategory::Other => "Others",
+        }
+    }
+
+    /// Stable machine-readable key (snake_case), used by the JSON wire
+    /// format and the flight-record field names (`<key>_pj`).
+    pub fn key(self) -> &'static str {
+        match self {
+            EnergyCategory::Compress => "compress",
+            EnergyCategory::Decompress => "decompress",
+            EnergyCategory::CacheOther => "cache_other",
+            EnergyCategory::Memory => "memory",
+            EnergyCategory::CheckpointRestore => "checkpoint_restore",
+            EnergyCategory::Other => "other",
         }
     }
 
@@ -121,6 +135,27 @@ impl EnergyBreakdown {
     pub fn iter(&self) -> impl Iterator<Item = (EnergyCategory, Energy)> + '_ {
         EnergyCategory::ALL.into_iter().map(|c| (c, self.buckets[c.index()]))
     }
+
+    /// Flat JSON object keyed by [`EnergyCategory::key`], values in
+    /// picojoules — the breakdown's wire format (the vendored serde stub
+    /// is a no-op, so JSON transport is hand-rolled, as for the
+    /// telemetry events).
+    pub fn to_json(&self) -> Value {
+        Value::Object(
+            self.iter().map(|(c, e)| (format!("{}_pj", c.key()), e.picojoules().into())).collect(),
+        )
+    }
+
+    /// Inverse of [`EnergyBreakdown::to_json`]; `None` when any category
+    /// key is missing or not a number.
+    pub fn from_json(v: &Value) -> Option<EnergyBreakdown> {
+        let mut out = EnergyBreakdown::default();
+        for c in EnergyCategory::ALL {
+            let pj = v.get(&format!("{}_pj", c.key()))?.as_f64()?;
+            out.record(c, Energy::from_picojoules(pj));
+        }
+        Some(out)
+    }
 }
 
 impl Index<EnergyCategory> for EnergyBreakdown {
@@ -143,6 +178,23 @@ impl AddAssign for EnergyBreakdown {
     fn add_assign(&mut self, rhs: EnergyBreakdown) {
         for (b, r) in self.buckets.iter_mut().zip(rhs.buckets.iter()) {
             *b += *r;
+        }
+    }
+}
+
+impl Sub for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+    fn sub(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        let mut out = self;
+        out -= rhs;
+        out
+    }
+}
+
+impl SubAssign for EnergyBreakdown {
+    fn sub_assign(&mut self, rhs: EnergyBreakdown) {
+        for (b, r) in self.buckets.iter_mut().zip(rhs.buckets.iter()) {
+            *b -= *r;
         }
     }
 }
@@ -198,6 +250,41 @@ mod tests {
         let c = a + b;
         assert_eq!(c[EnergyCategory::Compress].picojoules(), 3.0);
         assert_eq!(c[EnergyCategory::Other].picojoules(), 3.0);
+    }
+
+    #[test]
+    fn breakdowns_subtract_componentwise() {
+        let mut a = EnergyBreakdown::default();
+        a.record(EnergyCategory::Compress, Energy::from_picojoules(5.0));
+        a.record(EnergyCategory::Memory, Energy::from_picojoules(8.0));
+        let mut b = EnergyBreakdown::default();
+        b.record(EnergyCategory::Compress, Energy::from_picojoules(2.0));
+        let c = a - b;
+        assert_eq!(c[EnergyCategory::Compress].picojoules(), 3.0);
+        assert_eq!(c[EnergyCategory::Memory].picojoules(), 8.0);
+        let mut d = a;
+        d -= b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let mut b = EnergyBreakdown::default();
+        b.record(EnergyCategory::Compress, Energy::from_picojoules(3.84));
+        b.record(EnergyCategory::Other, Energy::from_picojoules(0.1));
+        let v = b.to_json();
+        assert_eq!(v.get("compress_pj").and_then(Value::as_f64), Some(3.84));
+        let back = EnergyBreakdown::from_json(&v).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn json_missing_key_rejected() {
+        let mut v = EnergyBreakdown::default().to_json();
+        if let Value::Object(map) = &mut v {
+            map.retain(|(k, _)| k != "memory_pj");
+        }
+        assert!(EnergyBreakdown::from_json(&v).is_none());
     }
 
     #[test]

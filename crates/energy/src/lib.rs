@@ -34,10 +34,12 @@
 
 pub mod accounting;
 pub mod capacitor;
+pub mod ledger;
 pub mod monitor;
 pub mod trace;
 
 pub use accounting::{EnergyBreakdown, EnergyCategory};
 pub use capacitor::{Capacitor, CapacitorConfig};
+pub use ledger::{LedgerImbalance, LedgerRow};
 pub use monitor::VoltageMonitor;
 pub use trace::{PowerTrace, TraceError, TraceKind, TraceStats};

@@ -1,0 +1,124 @@
+//! Property-based tests on the energy-accounting layer: `EnergyBreakdown`
+//! is an additive six-bucket vector, its JSON form is lossless, and the
+//! ledger audit accepts exactly the rows its own identity constructs.
+
+use ehs_energy::{EnergyBreakdown, EnergyCategory, LedgerRow};
+use ehs_model::Energy;
+use proptest::prelude::*;
+
+/// Six bucket magnitudes, one per [`EnergyCategory::ALL`] slot.
+fn buckets() -> impl Strategy<Value = [f64; 6]> {
+    (0.0f64..1e9, 0.0f64..1e9, 0.0f64..1e9, 0.0f64..1e9, 0.0f64..1e9, 0.0f64..1e9)
+        .prop_map(|(a, b, c, d, e, f)| [a, b, c, d, e, f])
+}
+
+fn breakdown(pj: [f64; 6]) -> EnergyBreakdown {
+    let mut b = EnergyBreakdown::default();
+    for (cat, v) in EnergyCategory::ALL.iter().zip(pj) {
+        b.record(*cat, Energy::from_picojoules(v));
+    }
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn addition_is_componentwise_and_total_preserving(a in buckets(), b in buckets()) {
+        let (x, y) = (breakdown(a), breakdown(b));
+        let sum = x + y;
+        for cat in EnergyCategory::ALL {
+            prop_assert_eq!(
+                sum[cat].picojoules(),
+                x[cat].picojoules() + y[cat].picojoules(),
+                "bucket {} must add componentwise", cat.label()
+            );
+        }
+        // `+` and `+=` agree.
+        let mut acc = x;
+        acc += y;
+        prop_assert_eq!(acc, sum);
+        // The total is the sum of totals (floats: exact here, since both
+        // sides reduce the same addends in the same order).
+        prop_assert!(
+            (sum.total().picojoules() - (x.total() + y.total()).picojoules()).abs()
+                <= 1e-9 * sum.total().picojoules().max(1.0)
+        );
+    }
+
+    #[test]
+    fn indexing_is_consistent_with_iteration(a in buckets()) {
+        let b = breakdown(a);
+        let mut seen = 0usize;
+        for (cat, e) in b.iter() {
+            prop_assert_eq!(b[cat], e, "iter and Index must agree on {}", cat.label());
+            seen += 1;
+        }
+        prop_assert_eq!(seen, EnergyCategory::ALL.len());
+        // record() accumulates into exactly one bucket.
+        let mut c = b;
+        c.record(EnergyCategory::Memory, Energy::from_picojoules(7.0));
+        for cat in EnergyCategory::ALL {
+            let expect = if cat == EnergyCategory::Memory {
+                b[cat].picojoules() + 7.0
+            } else {
+                b[cat].picojoules()
+            };
+            prop_assert_eq!(c[cat].picojoules(), expect);
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless(a in buckets()) {
+        let b = breakdown(a);
+        let v = b.to_json();
+        let back = EnergyBreakdown::from_json(&v).expect("own JSON must parse");
+        // f64 pJ values survive the JSON number formatter exactly.
+        prop_assert_eq!(back, b);
+    }
+
+    #[test]
+    fn subtraction_inverts_addition(a in buckets(), b in buckets()) {
+        let (x, y) = (breakdown(a), breakdown(b));
+        let mut back = x + y;
+        back -= y;
+        for cat in EnergyCategory::ALL {
+            prop_assert!(
+                (back[cat].picojoules() - x[cat].picojoules()).abs()
+                    <= 1e-9 * x[cat].picojoules().max(1.0),
+                "(x + y) - y must recover x in bucket {}", cat.label()
+            );
+        }
+    }
+
+    #[test]
+    fn ledger_rows_built_from_the_identity_always_audit_clean(
+        a in buckets(),
+        harvest_extra in 0.0f64..1e9,
+        leak in 0.0f64..1e6,
+    ) {
+        // Construct a row satisfying harvested = consumed + Δstored by
+        // definition; audit must accept it at any magnitude.
+        let consumed = breakdown(a);
+        let harvested = Energy::from_picojoules(
+            consumed.total().picojoules() + harvest_extra
+        );
+        let row = LedgerRow {
+            cycle: 0,
+            harvested,
+            consumed,
+            cap_leak: Energy::from_picojoules(leak),
+            delta_stored: harvested - consumed.total(),
+        };
+        prop_assert!(
+            row.audit(ehs_energy::ledger::DEFAULT_EPSILON).is_ok(),
+            "self-consistent row must balance: residual {}",
+            row.imbalance()
+        );
+        // JSON round trip preserves the audited quantities.
+        let back = LedgerRow::from_json(&row.to_json()).expect("own JSON must parse");
+        prop_assert_eq!(back.harvested, row.harvested);
+        prop_assert_eq!(back.consumed, row.consumed);
+        prop_assert_eq!(back.delta_stored, row.delta_stored);
+    }
+}

@@ -86,6 +86,11 @@ impl Energy {
         Energy(self.0.max(0.0))
     }
 
+    /// Absolute value of a signed energy difference.
+    pub fn abs(self) -> Energy {
+        Energy(self.0.abs())
+    }
+
     /// Returns the smaller of two energies.
     pub fn min(self, other: Energy) -> Energy {
         Energy(self.0.min(other.0))

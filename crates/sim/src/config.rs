@@ -254,6 +254,15 @@ pub struct SimConfig {
     pub max_sim_time: SimTime,
     /// Cooperative watchdog budget ([`StepBudget::UNLIMITED`] by default).
     pub step_budget: StepBudget,
+    /// Panic on an energy-ledger conservation violation instead of
+    /// counting it (`--audit-strict`). Off by default: the counter path
+    /// lets nearly-dead traces (where `Capacitor::drain` zero-clamps)
+    /// finish while still surfacing the drift.
+    pub audit_strict: bool,
+    /// Absolute epsilon for the per-cycle ledger audit
+    /// ([`ehs_energy::ledger::DEFAULT_EPSILON`] by default; the audit
+    /// adds a relative term on top, see `LedgerRow::tolerance`).
+    pub ledger_epsilon: Energy,
 }
 
 impl SimConfig {
@@ -272,6 +281,8 @@ impl SimConfig {
             trace_seed: 0xE45,
             max_sim_time: SimTime::from_seconds(600.0),
             step_budget: StepBudget::UNLIMITED,
+            audit_strict: false,
+            ledger_epsilon: ehs_energy::ledger::DEFAULT_EPSILON,
         }
     }
 
@@ -290,6 +301,12 @@ impl SimConfig {
     /// Copy with a watchdog budget.
     pub fn with_step_budget(mut self, budget: StepBudget) -> Self {
         self.step_budget = budget;
+        self
+    }
+
+    /// Copy with strict ledger auditing toggled.
+    pub fn with_audit_strict(mut self, strict: bool) -> Self {
+        self.audit_strict = strict;
         self
     }
 }
@@ -331,6 +348,14 @@ mod tests {
         let b = SimConfig::table1().with_step_budget(StepBudget::insts(42)).step_budget;
         assert_eq!(b.max_executed_insts, Some(42));
         assert_eq!(b.max_wall, None);
+    }
+
+    #[test]
+    fn ledger_audit_defaults_lenient() {
+        let cfg = SimConfig::table1();
+        assert!(!cfg.audit_strict);
+        assert_eq!(cfg.ledger_epsilon, ehs_energy::ledger::DEFAULT_EPSILON);
+        assert!(SimConfig::table1().with_audit_strict(true).audit_strict);
     }
 
     #[test]

@@ -157,7 +157,21 @@ impl Governor {
             k.drain_events(f);
         }
     }
+
+    /// Kagura's register file and current mode, for the flight recorder;
+    /// `None` for policies without the Kagura controller (including the
+    /// oracle variants, whose embedded Kagura is not the deployed one).
+    pub fn kagura_snapshot(&self) -> Option<(KaguraRegisters, kagura_core::Mode)> {
+        match self {
+            Governor::Kagura(k) => Some((k.registers(), k.mode())),
+            _ => None,
+        }
+    }
 }
+
+/// Kagura's register file `(R_prev, R_mem, R_adjust, R_thres, R_evict)`
+/// as returned by [`Governor::kagura_snapshot`].
+pub type KaguraRegisters = (u64, u64, i64, u64, u64);
 
 impl CompressionGovernor for Governor {
     fn fill_mode(&mut self) -> FillMode {

@@ -104,6 +104,11 @@ pub struct SimStats {
     /// [`crate::machine::FaultKind::CorruptPayload`] fault.
     #[serde(default)]
     pub decode_faults: u64,
+    /// Power cycles whose energy-ledger row failed its conservation
+    /// audit (`harvested ≠ Σ consumed + Δstored` beyond tolerance).
+    /// Always zero on healthy traces; see `ehs_energy::ledger`.
+    #[serde(default)]
+    pub ledger_violations: u64,
     /// Why the cooperative watchdog cancelled the run, when it did
     /// ([`StepBudget`](crate::config::StepBudget)); `None` for runs that
     /// ended naturally. A cancelled run always has `completed == false`.

@@ -30,6 +30,98 @@ impl From<(u64, u64, i64, u64, u64)> for Registers {
     }
 }
 
+/// Per-power-cycle flight-recorder payload carried by
+/// [`Event::FlightRecord`]: what the cycle executed, what the governor
+/// decided, and where every picojoule went (the conservation-audited
+/// ledger row, flattened).
+///
+/// One record is emitted at each power-cycle boundary when a flight
+/// recorder is attached (`simrun --flight-record`, `repro --telemetry`);
+/// the detached path emits nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlightRecord {
+    /// Instructions committed in the cycle.
+    pub insts: u64,
+    /// Memory operations committed in the cycle.
+    pub mem_ops: u64,
+    /// Estimator-predicted memory-op count for the cycle (`R_prev`);
+    /// zero for governors without an estimator.
+    pub predicted_remaining: u64,
+    /// Memory ops the cycle actually delivered (oracle ground truth).
+    pub actual_remaining: u64,
+    /// Governor mode at the end of the cycle: `"CM"`, `"RM"`, or `"-"`
+    /// for governors without a Kagura mode machine.
+    pub mode: &'static str,
+    /// Compressed fills performed after the last one whose block was
+    /// re-referenced before the outage — compressions an ideal
+    /// switch-off point would have avoided.
+    pub late_compressions: u64,
+    /// Compressed fills whose block was never re-referenced before the
+    /// outage (the paper's wasted-work population).
+    pub wasted_fills: u64,
+    /// Compression energy spent on those wasted fills (pJ).
+    pub wasted_pj: f64,
+    /// Bytes persisted by checkpoints (JIT + sweep) during the cycle.
+    pub checkpoint_bytes: u64,
+    /// Ledger row: energy harvested during the cycle (pJ).
+    pub harvested_pj: f64,
+    /// Ledger row: per-category consumption (pJ).
+    pub compress_pj: f64,
+    /// Ledger row: decompression energy (pJ).
+    pub decompress_pj: f64,
+    /// Ledger row: other cache energy (pJ).
+    pub cache_other_pj: f64,
+    /// Ledger row: NVM demand-traffic energy (pJ).
+    pub memory_pj: f64,
+    /// Ledger row: checkpoint/restore traffic energy (pJ).
+    pub checkpoint_restore_pj: f64,
+    /// Ledger row: everything else — pipeline, leakage, monitor (pJ).
+    pub other_pj: f64,
+    /// Capacitor leakage during the cycle (pJ); informational, already
+    /// inside `other_pj`.
+    pub cap_leak_pj: f64,
+    /// Change in capacitor stored energy over the cycle (pJ; signed).
+    pub delta_stored_pj: f64,
+}
+
+impl Default for FlightRecord {
+    /// An all-zero record with the governor-without-mode-machine marker
+    /// (`mode: "-"`), so defaulted records survive the parse validation.
+    fn default() -> Self {
+        FlightRecord {
+            insts: 0,
+            mem_ops: 0,
+            predicted_remaining: 0,
+            actual_remaining: 0,
+            mode: "-",
+            late_compressions: 0,
+            wasted_fills: 0,
+            wasted_pj: 0.0,
+            checkpoint_bytes: 0,
+            harvested_pj: 0.0,
+            compress_pj: 0.0,
+            decompress_pj: 0.0,
+            cache_other_pj: 0.0,
+            memory_pj: 0.0,
+            checkpoint_restore_pj: 0.0,
+            other_pj: 0.0,
+            cap_leak_pj: 0.0,
+            delta_stored_pj: 0.0,
+        }
+    }
+}
+
+impl FlightRecord {
+    fn mode_from_str(s: &str) -> Option<&'static str> {
+        match s {
+            "CM" => Some("CM"),
+            "RM" => Some("RM"),
+            "-" => Some("-"),
+            _ => None,
+        }
+    }
+}
+
 /// One traced occurrence inside a simulation run.
 ///
 /// Power-cycle lifecycle events come from the simulator's machine loop;
@@ -108,6 +200,19 @@ pub enum Event {
         /// Memory ops the cycle actually committed.
         actual_remaining: u64,
     },
+    /// One per power-cycle boundary when a flight recorder is attached:
+    /// the cycle's execution, governor decisions and full energy-ledger
+    /// row (see [`FlightRecord`]).
+    FlightRecord(FlightRecord),
+    /// The cycle's energy-ledger row failed its conservation audit:
+    /// `harvested − consumed − Δstored` exceeded the tolerance. A real
+    /// accounting bug or a degenerate (nearly dead) trace.
+    LedgerImbalance {
+        /// Signed conservation residual (pJ).
+        imbalance_pj: f64,
+        /// Tolerance the residual was audited against (pJ).
+        tolerance_pj: f64,
+    },
     /// A harness job failed terminally (after any retries). Emitted by
     /// the parallel pool, not the simulator: `t_us` is host wall-clock
     /// microseconds since process start and `cycle` is always 0.
@@ -147,6 +252,8 @@ impl Event {
             Event::Eviction { .. } => "Eviction",
             Event::DecodeFault { .. } => "DecodeFault",
             Event::EstimatorSample { .. } => "EstimatorSample",
+            Event::FlightRecord(_) => "FlightRecord",
+            Event::LedgerImbalance { .. } => "LedgerImbalance",
             Event::JobFailed { .. } => "JobFailed",
             Event::JobRetried { .. } => "JobRetried",
             Event::JobTimedOut { .. } => "JobTimedOut",
@@ -188,6 +295,29 @@ impl Event {
                 ("predicted_remaining", predicted_remaining.into()),
                 ("actual_remaining", actual_remaining.into()),
             ],
+            Event::FlightRecord(r) => vec![
+                ("insts", r.insts.into()),
+                ("mem_ops", r.mem_ops.into()),
+                ("predicted_remaining", r.predicted_remaining.into()),
+                ("actual_remaining", r.actual_remaining.into()),
+                ("mode", r.mode.into()),
+                ("late_compressions", r.late_compressions.into()),
+                ("wasted_fills", r.wasted_fills.into()),
+                ("wasted_pj", r.wasted_pj.into()),
+                ("checkpoint_bytes", r.checkpoint_bytes.into()),
+                ("harvested_pj", r.harvested_pj.into()),
+                ("compress_pj", r.compress_pj.into()),
+                ("decompress_pj", r.decompress_pj.into()),
+                ("cache_other_pj", r.cache_other_pj.into()),
+                ("memory_pj", r.memory_pj.into()),
+                ("checkpoint_restore_pj", r.checkpoint_restore_pj.into()),
+                ("other_pj", r.other_pj.into()),
+                ("cap_leak_pj", r.cap_leak_pj.into()),
+                ("delta_stored_pj", r.delta_stored_pj.into()),
+            ],
+            Event::LedgerImbalance { imbalance_pj, tolerance_pj } => {
+                vec![("imbalance_pj", imbalance_pj.into()), ("tolerance_pj", tolerance_pj.into())]
+            }
             // Handled by the borrow-matching prologue above (String field).
             Event::JobFailed { .. } => unreachable!("JobFailed returned early"),
             Event::JobRetried { job, attempt } => {
@@ -230,6 +360,30 @@ impl Event {
                 predicted_remaining: u("predicted_remaining")?,
                 actual_remaining: u("actual_remaining")?,
             },
+            "FlightRecord" => Event::FlightRecord(FlightRecord {
+                insts: u("insts")?,
+                mem_ops: u("mem_ops")?,
+                predicted_remaining: u("predicted_remaining")?,
+                actual_remaining: u("actual_remaining")?,
+                mode: FlightRecord::mode_from_str(obj.get("mode").and_then(Value::as_str)?)?,
+                late_compressions: u("late_compressions")?,
+                wasted_fills: u("wasted_fills")?,
+                wasted_pj: f("wasted_pj")?,
+                checkpoint_bytes: u("checkpoint_bytes")?,
+                harvested_pj: f("harvested_pj")?,
+                compress_pj: f("compress_pj")?,
+                decompress_pj: f("decompress_pj")?,
+                cache_other_pj: f("cache_other_pj")?,
+                memory_pj: f("memory_pj")?,
+                checkpoint_restore_pj: f("checkpoint_restore_pj")?,
+                other_pj: f("other_pj")?,
+                cap_leak_pj: f("cap_leak_pj")?,
+                delta_stored_pj: f("delta_stored_pj")?,
+            }),
+            "LedgerImbalance" => Event::LedgerImbalance {
+                imbalance_pj: f("imbalance_pj")?,
+                tolerance_pj: f("tolerance_pj")?,
+            },
             "JobFailed" => Event::JobFailed {
                 job: u("job")?,
                 reason: obj.get("reason").and_then(Value::as_str)?.to_string(),
@@ -240,6 +394,23 @@ impl Event {
             }
             _ => return None,
         })
+    }
+
+    /// Whether this event belongs in a flight-record stream
+    /// (`flight_<app>.jsonl`): the per-cycle records themselves plus the
+    /// governor-decision events `repro explain` reconstructs timelines
+    /// from. Shared filter between `simrun --flight-record`, the
+    /// `energy_waste` experiment and `repro explain`.
+    pub fn flight_relevant(&self) -> bool {
+        matches!(
+            self,
+            Event::FlightRecord(_)
+                | Event::LedgerImbalance { .. }
+                | Event::ModeSwitch { .. }
+                | Event::ThresholdAdjust { .. }
+                | Event::EstimatorSample { .. }
+                | Event::Reboot { .. }
+        )
     }
 }
 
@@ -335,6 +506,27 @@ mod tests {
             Event::Eviction { count: 2, dcache: true },
             Event::DecodeFault { blocks: 1 },
             Event::EstimatorSample { predicted_remaining: 7, actual_remaining: 9 },
+            Event::FlightRecord(FlightRecord {
+                insts: 4096,
+                mem_ops: 812,
+                predicted_remaining: 900,
+                actual_remaining: 812,
+                mode: "RM",
+                late_compressions: 3,
+                wasted_fills: 5,
+                wasted_pj: 19.2,
+                checkpoint_bytes: 1024,
+                harvested_pj: 60_000.0,
+                compress_pj: 42.0,
+                decompress_pj: 17.5,
+                cache_other_pj: 300.25,
+                memory_pj: 12_000.0,
+                checkpoint_restore_pj: 512.0,
+                other_pj: 47_000.125,
+                cap_leak_pj: 1_000.5,
+                delta_stored_pj: 128.125,
+            }),
+            Event::LedgerImbalance { imbalance_pj: 1.75, tolerance_pj: 0.5 },
             Event::JobFailed { job: 3, reason: "simulation panicked: boom".to_string() },
             Event::JobRetried { job: 3, attempt: 1 },
             Event::JobTimedOut { job: 4, executed_insts: 1_000_000 },
@@ -352,6 +544,53 @@ mod tests {
         let text = serde_json::to_string(&s.to_value()).unwrap();
         assert!(text.starts_with("{\"t_us\":1.25,\"cycle\":0,\"kind\":\"ModeSwitch\""), "{text}");
         assert!(text.contains("\"r_adjust\":-32"));
+    }
+
+    #[test]
+    fn flight_relevant_selects_decision_events_only() {
+        assert!(Event::LedgerImbalance { imbalance_pj: 1.0, tolerance_pj: 0.5 }.flight_relevant());
+        assert!(Event::ThresholdAdjust { old: 32, new: 35, evicted: 0 }.flight_relevant());
+        assert!(Event::Reboot { charge_us: 1.0, voltage: 2.016 }.flight_relevant());
+        assert!(!Event::CompressedFill { dcache: true }.flight_relevant());
+        assert!(!Event::Checkpoint { blocks: 4 }.flight_relevant());
+        assert!(!Event::PowerFailure { insts: 1, voltage: 2.0 }.flight_relevant());
+    }
+
+    #[test]
+    fn flight_record_mode_is_validated_on_parse() {
+        let mut v = Stamped {
+            t_us: 1.0,
+            cycle: 0,
+            event: Event::FlightRecord(FlightRecord {
+                insts: 0,
+                mem_ops: 0,
+                predicted_remaining: 0,
+                actual_remaining: 0,
+                mode: "CM",
+                late_compressions: 0,
+                wasted_fills: 0,
+                wasted_pj: 0.0,
+                checkpoint_bytes: 0,
+                harvested_pj: 0.0,
+                compress_pj: 0.0,
+                decompress_pj: 0.0,
+                cache_other_pj: 0.0,
+                memory_pj: 0.0,
+                checkpoint_restore_pj: 0.0,
+                other_pj: 0.0,
+                cap_leak_pj: 0.0,
+                delta_stored_pj: 0.0,
+            }),
+        }
+        .to_value();
+        if let Value::Object(members) = &mut v {
+            for (k, val) in members.iter_mut() {
+                if k == "mode" {
+                    *val = Value::String("XX".to_string());
+                }
+            }
+        }
+        assert!(Stamped::from_value(&v).is_none());
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod metrics;
 pub mod sink;
 pub mod spans;
 
-pub use event::{Event, Registers, Stamped};
+pub use event::{Event, FlightRecord, Registers, Stamped};
 pub use metrics::{Counter, Gauge, HistogramId, MetricsRegistry};
 pub use sink::{ChromeTraceSink, JsonlSink, NullSink, RingSink, Sink, VecSink};
 

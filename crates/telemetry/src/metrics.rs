@@ -65,6 +65,37 @@ impl Histogram {
             .zip(self.counts.iter().copied())
             .collect()
     }
+
+    /// Estimates the `q`-quantile (`0.0 ≤ q ≤ 1.0`) by linear
+    /// interpolation within the bucket containing the target rank, the
+    /// standard fixed-bucket estimator. The first bucket interpolates
+    /// from 0; observations in the overflow bucket clamp to the last
+    /// finite bound (the histogram cannot resolve beyond it). Returns 0
+    /// for an empty histogram.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.total as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if (seen + c) as f64 >= rank {
+                let Some(&hi) = self.bounds.get(i) else {
+                    // Overflow bucket: unbounded above, clamp to the
+                    // last finite bound (or 0 with no bounds at all).
+                    return self.bounds.last().copied().unwrap_or(0.0);
+                };
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let within = ((rank - seen as f64) / c as f64).clamp(0.0, 1.0);
+                return lo + (hi - lo) * within;
+            }
+            seen += c;
+        }
+        self.bounds.last().copied().unwrap_or(0.0)
+    }
 }
 
 /// Counter/gauge values captured at one power-cycle boundary.
@@ -198,7 +229,9 @@ impl MetricsRegistry {
                     .map(|(ub, c)| serde_json::json!({ "le": ub, "count": c }))
                     .collect();
                 serde_json::json!({
-                    "name": n, "count": h.count(), "mean": h.mean(), "buckets": buckets,
+                    "name": n, "count": h.count(), "mean": h.mean(),
+                    "p50": h.percentile(0.50), "p90": h.percentile(0.90),
+                    "p99": h.percentile(0.99), "buckets": buckets,
                 })
             })
             .collect();
@@ -255,6 +288,42 @@ mod tests {
         assert_eq!(buckets[1], (100.0, 1));
         assert_eq!(buckets[2].1, 1, "overflow bucket catches the rest");
         assert!((data.mean() - 1265.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_on_a_known_uniform_distribution() {
+        let mut m = MetricsRegistry::default();
+        // 10-wide buckets up to 100; observe 1..=100 → exactly 10 per
+        // bucket, a uniform distribution with known quantiles.
+        let bounds: Vec<f64> = (1..=10).map(|i| (i * 10) as f64).collect();
+        let h = m.histogram("uniform", &bounds);
+        for v in 1..=100 {
+            m.observe(h, v as f64);
+        }
+        let data = m.histogram_data(h);
+        assert!((data.percentile(0.50) - 50.0).abs() < 1e-9);
+        assert!((data.percentile(0.90) - 90.0).abs() < 1e-9);
+        assert!((data.percentile(0.99) - 99.0).abs() < 1e-9);
+        assert_eq!(data.percentile(0.0), 0.0);
+        assert!((data.percentile(1.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_interpolate_and_clamp_overflow() {
+        let mut m = MetricsRegistry::default();
+        let h = m.histogram("latency", &[10.0, 100.0]);
+        // 3 observations in (0,10], 1 in the overflow bucket.
+        for v in [2.0, 4.0, 9.0, 5000.0] {
+            m.observe(h, v);
+        }
+        let data = m.histogram_data(h);
+        // p50 → rank 2 of 3 inside the first bucket: 10 × (2/3).
+        assert!((data.percentile(0.50) - 10.0 * (2.0 / 3.0)).abs() < 1e-9);
+        // p99 lands in the overflow bucket → clamps to the last bound.
+        assert_eq!(data.percentile(0.99), 100.0);
+        // Empty histogram reports zero everywhere.
+        let e = m.histogram("empty", &[1.0]);
+        assert_eq!(m.histogram_data(e).percentile(0.5), 0.0);
     }
 
     #[test]
