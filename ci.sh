@@ -15,6 +15,18 @@ cargo clippy --workspace --offline -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace --offline
 
+echo "== simulator throughput gate (BENCH_sim.json) =="
+# The committed BENCH_sim.json is the baseline; a fresh measurement at a
+# small fixed scale must reach >= 70% of its per-app single-thread IPS
+# (IPS is close to scale-invariant, so the gate can run much shorter than
+# the committed artifact). The baseline must also parse as JSON.
+python3 -m json.tool BENCH_sim.json > /dev/null
+SIMBENCH_OUT="$(mktemp)"
+cargo run --release --offline -q -p kagura-bench --bin simbench -- \
+    --scale 0.3 --repeat 5 --skip-reference --out "$SIMBENCH_OUT" \
+    --check BENCH_sim.json --max-regression 0.30
+rm -f "$SIMBENCH_OUT"
+
 echo "== faultgrid smoke (crash-consistency gate) =="
 # Exhaustive injection on the short kernels, sampled injection on two
 # apps across all three designs, and the harness's own mutation checks;

@@ -41,6 +41,7 @@
 //! ```
 
 mod cache;
+mod memo;
 mod set;
 
 pub use cache::{CompressedCache, DirtyBlock, Evicted, FillOutcome, HitInfo, ResidentBlock};

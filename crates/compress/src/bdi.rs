@@ -114,6 +114,27 @@ fn config_bits(data_len: usize, base_size: u32, delta_size: u32) -> u32 {
     HEADER_BITS + 8 * base_size + n + n * 8 * delta_size
 }
 
+/// `plan_config(..).is_some()` without building the plan — the same value
+/// walk and base-adoption rule, minus the mask/delta vectors.
+fn config_fits(data: &[u8], base_size: u32, delta_size: u32) -> bool {
+    if !data.len().is_multiple_of(base_size as usize) {
+        return false;
+    }
+    let n = data.len() / base_size as usize;
+    let mut base: Option<u64> = None;
+    for i in 0..n {
+        let v = value_at(data, i, base_size);
+        if fitting_delta(v, 0, delta_size).is_some() {
+            continue;
+        }
+        let b = *base.get_or_insert(v);
+        if fitting_delta(v, b, delta_size).is_none() {
+            return false;
+        }
+    }
+    true
+}
+
 impl Compressor for Bdi {
     fn algorithm(&self) -> Algorithm {
         Algorithm::Bdi
@@ -172,6 +193,42 @@ impl Compressor for Bdi {
             // Incompressible; store raw behind an uncompressed flag byte.
             _ => passthrough(Algorithm::Bdi, data),
         }
+    }
+
+    /// Allocation-free size query: a candidate configuration's size is
+    /// `config_bits(..)`, fixed by the config alone, so only *which*
+    /// configs fit matters — and the winner (first strict minimum in
+    /// `CONFIGS` order) is decided exactly as in `compress`.
+    fn compressed_size_bits(&self, data: &[u8]) -> u32 {
+        validate_block(data);
+        if data.iter().all(|&b| b == 0) {
+            return HEADER_BITS;
+        }
+        if data.len().is_multiple_of(8) {
+            let first = value_at(data, 0, 8);
+            if (1..data.len() / 8).all(|i| value_at(data, i, 8) == first) {
+                return HEADER_BITS + 64;
+            }
+        }
+        // Walk the configurations cheapest-first: the answer is the
+        // *minimum* encoded size over the fitting configurations, so the
+        // first fit in ascending-size order is the answer and the
+        // remaining (more expensive) value walks can be skipped entirely.
+        let mut order: [(u32, u32, u32); CONFIGS.len()] = [(0, 0, 0); CONFIGS.len()];
+        for (slot, &(bs, ds)) in order.iter_mut().zip(CONFIGS.iter()) {
+            *slot = (config_bits(data.len(), bs, ds), bs, ds);
+        }
+        order.sort_unstable_by_key(|&(bits, ..)| bits);
+        let passthrough_bits = (data.len() as u32 + 1) * 8;
+        for &(bits, bs, ds) in order.iter() {
+            if bits >= passthrough_bits {
+                break; // no remaining configuration can beat passthrough
+            }
+            if config_fits(data, bs, ds) {
+                return bits;
+            }
+        }
+        passthrough_bits
     }
 
     fn try_decompress_into(
@@ -354,6 +411,55 @@ mod tests {
         assert_eq!(sign_extend(0x7F, 8), 127);
         assert_eq!(sign_extend(0x80, 8), -128);
         assert_eq!(sign_extend(0xFFFF_FFFF_FFFF_FFFF, 64), -1);
+    }
+
+    #[test]
+    fn size_only_matches_full_compression() {
+        let bdi = Bdi::new();
+        // Deterministic sweep over compressible and incompressible shapes:
+        // zero, repeat, clustered-per-config, mixed immediates, random.
+        let mut x = 0x1234_5678u64;
+        let mut rnd = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x
+        };
+        for size in [16usize, 32, 64] {
+            for case in 0..2000 {
+                let mut block = vec![0u8; size];
+                match case % 5 {
+                    0 => {} // zeros
+                    1 => {
+                        let v = rnd().to_le_bytes();
+                        for c in block.chunks_exact_mut(8) {
+                            c.copy_from_slice(&v);
+                        }
+                    }
+                    2 => {
+                        let base = rnd();
+                        for c in block.chunks_exact_mut(4) {
+                            let v = (base.wrapping_add(rnd() % 251)) as u32;
+                            c.copy_from_slice(&v.to_le_bytes());
+                        }
+                    }
+                    3 => {
+                        for c in block.chunks_exact_mut(4) {
+                            let v = if rnd() % 2 == 0 { rnd() % 100 } else { rnd() } as u32;
+                            c.copy_from_slice(&v.to_le_bytes());
+                        }
+                    }
+                    _ => {
+                        for b in block.iter_mut() {
+                            *b = rnd() as u8;
+                        }
+                    }
+                }
+                assert_eq!(
+                    bdi.compressed_size_bits(&block),
+                    bdi.compress(&block).encoded_bits(),
+                    "size-only diverged on {block:?}"
+                );
+            }
+        }
     }
 
     #[test]

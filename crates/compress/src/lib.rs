@@ -337,6 +337,21 @@ pub trait Compressor {
     /// (cache blocks are word-aligned).
     fn compress(&self, data: &[u8]) -> CompressedBlock;
 
+    /// Exact encoded size in bits of what [`Compressor::compress`] would
+    /// produce, `== compress(data).encoded_bits()` for every input.
+    ///
+    /// Callers that model a compressed cache's *space* (segment counts)
+    /// never touch the payload, so implementations may answer the size
+    /// question alone — skipping the bitstream assembly and its
+    /// allocations. The default simply runs the compressor.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Compressor::compress`].
+    fn compressed_size_bits(&self, data: &[u8]) -> u32 {
+        self.compress(data).encoded_bits()
+    }
+
     /// Decompresses a block into a caller-provided buffer, without
     /// allocating, reporting corruption as a [`DecodeError`] value.
     ///
@@ -449,6 +464,17 @@ impl Compressor for AnyCompressor {
             AnyCompressor::Dzc(c) => c.compress(data),
             AnyCompressor::Bpc(c) => c.compress(data),
             AnyCompressor::Fvc(c) => c.compress(data),
+        }
+    }
+
+    fn compressed_size_bits(&self, data: &[u8]) -> u32 {
+        match self {
+            AnyCompressor::Bdi(c) => c.compressed_size_bits(data),
+            AnyCompressor::Fpc(c) => c.compressed_size_bits(data),
+            AnyCompressor::CPack(c) => c.compressed_size_bits(data),
+            AnyCompressor::Dzc(c) => c.compressed_size_bits(data),
+            AnyCompressor::Bpc(c) => c.compressed_size_bits(data),
+            AnyCompressor::Fvc(c) => c.compressed_size_bits(data),
         }
     }
 

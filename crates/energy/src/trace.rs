@@ -215,8 +215,11 @@ impl PowerTrace {
 
     /// Average power at simulated time `t` (cyclic).
     pub fn power_at(&self, t: SimTime) -> Power {
-        let idx = (t.seconds() / TRACE_INTERVAL.seconds()) as u64 as usize % self.samples.len();
-        self.samples[idx]
+        let idx = (t.seconds() / TRACE_INTERVAL.seconds()) as u64 as usize;
+        // Runs rarely outrun the trace, so branch around the wrap: an
+        // integer division per sample is measurable at simulator speed.
+        let n = self.samples.len();
+        self.samples[if idx < n { idx } else { idx % n }]
     }
 
     /// Borrows the raw samples.

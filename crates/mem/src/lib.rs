@@ -27,11 +27,43 @@
 pub mod image;
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use ehs_model::{Address, BlockData, Cycles, Energy, NvmParams};
 use serde::{Deserialize, Serialize};
 
 pub use image::{ImageKind, MemoryImage};
+
+/// Multiplicative hasher for block indices.
+///
+/// The block map is on the simulator's NVM fill/write-back path, where
+/// SipHash on a `u64` key is measurable. Keys are block indices from
+/// deterministic kernels — not attacker-controlled — so a Fibonacci
+/// multiply (golden-ratio constant) mixes plenty. Nothing observable
+/// depends on map order: [`Nvm::resident_indices`] is documented
+/// unordered and every consumer sorts.
+#[derive(Default)]
+struct BlockIndexHasher(u64);
+
+impl Hasher for BlockIndexHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path (unused by u64 keys); fold bytes in.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.0 = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        // High bits carry the mix; HashMap keeps the low bits.
+        self.0.rotate_left(32)
+    }
+}
+
+type BlockMap = HashMap<u64, BlockData, BuildHasherDefault<BlockIndexHasher>>;
 
 /// The outcome of one NVM block read.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,7 +117,7 @@ pub struct Nvm {
     block_size: u32,
     addr_mask: u64,
     image: MemoryImage,
-    blocks: HashMap<u64, BlockData>,
+    blocks: BlockMap,
     stats: NvmStats,
 }
 
@@ -108,7 +140,7 @@ impl Nvm {
             block_size,
             addr_mask: params.size_bytes - 1,
             image,
-            blocks: HashMap::new(),
+            blocks: BlockMap::default(),
             stats: NvmStats::default(),
         }
     }

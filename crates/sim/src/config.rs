@@ -198,6 +198,36 @@ impl StepBudget {
     }
 }
 
+/// Which implementation of the step loop drives the simulation.
+///
+/// Both modes are **byte-identical** in results by construction (the fast
+/// path only elides work that provably cannot change state — see
+/// DESIGN.md "Fast path" — and the differential tests in
+/// `crates/sim/tests/fastpath.rs` enforce it). `Reference` exists as the
+/// plainly-auditable baseline: one `step()` per instruction with every
+/// subsystem consulted unconditionally. It is what the fast path is
+/// validated and benchmarked against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecMode {
+    /// Event-driven fast-forward loop (the default): batches runs of
+    /// non-memory instructions and skips provably-dead subsystem calls.
+    #[default]
+    FastForward,
+    /// Naive per-instruction loop, kept as the differential-testing and
+    /// benchmarking baseline.
+    Reference,
+}
+
+impl ExecMode {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecMode::FastForward => "fast-forward",
+            ExecMode::Reference => "reference",
+        }
+    }
+}
+
 /// Fixed runtime costs of the EHS designs (documented extrapolations; see
 /// DESIGN.md).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -254,6 +284,9 @@ pub struct SimConfig {
     pub max_sim_time: SimTime,
     /// Cooperative watchdog budget ([`StepBudget::UNLIMITED`] by default).
     pub step_budget: StepBudget,
+    /// Step-loop implementation ([`ExecMode::FastForward`] by default;
+    /// results are byte-identical either way).
+    pub exec: ExecMode,
     /// Panic on an energy-ledger conservation violation instead of
     /// counting it (`--audit-strict`). Off by default: the counter path
     /// lets nearly-dead traces (where `Capacitor::drain` zero-clamps)
@@ -281,6 +314,7 @@ impl SimConfig {
             trace_seed: 0xE45,
             max_sim_time: SimTime::from_seconds(600.0),
             step_budget: StepBudget::UNLIMITED,
+            exec: ExecMode::FastForward,
             audit_strict: false,
             ledger_epsilon: ehs_energy::ledger::DEFAULT_EPSILON,
         }
@@ -307,6 +341,12 @@ impl SimConfig {
     /// Copy with strict ledger auditing toggled.
     pub fn with_audit_strict(mut self, strict: bool) -> Self {
         self.audit_strict = strict;
+        self
+    }
+
+    /// Copy with a different step-loop implementation.
+    pub fn with_exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
         self
     }
 }
@@ -356,6 +396,15 @@ mod tests {
         assert!(!cfg.audit_strict);
         assert_eq!(cfg.ledger_epsilon, ehs_energy::ledger::DEFAULT_EPSILON);
         assert!(SimConfig::table1().with_audit_strict(true).audit_strict);
+    }
+
+    #[test]
+    fn exec_mode_defaults_to_fast_forward() {
+        assert_eq!(SimConfig::table1().exec, ExecMode::FastForward);
+        assert_eq!(ExecMode::default(), ExecMode::FastForward);
+        let cfg = SimConfig::table1().with_exec(ExecMode::Reference);
+        assert_eq!(cfg.exec, ExecMode::Reference);
+        assert_eq!(cfg.exec.label(), "reference");
     }
 
     #[test]

@@ -96,6 +96,20 @@ impl Governor {
             if matches!(k.config().trigger, TriggerKind::Voltage { .. }))
     }
 
+    /// `true` when [`CompressionGovernor::on_voltage`] can observably act
+    /// for this policy, i.e. the per-instruction voltage sample must not be
+    /// skipped. Only Kagura reacts to voltage (and only with a
+    /// [`TriggerKind::Voltage`] trigger); the oracle wrappers around Kagura
+    /// are counted conservatively because they delegate to an inner Kagura
+    /// whose trigger this method does not inspect.
+    pub fn voltage_sensitive(&self) -> bool {
+        match self {
+            Governor::Kagura(k) => matches!(k.config().trigger, TriggerKind::Voltage { .. }),
+            Governor::RecordKagura(_) | Governor::ReplayKagura(_) => true,
+            _ => false,
+        }
+    }
+
     /// Oracle recording: registers a compressing fill, returning its id.
     pub fn record_fill(&mut self) -> Option<usize> {
         match self {

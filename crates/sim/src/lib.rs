@@ -45,7 +45,9 @@ pub mod parallel;
 pub mod runner;
 pub mod stats;
 
-pub use config::{ConfigError, EhsDesign, Extension, GovernorSpec, SimConfig, StepBudget};
+pub use config::{
+    ConfigError, EhsDesign, ExecMode, Extension, GovernorSpec, SimConfig, StepBudget,
+};
 pub use faultinject::{FaultCampaignReport, GoldenState, InjectionPlan};
 pub use governor::Governor;
 pub use machine::{FaultKind, Simulator};

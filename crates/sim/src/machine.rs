@@ -9,12 +9,12 @@ use ehs_energy::{
 };
 use ehs_mem::Nvm;
 use ehs_model::inst::InstKind;
-use ehs_model::{Address, CompressorCost, Energy, SimTime};
+use ehs_model::{Address, CompressorCost, Energy, Power, SimTime};
 use ehs_telemetry::{Counter, Event, Gauge, HistogramId, MetricsRegistry, Sink, Telemetry};
-use ehs_workloads::KernelProgram;
+use ehs_workloads::{InstCursor, KernelProgram};
 use kagura_core::{CompressionGovernor, Mode};
 
-use crate::config::{EhsDesign, Extension, SimConfig};
+use crate::config::{EhsDesign, ExecMode, Extension, SimConfig};
 use crate::governor::Governor;
 use crate::stats::{CycleRecord, SimStats};
 
@@ -50,6 +50,11 @@ impl OracleMap {
     }
 
     fn remove(&mut self, block: u64) {
+        // Non-recording governors never insert, so every eviction would
+        // otherwise pay a hash of `block` just to probe an empty table.
+        if self.by_block.is_empty() {
+            return;
+        }
         if let Some((set, _)) = self.by_block.remove(&block) {
             if let Some(v) = self.by_set.get_mut(&set) {
                 v.retain(|&(b, _)| b != block);
@@ -69,6 +74,101 @@ impl OracleMap {
 
 /// How often (committed instructions) the EDBP decay scan runs.
 const EDBP_SCAN_PERIOD: u64 = 128;
+
+/// Largest per-instruction cycle count with a precomputed `dt` on the
+/// fast path (miss + fill stalls stay well under this; larger counts fall
+/// back to the division).
+const DT_TABLE_CYCLES: u64 = 256;
+
+/// Smallest raw stored-energy value (in picojoules, [`Energy`]'s internal
+/// unit) at which [`Capacitor::voltage`] reaches `v_ckpt`, found by
+/// bisecting f64 bit patterns.
+///
+/// `voltage = sqrt(2 · (pJ · 1e-12) / C)` is monotone non-decreasing in
+/// the raw f64 (each step — two positive-constant multiplies, a divide by
+/// a positive constant, a square root — is monotone under IEEE
+/// round-to-nearest), and non-negative f64 bit patterns order identically
+/// to their values, so the exact boundary is reachable by binary search
+/// over the bit patterns. `stored.picojoules() < cutoff` then reproduces
+/// `below_checkpoint()` bit-for-bit without the per-instruction sqrt.
+fn checkpoint_cutoff_pj(capacitance: f64, v_ckpt: f64) -> f64 {
+    // Must mirror `Capacitor::voltage()` ∘ `Energy::joules()` exactly.
+    let volt = |pj: f64| (2.0 * (pj * 1e-12) / capacitance).sqrt();
+    if volt(0.0) >= v_ckpt {
+        return 0.0;
+    }
+    let mut hi = 1.0f64;
+    while volt(hi) < v_ckpt {
+        hi *= 2.0;
+        if !hi.is_finite() {
+            return f64::INFINITY;
+        }
+    }
+    let mut lo_bits = 0u64; // invariant: volt(lo) < v_ckpt
+    let mut hi_bits = hi.to_bits(); // invariant: volt(hi) >= v_ckpt
+    while hi_bits - lo_bits > 1 {
+        let mid = lo_bits + (hi_bits - lo_bits) / 2;
+        if volt(f64::from_bits(mid)) < v_ckpt {
+            lo_bits = mid;
+        } else {
+            hi_bits = mid;
+        }
+    }
+    f64::from_bits(hi_bits)
+}
+
+/// Loop-invariant state hoisted out of the fast path once per run.
+struct FastCtx {
+    i_ways: u32,
+    d_ways: u32,
+    block_size: u32,
+    i_sets: u32,
+    i_access: Energy,
+    inst_energy: Energy,
+    clock_hz: f64,
+    /// `dt` for `cycles == 1` (every instruction of a batched ALU run).
+    dt1: SimTime,
+    /// `dt` per small cycle count, built with the reference loop's exact
+    /// expression so table lookups are bit-identical to the division.
+    dt_table: Vec<SimTime>,
+    /// Stored-energy threshold equivalent to `below_checkpoint()`.
+    cutoff_pj: f64,
+    /// Reciprocal of the upper bound on the capacitor drop of one
+    /// batched ALU step (pJ): run lengths are capped by a multiply
+    /// instead of a divide. The cap only needs to stay conservative —
+    /// the bound carries a 2x margin, so the reciprocal's rounding slack
+    /// is free — and results are invariant to the exact batch length
+    /// (see `alu_batch_len`), so the weaker rounding is harmless.
+    inv_drop_max: f64,
+    /// `0.5 / dt1` in seconds, for the simulated-time cap (same
+    /// reciprocal-multiply argument; the 0.5 margin dominates).
+    half_inv_dt1: f64,
+    /// Shadow tags + oracle credit are observable (recording governors).
+    track_oracle: bool,
+    /// The governor observably consumes per-instruction voltage samples.
+    voltage_sensitive: bool,
+    /// ALU-run batching enabled (off for voltage-sensitive governors,
+    /// whose `on_voltage` must see every instruction boundary, and armed
+    /// wall budgets, whose amortised countdown ticks per instruction).
+    batching: bool,
+    max_executed: Option<u64>,
+    /// Combined SRAM leakage `icache + dcache`, hoisted for `advance_fast`.
+    /// `None` under EDBP, whose dcache leakage scales with the live line
+    /// fraction and so changes between instructions.
+    sram_leak: Option<Power>,
+    /// Voltage-monitor standby draw (constant per run: the threshold
+    /// count is fixed at construction).
+    mon_power: Power,
+}
+
+impl FastCtx {
+    fn dt(&self, cycles: u64) -> SimTime {
+        match self.dt_table.get(cycles as usize) {
+            Some(&dt) => dt,
+            None => SimTime::from_seconds(cycles as f64 / self.clock_hz),
+        }
+    }
+}
 
 /// What a forced fault does when it fires (see [`Simulator::arm_fault`]).
 ///
@@ -267,6 +367,9 @@ pub struct Simulator<'p> {
     wall_start: Option<std::time::Instant>,
     /// Iterations until the next (amortised) wall-clock budget check.
     wall_countdown: u32,
+    /// `cfg.step_budget` has at least one armed limit; un-budgeted runs
+    /// skip the watchdog entirely.
+    budget_armed: bool,
 
     breakdown: EnergyBreakdown,
     stats: SimStats,
@@ -353,6 +456,7 @@ impl<'p> Simulator<'p> {
         let shadow_d = ShadowTags::new(cfg.system.dcache.num_sets(), cfg.system.dcache.ways);
         let sweep_region = cfg.costs.sweep_region;
         let initial_stored = cap.stored();
+        let budget_armed = !cfg.step_budget.is_unlimited();
         Simulator {
             cfg,
             program,
@@ -373,6 +477,7 @@ impl<'p> Simulator<'p> {
             fault: None,
             wall_start: None,
             wall_countdown: WALL_CHECK_PERIOD,
+            budget_armed,
             breakdown: EnergyBreakdown::default(),
             stats: SimStats::default(),
             cycle: CycleRecord::default(),
@@ -480,17 +585,34 @@ impl<'p> Simulator<'p> {
     /// powered, checkpoint on the failure threshold, hibernate until the
     /// restore threshold, stop on completion, the simulated-time guard,
     /// or an exhausted watchdog budget ([`StepBudget`]).
+    ///
+    /// Two implementations produce bit-identical results (asserted by the
+    /// `tests/fastpath.rs` differentials): the fast-forward loop is the
+    /// default; the reference loop — the naive one-`step()`-per-
+    /// instruction machine — runs under [`ExecMode::Reference`] and
+    /// whenever telemetry is attached (the instrumented sites live there).
     fn run_loop(&mut self) {
         if self.cfg.step_budget.max_wall.is_some() {
             self.wall_start = Some(std::time::Instant::now());
         }
+        if self.cfg.exec == ExecMode::FastForward && self.telemetry.is_none() {
+            self.run_loop_fast();
+        } else {
+            self.run_loop_reference();
+        }
+    }
+
+    /// The naive machine loop: one [`Simulator::step`] per instruction.
+    fn run_loop_reference(&mut self) {
         while self.inst_index < self.program.len() {
             if self.now >= self.cfg.max_sim_time {
                 break;
             }
-            if let Some(reason) = self.budget_exceeded() {
-                self.stats.budget_exhausted = Some(reason);
-                break;
+            if self.budget_armed {
+                if let Some(reason) = self.budget_exceeded() {
+                    self.stats.budget_exhausted = Some(reason);
+                    break;
+                }
             }
             if !self.running {
                 if !self.hibernate_and_reboot() {
@@ -507,11 +629,212 @@ impl<'p> Simulator<'p> {
         }
     }
 
+    /// The fast-forward machine loop. Simulated work is identical to the
+    /// reference loop; host work differs:
+    ///
+    /// * instructions decode through an incremental [`InstCursor`] instead
+    ///   of a per-instruction binary search + hash;
+    /// * runs of ALU instructions whose fetches all land in one MRU
+    ///   uncompressed ICache block are batched ([`Simulator::alu_batch_len`]
+    ///   proves no observable boundary — power failure, forced fault,
+    ///   budget, sweep region, EDBP scan — can fall inside the run, then
+    ///   [`Simulator::execute_alu_run`] replays the run's physics exactly);
+    /// * the per-instruction `below_checkpoint()` square root becomes one
+    ///   f64 compare against a bit-exact precomputed threshold;
+    /// * work that is unobservable without telemetry or under the active
+    ///   governor (shadow tags, oracle credit, voltage samples) is skipped
+    ///   — see [`Simulator::step_fast`].
+    fn run_loop_fast(&mut self) {
+        let len = self.program.len();
+        if self.inst_index >= len {
+            return;
+        }
+        let clock_hz = self.cfg.system.core.clock_hz;
+        let dt_table: Vec<SimTime> =
+            (0..=DT_TABLE_CYCLES).map(|c| SimTime::from_seconds(c as f64 / clock_hz)).collect();
+        let dt1 = dt_table[1];
+        let cap_cfg = self.cfg.capacitor;
+        // Worst-case capacitor drop of one batched ALU step: its two
+        // spends plus every standby draw integrated over one cycle, with
+        // leakage taken at the clamp voltage (the capacitor never exceeds
+        // `v_max`, so `P_leak = k·C·V²` never exceeds this).
+        let leak_max = Power::from_watts(
+            cap_cfg.leak_coeff * cap_cfg.capacitance * cap_cfg.v_max * cap_cfg.v_max,
+        ) * dt1;
+        let sram_leak = (self.cfg.system.icache.leakage() + self.cfg.system.dcache.leakage()) * dt1;
+        let mon_leak = self.monitor.standby_power() * dt1;
+        let per_step = self.cfg.system.icache.access_energy
+            + self.cfg.system.core.inst_energy
+            + leak_max
+            + sram_leak
+            + mon_leak;
+        let voltage_sensitive = self.gov.voltage_sensitive();
+        let ctx = FastCtx {
+            i_ways: self.cfg.system.icache.ways,
+            d_ways: self.cfg.system.dcache.ways,
+            block_size: self.cfg.system.dcache.block_size,
+            i_sets: self.cfg.system.icache.num_sets(),
+            i_access: self.cfg.system.icache.access_energy,
+            inst_energy: self.cfg.system.core.inst_energy,
+            clock_hz,
+            dt1,
+            dt_table,
+            cutoff_pj: checkpoint_cutoff_pj(cap_cfg.capacitance, cap_cfg.v_ckpt),
+            // The 2x margin dwarfs any f64 rounding slack in the bound.
+            inv_drop_max: 1.0 / (per_step.picojoules().max(f64::MIN_POSITIVE) * 2.0),
+            half_inv_dt1: 0.5 / dt1.seconds(),
+            track_oracle: self.gov.is_recorder(),
+            voltage_sensitive,
+            batching: !voltage_sensitive && self.cfg.step_budget.max_wall.is_none(),
+            max_executed: self.cfg.step_budget.max_executed_insts,
+            sram_leak: (!matches!(self.cfg.extension, Extension::Edbp { .. }))
+                .then(|| self.cfg.system.icache.leakage() + self.cfg.system.dcache.leakage()),
+            mon_power: self.monitor.standby_power(),
+        };
+        let mut cursor = self.program.cursor(self.inst_index);
+        while self.inst_index < len {
+            if self.now >= self.cfg.max_sim_time {
+                break;
+            }
+            if self.budget_armed {
+                if let Some(reason) = self.budget_exceeded() {
+                    self.stats.budget_exhausted = Some(reason);
+                    break;
+                }
+            }
+            if !self.running {
+                if !self.hibernate_and_reboot() {
+                    break; // charge timeout
+                }
+                continue;
+            }
+            if cursor.index() != self.inst_index {
+                cursor.seek(self.inst_index); // SweepCache rollback
+            }
+            if ctx.batching {
+                let k = self.alu_batch_len(&cursor, &ctx);
+                if k >= 1 {
+                    self.execute_alu_run(cursor.pc(), k, &ctx);
+                    cursor.advance(k);
+                    // The run's last instruction ends exactly like a
+                    // stepped one: region-boundary sweep, then the
+                    // failure checks.
+                    if self.cfg.design == EhsDesign::SweepCache
+                        && self.inst_index - self.last_persist >= self.sweep_region_live
+                    {
+                        self.sweep();
+                    }
+                    if let Some(kind) = self.take_due_fault() {
+                        self.power_failure(Some(kind));
+                    } else if self.cap.stored().picojoules() < ctx.cutoff_pj {
+                        self.power_failure(None);
+                    }
+                    continue;
+                }
+            }
+            self.step_fast(&mut cursor, &ctx);
+            if let Some(kind) = self.take_due_fault() {
+                self.power_failure(Some(kind));
+            } else if self.cap.stored().picojoules() < ctx.cutoff_pj {
+                self.power_failure(None);
+            }
+        }
+    }
+
+    /// How many instructions starting at `cursor` can execute as one
+    /// batched ALU run, or 0 when batching does not apply. A positive
+    /// length `k` proves all of:
+    ///
+    /// * the next `k` instructions are ALU ops fetched from one ICache
+    ///   block that is resident, MRU, and uncompressed — so each would be
+    ///   an uncompressed rank-0 hit (1 cycle, no decompression, a no-op
+    ///   for every governor's `on_hit`, and — because the previous fetch
+    ///   necessarily touched the same block — a front-of-set identity for
+    ///   the shadow tags);
+    /// * no forced fault, instruction budget, simulated-time guard, sweep
+    ///   region boundary, or EDBP scan falls *inside* the run (each may
+    ///   land exactly at its end, where the loop re-checks);
+    /// * the capacitor cannot reach the checkpoint threshold inside the
+    ///   run: `k` is capped by the stored headroom over a 2x worst-case
+    ///   per-step drop.
+    ///
+    /// `k == 1` is worthwhile too: a lone ALU instruction satisfying the
+    /// proof skips the full ICache read (LRU rank, `HitInfo`, governor
+    /// callback) that `step_fast` would pay — every obligation above is
+    /// per-instruction, so nothing about it assumes `k >= 2`.
+    fn alu_batch_len(&self, cursor: &InstCursor<'_>, ctx: &FastCtx) -> u64 {
+        let run = cursor.alu_run_len();
+        if run == 0 {
+            return 0;
+        }
+        let pc = cursor.pc();
+        let bs = ctx.block_size as u64;
+        // Instructions remaining in the current ICache block (4 B each).
+        let within_block = (bs - (pc.get() & (bs - 1))) / 4;
+        let mut k = run.min(within_block);
+        if !self.icache.probe_mru_uncompressed(pc) {
+            return 0;
+        }
+        if let Some((at, _)) = self.fault {
+            k = k.min(at.saturating_sub(self.stats.executed_insts));
+        }
+        if let Some(max) = ctx.max_executed {
+            k = k.min(max.saturating_sub(self.stats.executed_insts));
+        }
+        // Half the remaining simulated time: the margin covers f64
+        // accumulation slack in `now += dt1` (~1e-13 s over a full run,
+        // versus dt1 in the nanoseconds) and the reciprocal multiply's
+        // rounding versus a true division.
+        let head_s = (self.cfg.max_sim_time - self.now).seconds();
+        k = k.min((head_s * ctx.half_inv_dt1) as u64);
+        let headroom_pj = self.cap.stored().picojoules() - ctx.cutoff_pj;
+        if headroom_pj <= 0.0 {
+            return 0;
+        }
+        k = k.min((headroom_pj * ctx.inv_drop_max) as u64);
+        if matches!(self.cfg.extension, Extension::Edbp { .. }) {
+            k = k.min(self.edbp_countdown.saturating_sub(1));
+        }
+        if self.cfg.design == EhsDesign::SweepCache {
+            k = k.min((self.last_persist + self.sweep_region_live).saturating_sub(self.inst_index));
+        }
+        k
+    }
+
+    /// Executes a batched ALU run of `k` instructions fetched from the
+    /// MRU uncompressed block at `pc` (see [`Simulator::alu_batch_len`]).
+    ///
+    /// The cache effect collapses to one call (`k` rank-0 read hits); the
+    /// physics — two spends and a harvest integration per instruction —
+    /// replay through the same `spend`/`advance` as the reference loop,
+    /// in the same order, so every f64 accumulator rounds identically.
+    fn execute_alu_run(&mut self, pc: Address, k: u64, ctx: &FastCtx) {
+        self.icache.commit_read_hit_run(pc, k);
+        for _ in 0..k {
+            self.spend(EnergyCategory::CacheOther, ctx.i_access);
+            self.spend(EnergyCategory::Other, ctx.inst_energy);
+            self.advance_fast(ctx.dt1, ctx);
+        }
+        self.cycle.insts += k;
+        self.cycle.cycles += k;
+        self.stats.total_cycles += k;
+        self.stats.executed_insts += k;
+        self.inst_index += k;
+        if matches!(self.cfg.extension, Extension::Edbp { .. }) {
+            // Never reaches 0 inside the run: k <= countdown - 1.
+            self.edbp_countdown -= k;
+        }
+    }
+
     /// Cooperative watchdog check: the instruction budget is compared
     /// every call; the host clock is read only every
     /// [`WALL_CHECK_PERIOD`] calls. Returns the cancellation reason once
-    /// either armed limit is exceeded.
+    /// either armed limit is exceeded. No-op unless the config armed a
+    /// budget (callers additionally skip the call via `budget_armed`).
     fn budget_exceeded(&mut self) -> Option<String> {
+        if !self.budget_armed {
+            return None;
+        }
         let budget = self.cfg.step_budget;
         if let Some(max) = budget.max_executed_insts {
             if self.stats.executed_insts >= max {
@@ -638,6 +961,31 @@ impl<'p> Simulator<'p> {
             let mon = self.monitor.standby_power() * dt;
             self.spend(EnergyCategory::Other, mon);
         }
+        self.now += dt;
+    }
+
+    /// [`Simulator::advance`] with the loop-invariant standby powers
+    /// hoisted into [`FastCtx`]. Bit-exact: the fast path only calls this
+    /// while `running` is true, `icache.leakage()` / `dcache.leakage()`
+    /// are pure functions of the immutable config, and without EDBP the
+    /// reference computes `(i_leak + d_leak * 1.0) * dt` — multiplying by
+    /// `1.0` is an IEEE identity, so the precomputed `i_leak + d_leak`
+    /// times `dt` rounds identically. Under EDBP (`sram_leak == None`,
+    /// leakage scales with the live line fraction) it falls back to the
+    /// full recomputation.
+    fn advance_fast(&mut self, dt: SimTime, ctx: &FastCtx) {
+        let Some(sram_leak) = ctx.sram_leak else {
+            return self.advance(dt);
+        };
+        let harvest = self.trace.power_at(self.now);
+        let before = self.cap.stored();
+        let cap_leak = self.cap.charge(harvest, dt);
+        let gained = (self.cap.stored() - before + cap_leak).clamp_non_negative();
+        self.stats.harvested += gained;
+        self.stats.cap_leak += cap_leak;
+        self.breakdown.record(EnergyCategory::Other, cap_leak);
+        self.spend(EnergyCategory::CacheOther, sram_leak * dt);
+        self.spend(EnergyCategory::Other, ctx.mon_power * dt);
         self.now += dt;
     }
 
@@ -799,12 +1147,12 @@ impl<'p> Simulator<'p> {
         match inst.kind {
             InstKind::Alu => {}
             InstKind::Load { addr } => {
-                cycles += self.data_access(addr, None, d_ways, block_size);
+                cycles += self.data_access(addr, None, d_ways, block_size, true);
                 self.cycle.loads += 1;
                 self.gov.on_mem_commit();
             }
             InstKind::Store { addr, value } => {
-                cycles += self.data_access(addr, Some(value), d_ways, block_size);
+                cycles += self.data_access(addr, Some(value), d_ways, block_size, true);
                 self.cycle.stores += 1;
                 self.gov.on_mem_commit();
                 if self.cfg.design == EhsDesign::Nvmr {
@@ -853,6 +1201,137 @@ impl<'p> Simulator<'p> {
         self.pump_gov_events();
     }
 
+    /// The full ICache fetch path for `step_fast` — taken when the fetch
+    /// is anything but an MRU uncompressed hit under a non-recording
+    /// governor. Returns the extra stall cycles (decompression or fill).
+    fn fetch_slow(&mut self, pc: Address, ctx: &FastCtx) -> u64 {
+        let mut extra = 0u64;
+        let shadow_hit = if ctx.track_oracle {
+            self.shadow_i.access(
+                pc.set_index(ctx.block_size, ctx.i_sets),
+                pc.tag(ctx.block_size, ctx.i_sets),
+            )
+        } else {
+            true
+        };
+        match self.icache.read(pc) {
+            Some(hit) => {
+                if hit.was_compressed {
+                    self.spend(EnergyCategory::Decompress, self.comp_cost.decompress_energy);
+                    extra += self.comp_cost.decompress_latency.get();
+                }
+                if ctx.track_oracle && (!shadow_hit || hit.lru_rank >= ctx.i_ways) {
+                    self.credit_deep_hit(pc, false);
+                }
+                self.gov.on_hit(&hit, ctx.i_ways);
+            }
+            None => {
+                let read = self.nvm.read_block(pc);
+                self.spend(EnergyCategory::Memory, read.energy);
+                extra += read.latency.get();
+                let mode = self.gov.fill_mode();
+                let base = pc.block_base(ctx.block_size);
+                let out = self.icache.fill(base, read.data, mode, None);
+                self.spend(EnergyCategory::CacheOther, ctx.i_access);
+                extra += self.absorb_fill(&out, base, false);
+            }
+        }
+        extra
+    }
+
+    /// One committed instruction on the fast path. The simulated work is
+    /// identical to [`Simulator::step`]; the host work drops everything
+    /// unobservable in a detached-telemetry run under the active governor:
+    ///
+    /// * no flight-recorder or event-pump probes (telemetry is `None` by
+    ///   construction of [`Simulator::run_loop`]);
+    /// * shadow tags and oracle deep-hit credit only for recording
+    ///   governors — for all others `credit_deep_hit` walks maps that are
+    ///   provably empty (`record_fill` returns `None`, so nothing is ever
+    ///   inserted) and `mark_useful` is a no-op;
+    /// * the per-instruction voltage sample only for voltage-sensitive
+    ///   policies — for all others `on_voltage` is a no-op;
+    /// * the instruction decodes through the incremental cursor and `dt`
+    ///   comes from a table precomputed with the identical expression.
+    fn step_fast(&mut self, cursor: &mut InstCursor<'_>, ctx: &FastCtx) {
+        let inst = cursor.next_inst();
+        let mut cycles = 1u64; // base CPI of the in-order pipeline
+
+        // --- Fetch through the ICache. ---
+        self.spend(EnergyCategory::CacheOther, ctx.i_access);
+        // A shallow uncompressed fetch hit (the common case: straight-line
+        // code re-fetching its own block) needs none of the full read
+        // path — no decompression, `on_hit` ignores shallow uncompressed
+        // hits, and without a recording governor there are no shadow tags
+        // or deep-hit credit to maintain.
+        if ctx.track_oracle || !self.icache.try_commit_shallow_read(inst.pc) {
+            cycles += self.fetch_slow(inst.pc, ctx);
+        }
+
+        // --- Execute / data access. ---
+        match inst.kind {
+            InstKind::Alu => {}
+            InstKind::Load { addr } => {
+                cycles +=
+                    self.data_access(addr, None, ctx.d_ways, ctx.block_size, ctx.track_oracle);
+                self.cycle.loads += 1;
+                self.gov.on_mem_commit();
+            }
+            InstKind::Store { addr, value } => {
+                cycles += self.data_access(
+                    addr,
+                    Some(value),
+                    ctx.d_ways,
+                    ctx.block_size,
+                    ctx.track_oracle,
+                );
+                self.cycle.stores += 1;
+                self.gov.on_mem_commit();
+                if self.cfg.design == EhsDesign::Nvmr {
+                    // Renaming buffer persists the store incrementally.
+                    let e = self.cfg.system.nvm.write_energy * self.cfg.costs.nvmr_store_factor;
+                    self.spend(EnergyCategory::Memory, e);
+                }
+            }
+        }
+
+        // --- Pipeline energy, time, harvest. ---
+        self.spend(EnergyCategory::Other, ctx.inst_energy);
+        self.advance_fast(ctx.dt(cycles), ctx);
+
+        self.cycle.insts += 1;
+        self.cycle.cycles += cycles;
+        self.stats.total_cycles += cycles;
+        self.stats.executed_insts += 1;
+        self.inst_index += 1;
+
+        // --- Voltage sample for voltage-triggered policies. ---
+        if ctx.voltage_sensitive {
+            self.gov.on_voltage(
+                self.cap.voltage(),
+                self.cfg.capacitor.v_ckpt,
+                self.cfg.capacitor.v_rst,
+            );
+        }
+
+        // --- Extensions and region sweeping. ---
+        match self.cfg.extension {
+            Extension::Edbp { decay_ticks } => {
+                self.edbp_countdown -= 1;
+                if self.edbp_countdown == 0 {
+                    self.edbp_countdown = EDBP_SCAN_PERIOD;
+                    self.edbp_scan(decay_ticks);
+                }
+            }
+            Extension::Ipex { .. } | Extension::None => {}
+        }
+        if self.cfg.design == EhsDesign::SweepCache
+            && self.inst_index - self.last_persist >= self.sweep_region_live
+        {
+            self.sweep();
+        }
+    }
+
     /// Stamps and forwards any controller events the governor logged
     /// during the work just performed (mode switches fire inside
     /// `on_mem_commit`/`on_voltage`, mid-step). One untaken branch when
@@ -869,18 +1348,44 @@ impl<'p> Simulator<'p> {
     }
 
     /// A load or store through the DCache; returns extra stall cycles.
+    ///
+    /// `track_shadow` gates the shadow-directory access and the oracle
+    /// deep-hit credit; the fast path passes `false` for non-recording
+    /// governors, where both are provably unobservable.
     fn data_access(
         &mut self,
         addr: Address,
         store: Option<u32>,
         d_ways: u32,
         block_size: u32,
+        track_shadow: bool,
     ) -> u64 {
         let mut cycles = self.cfg.system.dcache.hit_latency.get();
         self.spend(EnergyCategory::CacheOther, self.cfg.system.dcache.access_energy);
-        let d_sets = self.cfg.system.dcache.num_sets();
-        let shadow_hit =
-            self.shadow_d.access(addr.set_index(block_size, d_sets), addr.tag(block_size, d_sets));
+        // Fast path: an access hitting a *shallow uncompressed* line (one
+        // an uncompressed cache would also serve) with shadow tracking off
+        // and telemetry detached reduces to the LRU stamp, the hit
+        // counter, and (for stores) the word write + dirty bit. Bit-exact
+        // versus the full path below: `read()`/`write()` on such a line do
+        // exactly the commit's state changes, and every consumer of the
+        // `HitInfo` is provably inert — `on_hit` only reacts to deep or
+        // compressed hits, and there is no decompression, repack,
+        // eviction, or deep-hit credit.
+        if !track_shadow && self.telemetry.is_none() {
+            let fast = match store {
+                None => self.dcache.try_commit_shallow_read(addr),
+                Some(v) => self.dcache.try_commit_shallow_write(addr, v),
+            };
+            if fast {
+                return cycles;
+            }
+        }
+        let shadow_hit = if track_shadow {
+            let d_sets = self.cfg.system.dcache.num_sets();
+            self.shadow_d.access(addr.set_index(block_size, d_sets), addr.tag(block_size, d_sets))
+        } else {
+            true
+        };
 
         let repack = self.gov.compression_enabled();
         let hit = match store {
@@ -906,7 +1411,7 @@ impl<'p> Simulator<'p> {
                         self.forget_fill(addr.block_base(block_size), true);
                     }
                 }
-                if !shadow_hit || info.lru_rank >= d_ways {
+                if track_shadow && (!shadow_hit || info.lru_rank >= d_ways) {
                     self.credit_deep_hit(addr, true);
                 }
                 self.gov.on_hit(&info, d_ways);
@@ -1235,9 +1740,11 @@ impl<'p> Simulator<'p> {
             // A wall-clock budget also covers hibernation: a near-dead
             // trace with a generous simulated-time guard would otherwise
             // spin here for a long host time before giving up.
-            if let Some(reason) = self.budget_exceeded() {
-                self.stats.budget_exhausted = Some(reason);
-                return false;
+            if self.budget_armed {
+                if let Some(reason) = self.budget_exceeded() {
+                    self.stats.budget_exhausted = Some(reason);
+                    return false;
+                }
             }
             let harvest = self.trace.power_at(self.now);
             let before = self.cap.stored();

@@ -26,9 +26,14 @@
 //!   simulations execute at once (coordinators waiting on their batches
 //!   park in `join`, holding no permit — the layering cannot deadlock).
 //!
-//! With `--jobs 1` everything runs inline on the caller's thread; output
-//! JSON is byte-identical to any other job count because results are
-//! ordered by index and simulations are deterministic.
+//! With `--jobs 1` (or a single-item batch) everything runs inline on
+//! the caller's thread with **no permits, threads, or locks** — the pool
+//! machinery is bypassed entirely, so a serial sweep pays nothing over a
+//! plain loop. The concurrency cap still holds: an inline batch executes
+//! one leaf at a time on its coordinator's thread, and coordinators are
+//! themselves capped at `max_workers()`. Output JSON is byte-identical
+//! to any other job count because results are ordered by index and
+//! simulations are deterministic.
 //!
 //! # Fault containment
 //!
@@ -80,6 +85,15 @@ pub fn max_workers() -> usize {
 fn in_flight() -> &'static (Mutex<usize>, Condvar) {
     static SEM: OnceLock<(Mutex<usize>, Condvar)> = OnceLock::new();
     SEM.get_or_init(|| (Mutex::new(0), Condvar::new()))
+}
+
+/// Whether [`execute`] holds one global worker permit per in-flight item
+/// (leaf simulation batches) or none (coordinator fan-out, whose real
+/// work happens in nested leaf batches).
+#[derive(Clone, Copy)]
+enum Permits {
+    PerItem,
+    None,
 }
 
 /// RAII permit for one executing leaf job.
@@ -390,14 +404,11 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    execute(items, &|item| {
-        let _permit = Permit::acquire();
-        f(item)
-    })
-    .into_iter()
-    .enumerate()
-    .map(|(i, slot)| unwrap_contained(i, slot))
-    .collect()
+    execute(items, &f, Permits::PerItem)
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| unwrap_contained(i, slot))
+        .collect()
 }
 
 /// Fault-contained parallel map: each item's panic or typed failure
@@ -409,13 +420,10 @@ where
     R: Send,
     F: Fn(T) -> Result<R, JobFailure> + Sync,
 {
-    execute(items, &|item| {
-        let _permit = Permit::acquire();
-        f(item)
-    })
-    .into_iter()
-    .map(|slot| slot.and_then(|inner| inner))
-    .collect()
+    execute(items, &f, Permits::PerItem)
+        .into_iter()
+        .map(|slot| slot.and_then(|inner| inner))
+        .collect()
 }
 
 /// [`try_map`] plus bounded retry: failures classed transient
@@ -492,7 +500,11 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    execute(items, &f).into_iter().enumerate().map(|(i, slot)| unwrap_contained(i, slot)).collect()
+    execute(items, &f, Permits::None)
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| unwrap_contained(i, slot))
+        .collect()
 }
 
 /// Re-raises a contained failure with its job index attached, for the
@@ -515,7 +527,11 @@ fn unwrap_contained<R>(i: usize, slot: Result<R, JobFailure>) -> R {
 /// [`JobFailure::Panicked`] in that item's slot, and a slot left empty
 /// by a dead worker becomes [`JobFailure::WorkerDied`]. The panicking
 /// wrappers layer their legacy contract on top via [`unwrap_contained`].
-fn execute<T, R>(items: Vec<T>, f: &(dyn Fn(T) -> R + Sync)) -> Vec<Result<R, JobFailure>>
+fn execute<T, R>(
+    items: Vec<T>,
+    f: &(dyn Fn(T) -> R + Sync),
+    permits: Permits,
+) -> Vec<Result<R, JobFailure>>
 where
     T: Send,
     R: Send,
@@ -523,10 +539,13 @@ where
     let len = items.len();
     let workers = max_workers().min(len);
     if workers <= 1 {
-        // Inline fast path: no threads, no locks — and the exact
-        // execution order the parallel path's slot indexing emulates.
-        // Panics are still contained so the `--jobs 1` failure contract
-        // matches the parallel one.
+        // Inline fast path: no threads, no locks, and **no permits** — the
+        // items run one at a time on this (coordinator) thread, and
+        // coordinators are themselves bounded by `max_workers()`, so the
+        // global leaf cap holds without touching the semaphore. Execution
+        // order is exactly what the parallel path's slot indexing
+        // emulates, and panics are still contained so the `--jobs 1`
+        // failure contract matches the parallel one.
         return items
             .into_iter()
             .map(|item| {
@@ -559,6 +578,10 @@ where
                         .unwrap_or_else(|e| e.into_inner())
                         .take()
                         .expect("work item taken twice");
+                    let _permit = match permits {
+                        Permits::PerItem => Some(Permit::acquire()),
+                        Permits::None => None,
+                    };
                     // Catch the payload so the coordinator can name the
                     // job that died (the raw scope join would surface an
                     // anonymous "a scoped thread panicked").

@@ -1,0 +1,142 @@
+//! Fast-forward loop certification: the event-driven fast path
+//! ([`ExecMode::FastForward`], the default) must be *bit-identical* to
+//! the naive one-`step()`-per-instruction reference loop
+//! ([`ExecMode::Reference`]) — same `SimStats` (every f64 energy
+//! accumulator included, so a single rounding difference fails), and the
+//! same architectural NVM image under fault injection.
+//!
+//! The matrix deliberately crosses the fast path's specialisations:
+//! ALU-run batching (Sha is ALU-heavy), compression-heavy repacking
+//! (Jpegd), every EHS design (SweepCache exercises rollback re-seeks),
+//! voltage-triggered Kagura (batching disabled, per-instruction voltage
+//! samples kept), recording/replaying oracle governors (shadow tags kept),
+//! both extensions (EDBP's scan countdown caps batch length; IPEX
+//! prefetch), and armed instruction budgets.
+
+use ehs_sim::faultinject::diff_nvm;
+use ehs_sim::{
+    EhsDesign, ExecMode, Extension, FaultKind, GovernorSpec, SimConfig, SimStats, Simulator,
+    StepBudget,
+};
+use ehs_workloads::App;
+use kagura_core::{KaguraConfig, TriggerKind};
+
+/// Runs `app` under both loops and asserts identical stats.
+fn assert_loops_match(app: App, scale: f64, cfg: &SimConfig) -> SimStats {
+    let fast = ehs_sim::run_app(app, scale, &cfg.clone().with_exec(ExecMode::FastForward));
+    let reference = ehs_sim::run_app(app, scale, &cfg.clone().with_exec(ExecMode::Reference));
+    assert_eq!(
+        fast, reference,
+        "fast-forward diverged from reference: {app:?} design={:?} gov={:?} ext={:?}",
+        cfg.design, cfg.governor, cfg.extension
+    );
+    fast
+}
+
+#[test]
+fn fast_forward_matches_reference_on_every_app() {
+    for app in App::ALL {
+        let cfg = SimConfig::table1().with_governor(GovernorSpec::AccKagura(Default::default()));
+        let stats = assert_loops_match(app, 0.004, &cfg);
+        assert!(stats.committed_insts > 0, "{app:?} ran nothing");
+    }
+}
+
+#[test]
+fn fast_forward_matches_reference_across_designs_and_governors() {
+    let governors = [
+        GovernorSpec::NoCompression,
+        GovernorSpec::AlwaysCompress,
+        GovernorSpec::Acc,
+        GovernorSpec::AccKagura(Default::default()),
+    ];
+    for app in [App::Sha, App::Jpegd] {
+        for design in EhsDesign::ALL {
+            for gov in governors {
+                let cfg = SimConfig::table1().with_design(design).with_governor(gov);
+                assert_loops_match(app, 0.004, &cfg);
+            }
+        }
+    }
+}
+
+#[test]
+fn fast_forward_matches_reference_for_voltage_triggered_kagura() {
+    // A voltage trigger makes the governor consume every per-instruction
+    // voltage sample: batching must switch off and the sample must not be
+    // skipped. Crc32 is ALU-heavy, so a wrongly-enabled batch would show.
+    let kcfg =
+        KaguraConfig { trigger: TriggerKind::Voltage { fraction: 0.5 }, ..Default::default() };
+    for app in [App::Crc32, App::G721d] {
+        let cfg = SimConfig::table1().with_governor(GovernorSpec::AccKagura(kcfg));
+        assert_loops_match(app, 0.004, &cfg);
+    }
+}
+
+#[test]
+fn fast_forward_matches_reference_for_ideal_governors() {
+    // Oracle record + replay phases both run on the fast loop; the
+    // recording phase keeps shadow tags and deep-hit credit live.
+    for gov in [GovernorSpec::IdealAcc, GovernorSpec::IdealAccKagura(Default::default())] {
+        let cfg = SimConfig::table1().with_governor(gov);
+        assert_loops_match(App::Gsm, 0.004, &cfg);
+    }
+}
+
+#[test]
+fn fast_forward_matches_reference_under_extensions() {
+    for ext in [Extension::Edbp { decay_ticks: 64 }, Extension::Ipex { min_energy_fraction: 0.2 }] {
+        for app in [App::Sha, App::Dijkstra] {
+            let mut cfg = SimConfig::table1().with_governor(GovernorSpec::Acc);
+            cfg.extension = ext;
+            assert_loops_match(app, 0.004, &cfg);
+        }
+    }
+}
+
+#[test]
+fn fast_forward_matches_reference_with_instruction_budget() {
+    // An armed instruction budget caps batch length; the run must stop at
+    // the exact same instruction with the same exhaustion reason.
+    let mut cfg = SimConfig::table1().with_governor(GovernorSpec::Acc);
+    cfg.step_budget = StepBudget::insts(5_000);
+    let stats = assert_loops_match(App::Sha, 0.02, &cfg);
+    assert!(stats.budget_exhausted.is_some(), "budget should have fired");
+    assert_eq!(stats.executed_insts, 5_000);
+}
+
+#[test]
+fn fault_injection_images_match_between_loops() {
+    // Under injected faults (including the checkpoint-mutating kinds) the
+    // two loops must agree on both the stats and the post-run
+    // architectural memory image, byte for byte.
+    let program = App::Sha.build(0.004);
+    let faults = [
+        FaultKind::PowerFailure,
+        FaultKind::TornCheckpoint { persist_blocks: 1 },
+        FaultKind::CorruptPayload { bit: 5 },
+    ];
+    for design in EhsDesign::ALL {
+        for (i, kind) in faults.iter().enumerate() {
+            let cfg = SimConfig::table1()
+                .with_design(design)
+                .with_governor(GovernorSpec::AccKagura(Default::default()));
+            let at = 1_000 + 777 * i as u64;
+            let trace = ehs_energy::PowerTrace::generate(cfg.trace_kind, cfg.trace_seed, 400_000);
+            let run = |exec: ExecMode| {
+                let mut sim = Simulator::new(cfg.clone().with_exec(exec), &program, &trace);
+                sim.arm_fault(at, *kind);
+                sim.run_with_memory()
+            };
+            let (fast_stats, mut fast_nvm) = run(ExecMode::FastForward);
+            let (ref_stats, mut ref_nvm) = run(ExecMode::Reference);
+            assert_eq!(fast_stats, ref_stats, "stats diverged under {kind:?} at {at} ({design:?})");
+            let diff = diff_nvm(&mut ref_nvm, &mut fast_nvm);
+            assert!(
+                diff.is_empty(),
+                "NVM image diverged under {kind:?} at {at} ({design:?}): {} blocks differ",
+                diff.len()
+            );
+        }
+    }
+}

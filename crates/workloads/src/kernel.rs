@@ -281,6 +281,43 @@ impl KernelProgram {
         }
     }
 
+    /// An incremental decoder positioned at instruction `index`.
+    ///
+    /// The cursor yields exactly the stream [`KernelProgram::inst_at`]
+    /// produces, but amortises the per-instruction binary search and
+    /// per-iteration code-path hash across a whole loop body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn cursor(&self, index: u64) -> InstCursor<'_> {
+        let mut c = InstCursor {
+            program: self,
+            index: 0,
+            pi: 0,
+            iter: 0,
+            slot: 0,
+            path: 0,
+            body_span: 0,
+            alu_runs: self
+                .phases
+                .iter()
+                .map(|p| {
+                    // alu_runs[pi][slot] = consecutive Alu ops from `slot`.
+                    let mut runs = vec![0u32; p.body.len()];
+                    for (i, op) in p.body.iter().enumerate().rev() {
+                        if matches!(op, Op::Alu) {
+                            runs[i] = 1 + runs.get(i + 1).copied().unwrap_or(0);
+                        }
+                    }
+                    runs
+                })
+                .collect(),
+        };
+        c.seek(index);
+        c
+    }
+
     /// Counts static properties: `(mem_ops, alu_ops)` per repetition.
     pub fn op_mix(&self) -> (u64, u64) {
         let mut mem = 0;
@@ -303,6 +340,154 @@ impl KernelProgram {
             f64::INFINITY
         } else {
             alu as f64 / mem as f64
+        }
+    }
+}
+
+/// An incremental decoder over a [`KernelProgram`]'s dynamic instruction
+/// stream.
+///
+/// [`KernelProgram::inst_at`] pays a binary search over the phase prefix
+/// sums plus a SplitMix64 hash for *every* instruction; the cursor keeps a
+/// `(phase, iteration, slot)` position and advances it in O(1), hashing the
+/// code path once per loop iteration. The stream is bit-identical to
+/// `inst_at` by construction (asserted by the `cursor_matches_inst_at`
+/// test over every app).
+///
+/// # Examples
+///
+/// ```
+/// # use ehs_workloads::App;
+/// let program = App::Sha.build(0.01);
+/// let mut cursor = program.cursor(0);
+/// for i in 0..program.len() {
+///     assert_eq!(cursor.next_inst(), program.inst_at(i));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct InstCursor<'p> {
+    program: &'p KernelProgram,
+    /// Next dynamic instruction index to decode.
+    index: u64,
+    /// Current phase index.
+    pi: usize,
+    /// Loop iteration within the current phase.
+    iter: u64,
+    /// Op slot within the loop body.
+    slot: usize,
+    /// This iteration's code path (hashed once per iteration).
+    path: u64,
+    /// Code bytes spanned by one path's body (block-aligned).
+    body_span: u64,
+    /// Per phase: `alu_runs[pi][slot]` = consecutive [`Op::Alu`] slots
+    /// starting at `slot` (0 when the slot is a memory op).
+    alu_runs: Vec<Vec<u32>>,
+}
+
+impl<'p> InstCursor<'p> {
+    /// The index of the next instruction [`InstCursor::next_inst`] yields.
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// Repositions the cursor at `index` (used after SweepCache rollback,
+    /// where the committed-instruction pointer moves backwards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= program.len()`.
+    pub fn seek(&mut self, index: u64) {
+        let p = self.program;
+        assert!(index < p.len(), "instruction index {index} out of range");
+        let within = index % p.per_rep;
+        let pi = match p.starts.binary_search(&within) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let phase = &p.phases[pi];
+        let offset = within - p.starts[pi];
+        let body_len = phase.body.len() as u64;
+        self.index = index;
+        self.pi = pi;
+        self.iter = offset / body_len;
+        self.slot = (offset % body_len) as usize;
+        self.enter_iteration();
+    }
+
+    /// Recomputes the per-iteration decode state (code path, body span).
+    fn enter_iteration(&mut self) {
+        let phase = &self.program.phases[self.pi];
+        self.path = if phase.code_paths > 1 {
+            mix(self.iter ^ 0x5EED_C0DE) % phase.code_paths as u64
+        } else {
+            0
+        };
+        self.body_span = (phase.body.len() as u64 * 4).next_multiple_of(32);
+    }
+
+    /// Program counter of the instruction at the current position.
+    pub fn pc(&self) -> Address {
+        let phase = &self.program.phases[self.pi];
+        Address::new(phase.code_base + self.path * self.body_span + 4 * self.slot as u64)
+    }
+
+    /// Number of consecutive [`Op::Alu`] slots starting at the current
+    /// position, clipped to the end of the loop body and of the program
+    /// (0 when the current op is a memory access). Within such a run the
+    /// program counter advances by 4 per instruction.
+    pub fn alu_run_len(&self) -> u64 {
+        let run = self.alu_runs[self.pi][self.slot] as u64;
+        run.min(self.program.len() - self.index)
+    }
+
+    /// Decodes the instruction at the current position and advances.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cursor is past the last instruction.
+    pub fn next_inst(&mut self) -> Instruction {
+        let phase = &self.program.phases[self.pi];
+        let pc = self.pc();
+        let inst = match phase.body[self.slot] {
+            Op::Alu => Instruction::alu(pc),
+            Op::Load(a) => Instruction::load(pc, a.at(self.iter)),
+            Op::Store(a, v) => Instruction::store(pc, a.at(self.iter), v.at(self.iter)),
+        };
+        self.advance(1);
+        inst
+    }
+
+    /// Advances the position by `n` instructions without decoding them
+    /// (the fast-forward loop consumes ALU runs this way). Positions past
+    /// the last instruction saturate at `program.len()`.
+    pub fn advance(&mut self, n: u64) {
+        debug_assert!(self.index + n <= self.program.len(), "cursor advanced out of range");
+        self.index += n;
+        if self.index >= self.program.len() {
+            return;
+        }
+        let mut left = n as usize + self.slot;
+        loop {
+            let phase = &self.program.phases[self.pi];
+            let body_len = phase.body.len();
+            if left < body_len {
+                self.slot = left;
+                return;
+            }
+            left -= body_len;
+            self.slot = 0;
+            self.iter += 1;
+            if self.iter >= phase.iterations {
+                self.iter = 0;
+                self.pi += 1;
+                if self.pi >= self.program.phases.len() {
+                    self.pi = 0; // next repetition
+                }
+            }
+            self.enter_iteration();
+            if left == 0 {
+                return;
+            }
         }
     }
 }
@@ -435,6 +620,99 @@ mod tests {
         assert_eq!(mem, 20); // (1 load + 1 store) * 10 iters
         assert_eq!(alu, 20); // 10 + 2*5
         assert_eq!(p.arithmetic_intensity(), 1.0);
+    }
+
+    #[test]
+    fn cursor_matches_inst_at_across_whole_stream() {
+        let p = KernelProgram::new(tiny_spec());
+        let mut c = p.cursor(0);
+        for i in 0..p.len() {
+            assert_eq!(c.index(), i);
+            assert_eq!(c.next_inst(), p.inst_at(i), "index {i}");
+        }
+    }
+
+    #[test]
+    fn cursor_matches_inst_at_with_code_paths_and_mem_ops() {
+        let p = KernelProgram::new(KernelSpec {
+            name: "paths",
+            phases: vec![
+                Phase {
+                    body: vec![
+                        Op::Alu,
+                        Op::Alu,
+                        Op::Load(AddrGen::Rand { base: 0x4000, span: 512, salt: 3 }),
+                        Op::Alu,
+                        Op::Store(
+                            AddrGen::Tiled {
+                                base: 0x8000,
+                                tile_span: 64,
+                                iters_per_tile: 8,
+                                stride: 4,
+                            },
+                            ValGen::Small { magnitude: 50, salt: 9 },
+                        ),
+                    ],
+                    iterations: 37,
+                    code_base: 0x1000,
+                    code_paths: 5,
+                },
+                Phase { body: vec![Op::Alu; 9], iterations: 11, code_base: 0x9000, code_paths: 3 },
+            ],
+            repeats: 4,
+            image: MemoryImage::zeros(),
+        });
+        let mut c = p.cursor(0);
+        for i in 0..p.len() {
+            assert_eq!(c.next_inst(), p.inst_at(i), "index {i}");
+        }
+    }
+
+    #[test]
+    fn cursor_seek_lands_anywhere() {
+        let p = KernelProgram::new(tiny_spec());
+        let mut c = p.cursor(0);
+        for &i in &[0, 1, 29, 30, 39, 40, 77, 119, 3, 0] {
+            c.seek(i);
+            assert_eq!(c.next_inst(), p.inst_at(i), "seek {i}");
+        }
+    }
+
+    #[test]
+    fn cursor_alu_runs_cover_exactly_the_alu_slots() {
+        let p = KernelProgram::new(tiny_spec());
+        let mut c = p.cursor(0);
+        for i in 0..p.len() {
+            let run = c.alu_run_len();
+            let is_alu = matches!(p.inst_at(i).kind, InstKind::Alu);
+            assert_eq!(run > 0, is_alu, "index {i}");
+            // Every instruction a claimed run covers is an ALU op with a
+            // PC advancing by 4.
+            for k in 0..run {
+                let inst = p.inst_at(i + k);
+                assert!(matches!(inst.kind, InstKind::Alu), "index {i} + {k}");
+                assert_eq!(inst.pc, p.inst_at(i).pc + 4 * k);
+            }
+            c.advance(1);
+        }
+    }
+
+    #[test]
+    fn cursor_advance_over_runs_stays_in_sync() {
+        let p = KernelProgram::new(tiny_spec());
+        let mut c = p.cursor(0);
+        let mut i = 0;
+        while i < p.len() {
+            let run = c.alu_run_len();
+            if run > 1 {
+                c.advance(run);
+                i += run;
+            } else {
+                assert_eq!(c.next_inst(), p.inst_at(i));
+                i += 1;
+            }
+        }
+        assert_eq!(c.index(), p.len());
     }
 
     #[test]

@@ -38,4 +38,4 @@ pub mod apps;
 pub mod kernel;
 
 pub use apps::App;
-pub use kernel::{AddrGen, KernelProgram, KernelSpec, Op, Phase, ValGen};
+pub use kernel::{AddrGen, InstCursor, KernelProgram, KernelSpec, Op, Phase, ValGen};
