@@ -15,11 +15,14 @@ cargo clippy --workspace --offline -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace --offline
 
-echo "== simulator throughput gate (BENCH_sim.json) =="
+echo "== simulator throughput gate (BENCH_sim.json, probes detached) =="
 # The committed BENCH_sim.json is the baseline; a fresh measurement at a
 # small fixed scale must reach >= 70% of its per-app single-thread IPS
 # (IPS is close to scale-invariant, so the gate can run much shorter than
-# the committed artifact). The baseline must also parse as JSON.
+# the committed artifact). The baseline must also parse as JSON. simbench
+# runs with no cache probe or cachescope attached, so this gate also
+# certifies that the observability hooks stay free when detached — a
+# probe-site regression on the hot path shows up as an IPS regression.
 python3 -m json.tool BENCH_sim.json > /dev/null
 SIMBENCH_OUT="$(mktemp)"
 cargo run --release --offline -q -p kagura-bench --bin simbench -- \
@@ -34,9 +37,10 @@ echo "== faultgrid smoke (crash-consistency gate) =="
 # the gate here.
 FAULTGRID_OUT="$(mktemp -d)"
 LEDGER_OUT="$(mktemp -d)"
+CACHESCOPE_OUT="$(mktemp -d)"
 RESUME_BASE="$(mktemp -d)"
 RESUME_CUT="$(mktemp -d)"
-trap 'rm -rf "$FAULTGRID_OUT" "$LEDGER_OUT" "$RESUME_BASE" "$RESUME_CUT"' EXIT
+trap 'rm -rf "$FAULTGRID_OUT" "$LEDGER_OUT" "$CACHESCOPE_OUT" "$RESUME_BASE" "$RESUME_CUT"' EXIT
 cargo run --release --offline -q -p kagura-bench --bin repro -- \
     faultgrid --scale 0.005 --apps sha,crc32 --out "$FAULTGRID_OUT" --quiet
 
@@ -52,6 +56,21 @@ cargo run --release --offline -q -p kagura-bench --bin repro -- \
 cargo run --release --offline -q -p kagura-bench --bin repro -- \
     explain "$LEDGER_OUT" > /dev/null
 echo "ledger balanced across the smoke grid; flight records parse back"
+
+echo "== cachescope smoke (JSONL parse-back gate) =="
+# One instrumented run dumps a cachescope stream (boundary rows, sampled
+# occupancy snapshots, summary histograms); `repro explain` then parses
+# it back strictly — every line must round-trip or the command fails
+# with a file:line diagnostic naming the offending field. simrun itself
+# also re-parses its own dump before rendering, so this exercises the
+# schema gate twice.
+cargo run --release --offline -q -p kagura-bench --bin simrun -- \
+    sha --scale 0.02 --governor kagura \
+    --cachescope "$CACHESCOPE_OUT/cachescope_sha.jsonl" \
+    --cachescope-period 4096 > /dev/null 2>&1
+cargo run --release --offline -q -p kagura-bench --bin repro -- \
+    explain "$CACHESCOPE_OUT" > /dev/null
+echo "cachescope stream parses back strictly"
 
 echo "== kill-and-resume gate (journaled resumable runs) =="
 # A short two-experiment run, SIGKILLed mid-grid once the first artifact

@@ -7,7 +7,7 @@
 //!                          [--audit-strict]
 //! repro all                # every experiment
 //! repro list               # show available experiments
-//! repro explain DIR        # render flight-record decision reports
+//! repro explain DIR        # render flight-record + cachescope reports
 //! ```
 //!
 //! Results print as tables (with the paper's reference numbers quoted
@@ -52,8 +52,11 @@
 //! per-app decision reports (mode switches, `R_thres` trajectory,
 //! estimator error, wasted compression energy) from the
 //! `flight_<app>.jsonl` streams that `repro energy_waste --telemetry
-//! DIR` dumps, parsing them strictly — a malformed line fails the
-//! command with a `file:line` diagnostic.
+//! DIR` dumps, and per-app cache reports (occupancy timeline, eviction
+//! breakdown, latency attribution) from the `cachescope_<app>.jsonl`
+//! streams that `repro cachescope --telemetry DIR` dumps — parsing both
+//! strictly: a malformed line fails the command with a `file:line`
+//! diagnostic naming the offending field.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};

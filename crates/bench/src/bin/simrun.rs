@@ -10,6 +10,7 @@
 //!              [--inject-at N] [--inject-fault power|torn|corrupt]
 //!              [--emit-events FILE] [--chrome-trace FILE]
 //!              [--flight-record FILE] [--audit-strict]
+//!              [--cachescope FILE] [--cachescope-period N]
 //! ```
 //!
 //! `--emit-events FILE` streams every telemetry event of the run as JSONL;
@@ -21,6 +22,16 @@
 //! estimator samples, reboots) — the stream `repro explain` renders. Any
 //! of these flags attaches telemetry to the simulator; without them the
 //! run takes the uninstrumented fast path.
+//!
+//! `--cachescope FILE` attaches a cachescope (`ehs_sim::cachescope`) and
+//! writes its report — boundary rows, occupancy snapshots, aggregate
+//! histograms — as a JSONL stream, then parses the stream back strictly
+//! (a schema round-trip check on every dump) and prints the rendered
+//! cache report. `--cachescope-period N` additionally samples a
+//! full-cache occupancy snapshot every `N` committed instructions.
+//! Unlike the telemetry flags, a cachescope keeps the fast-forward loop;
+//! it cannot be combined with them in one run (one observability stream
+//! per invocation, so each path stays bit-identical to its tests).
 //!
 //! The energy-conservation ledger is always audited at power-cycle
 //! boundaries (violations are counted in the report); `--audit-strict`
@@ -46,11 +57,12 @@ use std::path::Path;
 use ehs_compress::Algorithm;
 use ehs_energy::{CapacitorConfig, PowerTrace, TraceKind};
 use ehs_sim::{
-    run_program, run_program_with_telemetry, EhsDesign, Extension, FaultKind, GovernorSpec,
-    SimConfig, SimStats, Simulator,
+    run_program, run_program_with_cachescope, run_program_with_telemetry, CachescopeConfig,
+    EhsDesign, Extension, FaultKind, GovernorSpec, SimConfig, SimStats, Simulator,
 };
 use ehs_telemetry::{ChromeTraceSink, JsonlSink, Sink, Stamped};
 use ehs_workloads::App;
+use kagura_bench::cachescope::{self, ScopeLabels};
 
 fn usage() {
     eprintln!(
@@ -60,6 +72,7 @@ fn usage() {
          \x20                [--inject-at N] [--inject-fault power|torn|corrupt]\n\
          \x20                [--emit-events FILE] [--chrome-trace FILE]\n\
          \x20                [--flight-record FILE] [--audit-strict]\n\
+         \x20                [--cachescope FILE] [--cachescope-period N]\n\
          apps: {}",
         App::ALL.map(|a| a.name()).join(" ")
     );
@@ -386,6 +399,28 @@ fn run() -> Result<(), String> {
     let chrome_path = args.flag("--chrome-trace");
     let flight_path = args.flag("--flight-record");
     let instrumented = events_path.is_some() || chrome_path.is_some() || flight_path.is_some();
+    let scope_path = args.flag("--cachescope");
+    let scope = match args.flag("--cachescope-period") {
+        Some(p) => {
+            if scope_path.is_none() {
+                return Err("--cachescope-period needs --cachescope".into());
+            }
+            let n: u64 = p.parse().map_err(|e| format!("bad --cachescope-period: {e}"))?;
+            if n == 0 {
+                return Err("--cachescope-period must be positive".into());
+            }
+            CachescopeConfig::periodic(n)
+        }
+        None => CachescopeConfig::default(),
+    };
+    if scope_path.is_some() && instrumented {
+        return Err("--cachescope cannot combine with --emit-events/--chrome-trace/\
+                    --flight-record: one observability stream per run"
+            .into());
+    }
+    // Filled on the cachescope path; rendered after the stats report.
+    let mut scope_parsed = None;
+    let mut scope_report = None;
     let (stats, metrics) = if instrumented {
         let mut sink = TeeSink::default();
         if let Some(p) = events_path {
@@ -423,6 +458,27 @@ fn run() -> Result<(), String> {
             eprintln!("flight record written to {p}");
         }
         (stats, Some(metrics))
+    } else if let Some(scope_file) = scope_path {
+        let (stats, report) = match inject {
+            Some((at, kind)) => {
+                let mut sim = Simulator::new(cfg.clone(), &program, &trace);
+                sim.arm_fault(at, kind);
+                sim.attach_cachescope(scope);
+                sim.run_with_cachescope()
+            }
+            None => run_program_with_cachescope(&program, &trace, &cfg, scope),
+        };
+        let labels = ScopeLabels::new(app.name(), cfg.design.name(), cfg.governor.label());
+        let path = Path::new(scope_file);
+        cachescope::write_jsonl(path, &labels, &report)
+            .map_err(|e| format!("{scope_file}: {e}"))?;
+        // Parse the freshly-written stream back strictly: every dump is
+        // its own schema round-trip check, and the rendered report below
+        // comes from the parsed stream, not the in-memory report.
+        scope_parsed = Some(cachescope::parse_cachescope_file(path)?);
+        scope_report = Some(report);
+        eprintln!("cachescope stream written to {scope_file}");
+        (stats, None)
     } else {
         let stats = match inject {
             Some((at, kind)) => {
@@ -436,9 +492,12 @@ fn run() -> Result<(), String> {
     };
     if args.has("--json") {
         let mut report = json_report(&stats);
-        if let Some(m) = &metrics {
-            if let serde_json::Value::Object(members) = &mut report {
+        if let serde_json::Value::Object(members) = &mut report {
+            if let Some(m) = &metrics {
                 members.push(("metrics".to_string(), m.to_json()));
+            }
+            if let Some(r) = &scope_report {
+                members.push(("cachescope".to_string(), cachescope::report_to_json(r)));
             }
         }
         println!("{}", serde_json::to_string_pretty(&report).expect("stats serialize"));
@@ -452,6 +511,9 @@ fn run() -> Result<(), String> {
                 m.snapshots().len(),
                 failures
             );
+        }
+        if let Some(parsed) = &scope_parsed {
+            print!("{}", cachescope::render_report(parsed));
         }
     }
     if !stats.completed {

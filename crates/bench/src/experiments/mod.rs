@@ -1,6 +1,7 @@
 //! Experiment registry: one entry per paper table/figure.
 
 pub mod analytic;
+pub mod cachescope;
 pub mod energy_waste;
 pub mod estimator;
 pub mod faultgrid;
@@ -70,6 +71,11 @@ pub const REGISTRY: &[(&str, &str, ExpFn)] = &[
         "energy_waste",
         "per-cycle wasted compression energy: design x governor counterfactual",
         energy_waste::energy_waste,
+    ),
+    (
+        "cachescope",
+        "cache-microarchitecture reports: occupancy, compressibility, latency attribution",
+        cachescope::cachescope,
     ),
 ];
 

@@ -21,8 +21,9 @@ const TIMELINE_HEAD: usize = 10;
 /// Strictly parses one flight-record JSONL file.
 ///
 /// Blank lines are allowed (trailing newline); anything else that does
-/// not round-trip through [`Stamped::from_value`] is an error naming
-/// the file and 1-based line.
+/// not round-trip through [`Stamped::from_value_strict`] is an error
+/// naming the file, the 1-based line, *and* the offending field
+/// (missing, mistyped, or unknown kind).
 pub fn parse_flight_file(path: &Path) -> Result<Vec<Stamped>, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -33,9 +34,8 @@ pub fn parse_flight_file(path: &Path) -> Result<Vec<Stamped>, String> {
         }
         let v = serde_json::from_str(line)
             .map_err(|e| format!("{}:{}: invalid JSON: {e}", path.display(), idx + 1))?;
-        let s = Stamped::from_value(&v).ok_or_else(|| {
-            format!("{}:{}: not a well-formed telemetry event", path.display(), idx + 1)
-        })?;
+        let s = Stamped::from_value_strict(&v)
+            .map_err(|e| format!("{}:{}: {e}", path.display(), idx + 1))?;
         events.push(s);
     }
     Ok(events)
@@ -246,16 +246,17 @@ pub fn waste_baseline(doc: &Value, app: &str) -> Option<(f64, f64)> {
     Some((wasted("acc")?, wasted("acc_kagura")?))
 }
 
-/// Entry point for `repro explain DIR`: parses every flight stream
-/// under `dir` strictly, renders one report per app, and returns the
-/// number of streams rendered.
+/// Entry point for `repro explain DIR`: parses every flight stream and
+/// every cachescope stream under `dir` strictly, renders one report per
+/// stream, and returns the number of streams rendered.
 pub fn explain_dir(dir: &Path) -> Result<usize, String> {
     let files = discover_flight_files(dir)?;
-    if files.is_empty() {
+    let scopes = crate::cachescope::discover_cachescope_files(dir)?;
+    if files.is_empty() && scopes.is_empty() {
         return Err(format!(
-            "no flight_<app>.jsonl under {} (run `repro energy_waste --telemetry {}` first)",
-            dir.display(),
-            dir.display()
+            "no flight_<app>.jsonl or cachescope_<app>.jsonl under {dir} (run `repro \
+             energy_waste --telemetry {dir}` or `repro cachescope --telemetry {dir}` first)",
+            dir = dir.display(),
         ));
     }
     // Optional baseline: present when the experiment's JSON landed in
@@ -269,7 +270,12 @@ pub fn explain_dir(dir: &Path) -> Result<usize, String> {
         print!("{}", render_report(app, &events, baseline));
         println!();
     }
-    Ok(files.len())
+    for (_, path) in &scopes {
+        let parsed = crate::cachescope::parse_cachescope_file(path)?;
+        print!("{}", crate::cachescope::render_report(&parsed));
+        println!();
+    }
+    Ok(files.len() + scopes.len())
 }
 
 #[cfg(test)]
@@ -346,9 +352,37 @@ mod tests {
         std::fs::write(&path, text).unwrap();
         let err = parse_flight_file(&path).unwrap_err();
         assert!(err.contains("flight_crc32.jsonl:4"), "error must name file:line, got {err}");
+        assert!(err.contains("`cycle`"), "error must name the missing field, got {err}");
 
         std::fs::write(&path, "not json at all\n").unwrap();
         let err = parse_flight_file(&path).unwrap_err();
+        assert!(err.contains("invalid JSON"), "got {err}");
+    }
+
+    #[test]
+    fn strict_parse_diagnoses_truncated_and_bit_flipped_lines() {
+        let dir = std::env::temp_dir().join("kagura_explain_corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flight_gsm.jsonl");
+
+        // A single-bit flip in a field name ('d' ^ 0x02 = 'f') leaves the
+        // line valid JSON but the event missing `old`: the error names
+        // the exact line and field.
+        let good = jsonl(&stream());
+        let flipped = good.replacen("\"old\":", "\"olf\":", 1);
+        assert_ne!(good, flipped, "fixture must contain a ThresholdAdjust line");
+        std::fs::write(&path, flipped).unwrap();
+        let err = parse_flight_file(&path).unwrap_err();
+        assert!(err.contains("flight_gsm.jsonl:2"), "file:line, got {err}");
+        assert!(err.contains("`old`"), "field name, got {err}");
+
+        // A write torn mid-line (e.g. a killed dump) is an invalid-JSON
+        // error on that line.
+        let lines: Vec<&str> = good.lines().collect();
+        let torn = format!("{}\n{}\n{}", lines[0], lines[1], &lines[2][..lines[2].len() / 2]);
+        std::fs::write(&path, torn).unwrap();
+        let err = parse_flight_file(&path).unwrap_err();
+        assert!(err.contains("flight_gsm.jsonl:3"), "file:line, got {err}");
         assert!(err.contains("invalid JSON"), "got {err}");
     }
 

@@ -11,6 +11,7 @@
 //! *shape* of every result (who wins, by roughly what factor, where
 //! crossovers fall) is the reproduction target; see EXPERIMENTS.md.
 
+pub mod cachescope;
 pub mod experiments;
 pub mod explain;
 pub mod fsutil;

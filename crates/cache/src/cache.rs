@@ -4,6 +4,7 @@ use ehs_compress::AnyCompressor;
 use ehs_model::{Address, BlockData};
 
 use crate::memo::SizeMemo;
+use crate::probe::{CacheProbe, EvictionReason, ProbeEviction, ProbeFill, ProbeHit};
 use crate::set::{CacheSet, Line};
 use crate::{CacheConfig, CacheStats, FillMode};
 
@@ -73,9 +74,22 @@ pub struct ResidentBlock {
     pub last_tick: u64,
 }
 
+/// Point-in-time occupancy of one set: the raw rows of the sampled
+/// full-cache snapshot (`set × way` occupancy map) cachescope streams as
+/// JSONL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetOccupancy {
+    /// Set index.
+    pub set: u32,
+    /// Data-array segments in use.
+    pub used_segments: u32,
+    /// `(segments, compressed)` of each resident line, in slot order.
+    pub blocks: Vec<(u32, bool)>,
+}
+
 /// A write-back, LRU, set-associative cache with a segmented data array
 /// supporting block compression. See the crate docs for the model.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CompressedCache {
     config: CacheConfig,
     compressor: AnyCompressor,
@@ -84,6 +98,26 @@ pub struct CompressedCache {
     tick: u64,
     stats: CacheStats,
     size_memo: SizeMemo,
+    /// Cache introspection observer; `None` (the default) costs one
+    /// untaken branch per report site. See [`crate::probe`].
+    probe: Option<Box<dyn CacheProbe>>,
+}
+
+impl Clone for CompressedCache {
+    /// Clones contents and counters; the probe (an exclusive observer,
+    /// not cache state) stays with the original — clones start detached.
+    fn clone(&self) -> Self {
+        CompressedCache {
+            config: self.config,
+            compressor: self.compressor.clone(),
+            sets: self.sets.clone(),
+            num_sets: self.num_sets,
+            tick: self.tick,
+            stats: self.stats,
+            size_memo: self.size_memo.clone(),
+            probe: None,
+        }
+    }
 }
 
 impl CompressedCache {
@@ -104,7 +138,26 @@ impl CompressedCache {
             tick: 0,
             stats: CacheStats::default(),
             size_memo: SizeMemo::default(),
+            probe: None,
         }
+    }
+
+    /// Attaches a [`CacheProbe`], replacing any. Every subsequent hit,
+    /// fill and eviction is reported to it.
+    pub fn attach_probe(&mut self, probe: Box<dyn CacheProbe>) {
+        self.probe = Some(probe);
+    }
+
+    /// Detaches and returns the probe (for end-of-run downcasting).
+    pub fn take_probe(&mut self) -> Option<Box<dyn CacheProbe>> {
+        self.probe.take()
+    }
+
+    /// Mutable access to the attached probe's concrete type, if one is
+    /// attached and is a `T` — mid-run state queries (e.g. power-cycle
+    /// boundary snapshots) go through [`CacheProbe::as_any_mut`].
+    pub fn probe_downcast_mut<T: 'static>(&mut self) -> Option<&mut T> {
+        self.probe.as_mut().and_then(|p| p.as_any_mut().downcast_mut::<T>())
     }
 
     /// The static configuration.
@@ -183,14 +236,20 @@ impl CompressedCache {
                 let rank = self.rank_with_mru_shortcut(si, idx);
                 self.tick += 1;
                 let set = &mut self.sets[si];
+                let reuse = self.tick - set.ticks[idx];
                 set.ticks[idx] = self.tick;
                 let line = &set.lines[idx];
                 let was_compressed = line.compressed;
+                let segments = line.segments;
+                let word = line.data.read_u32(offset);
                 if was_compressed {
                     self.stats.decompressions += 1;
                 }
                 self.stats.read_hits += 1;
-                Some(HitInfo { was_compressed, lru_rank: rank, word: line.data.read_u32(offset) })
+                if let Some(p) = &mut self.probe {
+                    p.on_hit(ProbeHit { set: si as u32, was_compressed, segments, reuse });
+                }
+                Some(HitInfo { was_compressed, lru_rank: rank, word })
             }
             None => {
                 self.stats.read_misses += 1;
@@ -248,8 +307,15 @@ impl CompressedCache {
         match self.find_shallow(si, tag, self.config.params.ways) {
             Some(idx) => {
                 self.tick += 1;
+                let reuse = self.tick - self.sets[si].ticks[idx];
                 self.sets[si].ticks[idx] = self.tick;
                 self.stats.read_hits += 1;
+                if let Some(p) = &mut self.probe {
+                    // Shallow hits land on uncompressed (full-footprint)
+                    // lines, matching what `read` would have reported.
+                    let segments = self.config.segments_per_block();
+                    p.on_hit(ProbeHit { set: si as u32, was_compressed: false, segments, reuse });
+                }
                 true
             }
             None => false,
@@ -271,11 +337,16 @@ impl CompressedCache {
             Some(idx) => {
                 self.tick += 1;
                 let set = &mut self.sets[si];
+                let reuse = self.tick - set.ticks[idx];
                 set.ticks[idx] = self.tick;
                 let line = &mut set.lines[idx];
                 line.data.write_u32(offset, value);
                 line.dirty = true;
                 self.stats.write_hits += 1;
+                if let Some(p) = &mut self.probe {
+                    let segments = self.config.segments_per_block();
+                    p.on_hit(ProbeHit { set: si as u32, was_compressed: false, segments, reuse });
+                }
                 true
             }
             None => false,
@@ -302,6 +373,10 @@ impl CompressedCache {
         self.tick += n;
         self.sets[si].ticks[idx] = self.tick;
         self.stats.read_hits += n;
+        if let Some(p) = &mut self.probe {
+            // MRU precondition: every hit in the run has reuse distance 1.
+            p.on_hit_run(si as u32, self.config.segments_per_block(), n);
+        }
     }
 
     /// Writes the 4-byte `value` at `addr`. `None` on miss (write-allocate:
@@ -334,12 +409,18 @@ impl CompressedCache {
         self.tick += 1;
         let full_segments = self.config.segments_per_block();
         let set = &mut self.sets[si];
+        let reuse = self.tick - set.ticks[idx];
         set.ticks[idx] = self.tick;
         let line = &mut set.lines[idx];
         let was_compressed = line.compressed;
+        let segments = line.segments;
         let old_word = line.data.read_u32(offset);
         line.data.write_u32(offset, value);
         line.dirty = true;
+        if let Some(p) = &mut self.probe {
+            // Reported as the block sat when the store landed (pre-repack).
+            p.on_hit(ProbeHit { set: si as u32, was_compressed, segments, reuse });
+        }
         let mut evicted = Vec::new();
         if was_compressed {
             self.stats.decompressions += 1;
@@ -441,6 +522,16 @@ impl CompressedCache {
         if mode == FillMode::Bypass {
             self.stats.bypassed_fills += 1;
         }
+        if let Some(p) = &mut self.probe {
+            p.on_fill(ProbeFill {
+                set: si as u32,
+                segments,
+                full_segments,
+                stored_compressed,
+                used_after: self.sets[si].used_incremental(),
+                blocks_after: self.sets[si].len() as u32,
+            });
+        }
         FillOutcome { evicted, compressions, stored_compressed }
     }
 
@@ -506,14 +597,27 @@ impl CompressedCache {
 
     fn evict_one(&mut self, si: usize, protect: Option<u64>) -> Option<Evicted> {
         let idx = self.sets[si].lru_victim(protect)?;
+        let lifetime = self.tick - self.sets[si].born[idx];
+        let idle = self.tick - self.sets[si].ticks[idx];
         let (tag, line) = self.sets[si].swap_remove(idx);
         self.stats.evictions += 1;
+        self.stats.capacity_evictions += 1;
         if line.compressed {
             self.stats.compressed_evictions += 1;
             if line.dirty {
                 // Dirty compressed victims decompress on the way to NVM.
                 self.stats.decompressions += 1;
             }
+        }
+        if let Some(p) = &mut self.probe {
+            p.on_evict(ProbeEviction {
+                set: si as u32,
+                reason: EvictionReason::Capacity,
+                segments: line.segments,
+                was_compressed: line.compressed,
+                lifetime,
+                idle,
+            });
         }
         Some(Evicted {
             addr: self.addr_of(si, tag),
@@ -528,13 +632,26 @@ impl CompressedCache {
     pub fn invalidate_block(&mut self, addr: Address) -> Option<Evicted> {
         let (si, tag) = self.set_and_tag(addr);
         let idx = self.sets[si].find(tag)?;
+        let lifetime = self.tick - self.sets[si].born[idx];
+        let idle = self.tick - self.sets[si].ticks[idx];
         let (_, line) = self.sets[si].swap_remove(idx);
         self.stats.evictions += 1;
+        self.stats.forced_evictions += 1;
         if line.compressed {
             self.stats.compressed_evictions += 1;
             if line.dirty {
                 self.stats.decompressions += 1;
             }
+        }
+        if let Some(p) = &mut self.probe {
+            p.on_evict(ProbeEviction {
+                set: si as u32,
+                reason: EvictionReason::Forced,
+                segments: line.segments,
+                was_compressed: line.compressed,
+                lifetime,
+                idle,
+            });
         }
         Some(Evicted {
             addr: self.block_base(addr),
@@ -584,7 +701,26 @@ impl CompressedCache {
     }
 
     /// Clears every line (power failure: SRAM contents are lost).
+    ///
+    /// Not an eviction for the [`CacheStats`] counters (nothing is
+    /// replaced or written back), but an attached probe sees every lost
+    /// block as an [`EvictionReason::PowerLoss`] departure.
     pub fn invalidate_all(&mut self) {
+        if let Some(mut p) = self.probe.take() {
+            for (si, set) in self.sets.iter().enumerate() {
+                for idx in 0..set.len() {
+                    p.on_evict(ProbeEviction {
+                        set: si as u32,
+                        reason: EvictionReason::PowerLoss,
+                        segments: set.lines[idx].segments,
+                        was_compressed: set.lines[idx].compressed,
+                        lifetime: self.tick - set.born[idx],
+                        idle: self.tick - set.ticks[idx],
+                    });
+                }
+            }
+            self.probe = Some(p);
+        }
         for set in &mut self.sets {
             set.clear();
         }
@@ -615,6 +751,38 @@ impl CompressedCache {
     /// [`ResidentBlock::last_tick`]).
     pub fn now(&self) -> u64 {
         self.tick
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u32 {
+        self.num_sets
+    }
+
+    /// Point-in-time `set × way` occupancy rows for every set — the
+    /// sampled full-cache snapshot cachescope streams as JSONL.
+    pub fn occupancy_map(&self) -> Vec<SetOccupancy> {
+        self.sets
+            .iter()
+            .enumerate()
+            .map(|(si, set)| SetOccupancy {
+                set: si as u32,
+                used_segments: set.used_incremental(),
+                blocks: set.lines.iter().map(|l| (l.segments, l.compressed)).collect(),
+            })
+            .collect()
+    }
+
+    /// The incremental used-segment counter of set `si`, with no
+    /// cross-check — compare with
+    /// [`CompressedCache::recount_set_segments`] (the accounting
+    /// proptest pins their equality).
+    pub fn set_used_incremental(&self, si: usize) -> u32 {
+        self.sets[si].used_incremental()
+    }
+
+    /// From-scratch recount of set `si`'s data-array segments in use.
+    pub fn recount_set_segments(&self, si: usize) -> u32 {
+        self.sets[si].recount_segments()
     }
 }
 
@@ -914,6 +1082,127 @@ mod tests {
         // The stats still count both compression operations: memoization
         // saves host time, never modelled energy.
         assert_eq!(c.stats().compressions, 2);
+    }
+
+    #[test]
+    fn eviction_counters_split_capacity_from_forced() {
+        let mut c = cache();
+        // Two incompressible fills fill the set; the third evicts by LRU.
+        c.fill(conflict_addr(0), random_block(1), FillMode::Bypass, None);
+        c.fill(conflict_addr(1), random_block(2), FillMode::Bypass, None);
+        c.fill(conflict_addr(2), random_block(3), FillMode::Bypass, None);
+        assert_eq!(c.stats().capacity_evictions, 1);
+        assert_eq!(c.stats().forced_evictions, 0);
+        // Dead-block retirement is the forced path.
+        assert!(c.invalidate_block(conflict_addr(2)).is_some());
+        assert_eq!(c.stats().capacity_evictions, 1);
+        assert_eq!(c.stats().forced_evictions, 1);
+        assert_eq!(
+            c.stats().evictions,
+            c.stats().capacity_evictions + c.stats().forced_evictions,
+            "the split must partition total evictions"
+        );
+        // Power loss clears lines without counting evictions at all.
+        let before = c.stats().evictions;
+        c.invalidate_all();
+        assert_eq!(c.stats().evictions, before);
+    }
+
+    #[derive(Debug, Default)]
+    struct RecordingProbe {
+        hits: Vec<crate::ProbeHit>,
+        runs: Vec<(u32, u64)>,
+        fills: Vec<crate::ProbeFill>,
+        evictions: Vec<crate::ProbeEviction>,
+    }
+
+    impl crate::CacheProbe for RecordingProbe {
+        fn on_hit(&mut self, h: crate::ProbeHit) {
+            self.hits.push(h);
+        }
+        fn on_hit_run(&mut self, set: u32, _full_segments: u32, n: u64) {
+            self.runs.push((set, n));
+        }
+        fn on_fill(&mut self, f: crate::ProbeFill) {
+            self.fills.push(f);
+        }
+        fn on_evict(&mut self, e: crate::ProbeEviction) {
+            self.evictions.push(e);
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+        fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+            self
+        }
+    }
+
+    fn take_recording(c: &mut CompressedCache) -> RecordingProbe {
+        *c.take_probe().unwrap().into_any().downcast::<RecordingProbe>().unwrap()
+    }
+
+    #[test]
+    fn probe_reports_hits_fills_and_every_eviction_reason() {
+        use crate::EvictionReason;
+        let mut c = cache();
+        c.attach_probe(Box::<RecordingProbe>::default());
+
+        c.fill(conflict_addr(0), zero_block(), FillMode::Compress, None);
+        c.read(conflict_addr(0)).unwrap();
+        c.fill(conflict_addr(1), random_block(1), FillMode::Bypass, None);
+        c.fill(conflict_addr(2), random_block(2), FillMode::Bypass, None); // capacity evicts
+        c.invalidate_block(conflict_addr(2)).unwrap(); // forced
+        c.invalidate_all(); // power loss for the remaining block
+
+        let p = take_recording(&mut c);
+        assert_eq!(p.fills.len(), 3);
+        assert!(p.fills[0].stored_compressed && p.fills[0].segments < p.fills[0].full_segments);
+        assert_eq!(p.fills[1].used_after, p.fills[0].segments + 4, "1 compressed + 1 full block");
+
+        assert_eq!(p.hits.len(), 1);
+        assert_eq!(p.hits[0].reuse, 1, "re-read right after the fill");
+        assert!(p.hits[0].was_compressed);
+
+        let reasons: Vec<EvictionReason> = p.evictions.iter().map(|e| e.reason).collect();
+        assert_eq!(
+            reasons,
+            vec![EvictionReason::Capacity, EvictionReason::Forced, EvictionReason::PowerLoss]
+        );
+        for e in &p.evictions {
+            assert!(e.lifetime >= e.idle, "a block cannot be idle longer than it lived");
+        }
+    }
+
+    #[test]
+    fn probe_hit_run_and_shallow_commits_report_like_full_reads() {
+        let mut probed = cache();
+        probed.attach_probe(Box::<RecordingProbe>::default());
+        probed.fill(conflict_addr(0), random_block(1), FillMode::Bypass, None);
+        probed.read(conflict_addr(0)).unwrap(); // MRU now
+        assert!(probed.try_commit_shallow_read(conflict_addr(0)));
+        assert!(probed.try_commit_shallow_write(conflict_addr(0), 7));
+        probed.commit_read_hit_run(conflict_addr(0), 3);
+
+        let p = take_recording(&mut probed);
+        assert_eq!(p.hits.len(), 3, "read + shallow read + shallow write");
+        assert!(p.hits.iter().skip(1).all(|h| h.reuse == 1 && !h.was_compressed));
+        assert_eq!(p.runs, vec![(0, 3)]);
+    }
+
+    #[test]
+    fn clone_detaches_the_probe_and_occupancy_map_reflects_contents() {
+        let mut c = cache();
+        c.attach_probe(Box::<RecordingProbe>::default());
+        c.fill(conflict_addr(0), zero_block(), FillMode::Compress, None);
+        let mut copy = c.clone();
+        assert!(copy.take_probe().is_none(), "clones must start detached");
+
+        let occ = c.occupancy_map();
+        assert_eq!(occ.len(), 4, "table1 has 4 sets");
+        assert_eq!(occ[0].blocks.len(), 1);
+        assert!(occ[0].blocks[0].1, "stored compressed");
+        assert_eq!(occ[0].used_segments, occ[0].blocks[0].0);
+        assert_eq!(c.set_used_incremental(0), c.recount_set_segments(0));
     }
 
     #[test]

@@ -42,9 +42,13 @@
 
 mod cache;
 mod memo;
+pub mod probe;
 mod set;
 
-pub use cache::{CompressedCache, DirtyBlock, Evicted, FillOutcome, HitInfo, ResidentBlock};
+pub use cache::{
+    CompressedCache, DirtyBlock, Evicted, FillOutcome, HitInfo, ResidentBlock, SetOccupancy,
+};
+pub use probe::{CacheProbe, EvictionReason, ProbeEviction, ProbeFill, ProbeHit};
 
 use ehs_compress::Algorithm;
 use ehs_model::CacheParams;
@@ -122,6 +126,15 @@ pub struct CacheStats {
     pub fills: u64,
     /// Blocks evicted (for capacity or tags).
     pub evictions: u64,
+    /// Evictions forced by LRU replacement — data-array or tag-array
+    /// pressure on a fill, write expansion. A subset of `evictions`.
+    #[serde(default)]
+    pub capacity_evictions: u64,
+    /// Evictions forced by explicit invalidation (EDBP dead-block
+    /// retirement). A subset of `evictions`; together with
+    /// `capacity_evictions` it partitions them.
+    #[serde(default)]
+    pub forced_evictions: u64,
     /// Evictions of blocks stored compressed.
     pub compressed_evictions: u64,
     /// Compression operations performed (incoming or resident).

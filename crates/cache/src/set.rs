@@ -31,6 +31,10 @@ pub(crate) struct CacheSet {
     pub tags: Vec<u64>,
     /// Monotonic recency stamp of each line (larger = more recent).
     pub ticks: Vec<u64>,
+    /// Recency stamp at which each line was filled (never restamped):
+    /// `tick − born` is the block's lifetime in accesses, the telemetry
+    /// cachescope folds into its lifetime distributions.
+    pub born: Vec<u64>,
     /// Payload/status of each line.
     pub lines: Vec<Line>,
     /// Running total of `lines[i].segments` — kept in lockstep by `push`,
@@ -45,11 +49,12 @@ impl CacheSet {
         self.tags.len()
     }
 
-    /// Appends a line.
+    /// Appends a line; `tick` doubles as its birth stamp.
     pub fn push(&mut self, tag: u64, tick: u64, line: Line) {
         self.used += line.segments;
         self.tags.push(tag);
         self.ticks.push(tick);
+        self.born.push(tick);
         self.lines.push(line);
     }
 
@@ -58,6 +63,7 @@ impl CacheSet {
     pub fn swap_remove(&mut self, idx: usize) -> (u64, Line) {
         let tag = self.tags.swap_remove(idx);
         self.ticks.swap_remove(idx);
+        self.born.swap_remove(idx);
         let line = self.lines.swap_remove(idx);
         self.used -= line.segments;
         (tag, line)
@@ -67,6 +73,7 @@ impl CacheSet {
     pub fn clear(&mut self) {
         self.tags.clear();
         self.ticks.clear();
+        self.born.clear();
         self.lines.clear();
         self.used = 0;
     }
@@ -78,8 +85,19 @@ impl CacheSet {
 
     /// Total data-array segments in use.
     pub fn used_segments(&self) -> u32 {
-        debug_assert_eq!(self.used, self.lines.iter().map(|l| l.segments).sum::<u32>());
+        debug_assert_eq!(self.used, self.recount_segments());
         self.used
+    }
+
+    /// The incremental segment counter, with no cross-check — what the
+    /// accounting proptest compares against [`CacheSet::recount_segments`].
+    pub fn used_incremental(&self) -> u32 {
+        self.used
+    }
+
+    /// From-scratch recount of the data-array segments in use.
+    pub fn recount_segments(&self) -> u32 {
+        self.lines.iter().map(|l| l.segments).sum::<u32>()
     }
 
     /// Rewrites the data-array footprint (and compressed flag) of the line
@@ -176,6 +194,7 @@ mod tests {
         // Entry 0 is now the former last entry, in every array.
         assert_eq!(s.tags[0], 3);
         assert_eq!(s.ticks[0], 30);
+        assert_eq!(s.born[0], 30);
         assert_eq!(s.lines[0].segments, 1);
     }
 

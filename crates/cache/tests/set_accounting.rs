@@ -1,0 +1,121 @@
+//! Pins the struct-of-arrays incremental used-segment accounting.
+//!
+//! The per-set `used` counter is maintained incrementally by `push`,
+//! `swap_remove`, `clear`, and `set_line_segments` so the space check on
+//! every fill is O(1); cachescope's occupancy snapshots read it directly.
+//! This proptest drives arbitrary fill / write / dead-block-retire /
+//! power-cycle sequences and asserts after every operation that the
+//! incremental counter in every set equals a from-scratch recount over
+//! the resident lines.
+
+use ehs_cache::{CacheConfig, CompressedCache, FillMode};
+use ehs_compress::Algorithm;
+use ehs_model::{Address, BlockData, CacheParams};
+use proptest::prelude::*;
+
+const BLOCK: u32 = 32;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Read, filling on a miss with compressible or random contents.
+    Access(u64, bool),
+    /// Store (write-allocate on miss); random contents can expand lines.
+    Write(u64, u32),
+    /// Dead-block retirement (the EDBP path).
+    Invalidate(u64),
+    /// Power failure: SRAM contents lost.
+    PowerCycle,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let addr = 0u64..(48 * BLOCK as u64);
+    prop_oneof![
+        5 => (addr.clone(), any::<bool>()).prop_map(|(a, c)| Op::Access(a, c)),
+        4 => (addr.clone(), any::<u32>()).prop_map(|(a, v)| Op::Write(a, v)),
+        2 => addr.prop_map(Op::Invalidate),
+        1 => Just(Op::PowerCycle),
+    ]
+}
+
+fn block(addr: Address, compressible: bool) -> BlockData {
+    let mut b = BlockData::zeroed(BLOCK);
+    if !compressible {
+        let mut x = addr.get() as u32 ^ 0xDEAD_BEEF;
+        for w in 0..8 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            b.write_u32(w * 4, x);
+        }
+    }
+    b
+}
+
+fn assert_accounting(cache: &CompressedCache, step: usize) {
+    for si in 0..cache.num_sets() as usize {
+        assert_eq!(
+            cache.set_used_incremental(si),
+            cache.recount_set_segments(si),
+            "set {si} incremental counter diverged from recount after op {step}"
+        );
+        assert!(
+            cache.set_used_incremental(si) <= cache.config().segments_per_set(),
+            "set {si} over capacity after op {step}"
+        );
+    }
+}
+
+fn run(ops: Vec<Op>, mode: FillMode, alg: Algorithm) {
+    let mut cache = CompressedCache::new(CacheConfig::new(CacheParams::table1(), alg));
+    let repack = mode == FillMode::Compress;
+    for (step, op) in ops.into_iter().enumerate() {
+        match op {
+            Op::Access(raw, compressible) => {
+                let addr = Address::new(raw & !3);
+                if cache.read(addr).is_none() {
+                    cache.fill(addr.block_base(BLOCK), block(addr, compressible), mode, None);
+                }
+            }
+            Op::Write(raw, value) => {
+                let addr = Address::new(raw & !3);
+                if cache.write(addr, value, repack).is_none() {
+                    let offset = addr.block_offset(BLOCK) & !3;
+                    let data = block(addr, value % 2 == 0);
+                    cache.fill(addr.block_base(BLOCK), data, mode, Some((offset, value)));
+                }
+            }
+            Op::Invalidate(raw) => {
+                cache.invalidate_block(Address::new(raw & !3));
+            }
+            Op::PowerCycle => {
+                cache.drain_dirty();
+                cache.invalidate_all();
+            }
+        }
+        assert_accounting(&cache, step);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn incremental_used_segments_equal_recount_compressing(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+    ) {
+        run(ops, FillMode::Compress, Algorithm::Bdi);
+    }
+
+    #[test]
+    fn incremental_used_segments_equal_recount_bypass(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+    ) {
+        run(ops, FillMode::Bypass, Algorithm::Bdi);
+    }
+
+    #[test]
+    fn incremental_used_segments_equal_recount_other_algorithms(
+        ops in proptest::collection::vec(op_strategy(), 1..150),
+        alg in prop_oneof![Just(Algorithm::Fpc), Just(Algorithm::CPack), Just(Algorithm::Dzc)],
+    ) {
+        run(ops, FillMode::Compress, alg);
+    }
+}

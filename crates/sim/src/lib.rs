@@ -37,6 +37,7 @@
 //! assert!(stats.power_cycles.len() > 1);
 //! ```
 
+pub mod cachescope;
 pub mod config;
 pub mod faultinject;
 pub mod governor;
@@ -45,6 +46,10 @@ pub mod parallel;
 pub mod runner;
 pub mod stats;
 
+pub use cachescope::{
+    CachescopeAggregator, CachescopeConfig, CachescopeReport, CycleScope, LatencyAttribution,
+    OccupancySnapshot, ScopeCounters,
+};
 pub use config::{
     ConfigError, EhsDesign, ExecMode, Extension, GovernorSpec, SimConfig, StepBudget,
 };
@@ -53,6 +58,7 @@ pub use governor::Governor;
 pub use machine::{FaultKind, Simulator};
 pub use parallel::{run_batch, run_batch_with, JobFailure, RetryPolicy, SimJob};
 pub use runner::{
-    run_app, run_app_with_telemetry, run_ideal_app, run_program, run_program_with_telemetry,
+    run_app, run_app_with_cachescope, run_app_with_telemetry, run_ideal_app, run_program,
+    run_program_with_cachescope, run_program_with_telemetry,
 };
 pub use stats::{ConsistencyReport, CycleRecord, SimStats};

@@ -14,6 +14,10 @@ use ehs_telemetry::{Counter, Event, Gauge, HistogramId, MetricsRegistry, Sink, T
 use ehs_workloads::{InstCursor, KernelProgram};
 use kagura_core::{CompressionGovernor, Mode};
 
+use crate::cachescope::{
+    CachescopeAggregator, CachescopeConfig, CachescopeReport, CycleScope, LatencyAttribution,
+    OccupancySnapshot, ScopeState,
+};
 use crate::config::{EhsDesign, ExecMode, Extension, SimConfig};
 use crate::governor::Governor;
 use crate::stats::{CycleRecord, SimStats};
@@ -400,6 +404,12 @@ pub struct Simulator<'p> {
     /// instrumented site down to a single untaken branch, so uninstrumented
     /// runs produce byte-identical results at unchanged speed.
     telemetry: Option<(Telemetry<'p>, TelemetryHandles)>,
+    /// Cachescope latency attribution and snapshot state; `None` (the
+    /// default) keeps every attribution site down to a single untaken
+    /// branch. Unlike `telemetry`, an attached cachescope does *not*
+    /// force the reference loop — the probes and attribution are
+    /// loop-agnostic (asserted by the fastpath differential suite).
+    cachescope: Option<Box<ScopeState>>,
 }
 
 impl<'p> Simulator<'p> {
@@ -493,6 +503,7 @@ impl<'p> Simulator<'p> {
             shadow_d,
             edbp_countdown: EDBP_SCAN_PERIOD,
             telemetry: None,
+            cachescope: None,
         }
     }
 
@@ -579,6 +590,140 @@ impl<'p> Simulator<'p> {
             None => MetricsRegistry::default(),
         };
         (self.finish(), metrics)
+    }
+
+    /// Attaches a cachescope: a [`CachescopeAggregator`] probe on each
+    /// cache plus simulator-side latency attribution, power-cycle
+    /// boundary rows, and (if configured) periodic occupancy snapshots.
+    /// Unlike telemetry, an attached cachescope keeps the fast-forward
+    /// loop engaged — aggregation is probe-driven and loop-agnostic, and
+    /// the fastpath differential suite asserts the reports are identical
+    /// under both loops. Drive the run with
+    /// [`Simulator::run_with_cachescope`].
+    pub fn attach_cachescope(&mut self, scope: CachescopeConfig) {
+        let i = CachescopeAggregator::new(self.icache.config());
+        let d = CachescopeAggregator::new(self.dcache.config());
+        self.icache.attach_probe(Box::new(i));
+        self.dcache.attach_probe(Box::new(d));
+        self.cachescope = Some(Box::new(ScopeState::new(scope)));
+    }
+
+    /// Runs to completion like [`Simulator::run`], returning the cache
+    /// report accumulated by an attached cachescope alongside the stats.
+    /// A final boundary row is recorded at end of run so the last
+    /// (possibly unfinished) power cycle is covered too.
+    ///
+    /// # Panics
+    ///
+    /// Panics without a prior [`Simulator::attach_cachescope`].
+    pub fn run_with_cachescope(mut self) -> (SimStats, CachescopeReport) {
+        self.run_loop();
+        // Mirror `run` (via `run_with_memory`): flush residual dirty state
+        // so the returned stats are byte-identical to an unscoped run —
+        // `for_each_dirty` counts the flush's decompressions.
+        let nvm = &mut self.nvm;
+        self.dcache.for_each_dirty(|addr, data, _| nvm.store_silent_from(addr, data));
+        let report = self.take_cachescope_report();
+        (self.finish(), report)
+    }
+
+    /// Records the end-of-run boundary row, detaches the probes and
+    /// assembles the [`CachescopeReport`].
+    fn take_cachescope_report(&mut self) -> CachescopeReport {
+        self.cachescope_cycle_boundary();
+        let state = self.cachescope.take().expect("run_with_cachescope requires attach_cachescope");
+        fn recover(probe: Option<Box<dyn ehs_cache::CacheProbe>>) -> CachescopeAggregator {
+            *probe
+                .expect("cachescope probe attached")
+                .into_any()
+                .downcast::<CachescopeAggregator>()
+                .expect("cachescope probe is the aggregator")
+        }
+        CachescopeReport {
+            algorithm: self.cfg.algorithm.to_string(),
+            icache: recover(self.icache.take_probe()),
+            dcache: recover(self.dcache.take_probe()),
+            latency: state.attr,
+            cycles: state.cycles,
+            snapshots: state.snapshots,
+        }
+    }
+
+    /// Records one cachescope boundary row — cumulative per-cache
+    /// counters and latency attribution as of this power-cycle boundary
+    /// (or end of run) — and, when telemetry is also attached, mirrors
+    /// the headline values into the metrics registry so they ride the
+    /// per-cycle metric snapshots. No-op while detached.
+    fn cachescope_cycle_boundary(&mut self) {
+        if self.cachescope.is_none() {
+            return;
+        }
+        let counters = |c: &mut CompressedCache| {
+            c.probe_downcast_mut::<CachescopeAggregator>().map(|a| a.counters()).unwrap_or_default()
+        };
+        let ic = counters(&mut self.icache);
+        let dc = counters(&mut self.dcache);
+        let cycle = self.stats.power_cycles.len() as u64;
+        let state = self.cachescope.as_deref_mut().expect("checked above");
+        let latency = state.attr;
+        state.cycles.push(CycleScope { cycle, icache: ic, dcache: dc, latency });
+        if let Some((t, _)) = self.telemetry.as_mut() {
+            let m = &mut t.metrics;
+            for (name, v) in [
+                ("cachescope_dcache_hits", dc.hits as f64),
+                ("cachescope_dcache_fills", dc.fills as f64),
+                ("cachescope_dcache_capacity_evictions", dc.capacity_evictions as f64),
+                ("cachescope_dcache_forced_evictions", dc.forced_evictions as f64),
+                ("cachescope_dcache_power_loss_evictions", dc.power_loss_evictions as f64),
+                ("cachescope_icache_hits", ic.hits as f64),
+                ("cachescope_tag_cycles", latency.tag_cycles as f64),
+                ("cachescope_decompress_cycles", latency.decompress_cycles as f64),
+                ("cachescope_nvm_cycles", latency.nvm_cycles as f64),
+                ("cachescope_writeback_cycles", latency.writeback_cycles as f64),
+            ] {
+                let g = m.gauge(name);
+                m.set(g, v);
+            }
+        }
+    }
+
+    /// Counts down to the next periodic occupancy snapshot and fires it.
+    /// Called once per committed instruction at the end of `step` /
+    /// `step_fast`; batched ALU runs decrement in bulk and are capped to
+    /// `countdown - 1` ([`Simulator::alu_batch_len`]) so the fire point
+    /// always falls on a per-instruction boundary — identically in both
+    /// loops.
+    fn cachescope_tick(&mut self) {
+        let fire = match self.cachescope.as_deref_mut() {
+            Some(cs) if cs.period != 0 => {
+                cs.snap_countdown -= 1;
+                if cs.snap_countdown == 0 {
+                    cs.snap_countdown = cs.period;
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        };
+        if fire {
+            let snap = OccupancySnapshot {
+                inst_index: self.inst_index,
+                cycle: self.stats.power_cycles.len() as u64,
+                icache: self.icache.occupancy_map(),
+                dcache: self.dcache.occupancy_map(),
+            };
+            self.cachescope.as_deref_mut().expect("fired above").snapshots.push(snap);
+        }
+    }
+
+    /// Adds to the latency attribution when a cachescope is attached —
+    /// one untaken branch otherwise.
+    #[inline]
+    fn scope_attr(&mut self, f: impl FnOnce(&mut LatencyAttribution)) {
+        if let Some(cs) = self.cachescope.as_deref_mut() {
+            f(&mut cs.attr);
+        }
     }
 
     /// The machine loop shared by every run entry point: step while
@@ -798,6 +943,13 @@ impl<'p> Simulator<'p> {
         if self.cfg.design == EhsDesign::SweepCache {
             k = k.min((self.last_persist + self.sweep_region_live).saturating_sub(self.inst_index));
         }
+        if let Some(cs) = self.cachescope.as_deref() {
+            // A periodic occupancy snapshot is an observable boundary just
+            // like an EDBP scan: keep it outside the batched run.
+            if cs.period != 0 {
+                k = k.min(cs.snap_countdown.saturating_sub(1));
+            }
+        }
         k
     }
 
@@ -823,6 +975,14 @@ impl<'p> Simulator<'p> {
         if matches!(self.cfg.extension, Extension::Edbp { .. }) {
             // Never reaches 0 inside the run: k <= countdown - 1.
             self.edbp_countdown -= k;
+        }
+        if let Some(cs) = self.cachescope.as_deref_mut() {
+            // The run's k cycles are all base-CPI fetch/ALU cycles.
+            cs.attr.tag_cycles += k;
+            if cs.period != 0 {
+                // Never reaches 0 inside the run: k <= countdown - 1.
+                cs.snap_countdown -= k;
+            }
         }
     }
 
@@ -1104,6 +1264,7 @@ impl<'p> Simulator<'p> {
     fn step(&mut self) {
         let inst = self.program.inst_at(self.inst_index);
         let mut cycles = 1u64; // base CPI of the in-order pipeline
+        self.scope_attr(|a| a.tag_cycles += 1);
         let i_ways = self.cfg.system.icache.ways;
         let d_ways = self.cfg.system.dcache.ways;
         let block_size = self.cfg.system.dcache.block_size;
@@ -1121,7 +1282,9 @@ impl<'p> Simulator<'p> {
                 }
                 if hit.was_compressed {
                     self.spend(EnergyCategory::Decompress, self.comp_cost.decompress_energy);
-                    cycles += self.comp_cost.decompress_latency.get();
+                    let stall = self.comp_cost.decompress_latency.get();
+                    cycles += stall;
+                    self.scope_attr(|a| a.decompress_cycles += stall);
                 }
                 if !shadow_hit || hit.lru_rank >= i_ways {
                     // The uncompressed baseline would have missed here (or
@@ -1134,12 +1297,16 @@ impl<'p> Simulator<'p> {
             None => {
                 let read = self.nvm.read_block(inst.pc);
                 self.spend(EnergyCategory::Memory, read.energy);
-                cycles += read.latency.get();
+                let stall = read.latency.get();
+                cycles += stall;
+                self.scope_attr(|a| a.nvm_cycles += stall);
                 let mode = self.gov.fill_mode();
                 let base = inst.pc.block_base(block_size);
                 let out = self.icache.fill(base, read.data, mode, None);
                 self.spend(EnergyCategory::CacheOther, self.cfg.system.icache.access_energy);
-                cycles += self.absorb_fill(&out, base, false);
+                let fill_stall = self.absorb_fill(&out, base, false);
+                cycles += fill_stall;
+                self.scope_attr(|a| a.writeback_cycles += fill_stall);
             }
         }
 
@@ -1197,6 +1364,7 @@ impl<'p> Simulator<'p> {
         {
             self.sweep();
         }
+        self.cachescope_tick();
 
         self.pump_gov_events();
     }
@@ -1218,7 +1386,9 @@ impl<'p> Simulator<'p> {
             Some(hit) => {
                 if hit.was_compressed {
                     self.spend(EnergyCategory::Decompress, self.comp_cost.decompress_energy);
-                    extra += self.comp_cost.decompress_latency.get();
+                    let stall = self.comp_cost.decompress_latency.get();
+                    extra += stall;
+                    self.scope_attr(|a| a.decompress_cycles += stall);
                 }
                 if ctx.track_oracle && (!shadow_hit || hit.lru_rank >= ctx.i_ways) {
                     self.credit_deep_hit(pc, false);
@@ -1228,12 +1398,16 @@ impl<'p> Simulator<'p> {
             None => {
                 let read = self.nvm.read_block(pc);
                 self.spend(EnergyCategory::Memory, read.energy);
-                extra += read.latency.get();
+                let stall = read.latency.get();
+                extra += stall;
+                self.scope_attr(|a| a.nvm_cycles += stall);
                 let mode = self.gov.fill_mode();
                 let base = pc.block_base(ctx.block_size);
                 let out = self.icache.fill(base, read.data, mode, None);
                 self.spend(EnergyCategory::CacheOther, ctx.i_access);
-                extra += self.absorb_fill(&out, base, false);
+                let fill_stall = self.absorb_fill(&out, base, false);
+                extra += fill_stall;
+                self.scope_attr(|a| a.writeback_cycles += fill_stall);
             }
         }
         extra
@@ -1256,6 +1430,7 @@ impl<'p> Simulator<'p> {
     fn step_fast(&mut self, cursor: &mut InstCursor<'_>, ctx: &FastCtx) {
         let inst = cursor.next_inst();
         let mut cycles = 1u64; // base CPI of the in-order pipeline
+        self.scope_attr(|a| a.tag_cycles += 1);
 
         // --- Fetch through the ICache. ---
         self.spend(EnergyCategory::CacheOther, ctx.i_access);
@@ -1330,6 +1505,7 @@ impl<'p> Simulator<'p> {
         {
             self.sweep();
         }
+        self.cachescope_tick();
     }
 
     /// Stamps and forwards any controller events the governor logged
@@ -1361,6 +1537,7 @@ impl<'p> Simulator<'p> {
         track_shadow: bool,
     ) -> u64 {
         let mut cycles = self.cfg.system.dcache.hit_latency.get();
+        self.scope_attr(|a| a.tag_cycles += cycles);
         self.spend(EnergyCategory::CacheOther, self.cfg.system.dcache.access_energy);
         // Fast path: an access hitting a *shallow uncompressed* line (one
         // an uncompressed cache would also serve) with shadow tracking off
@@ -1399,11 +1576,15 @@ impl<'p> Simulator<'p> {
                 }
                 if info.was_compressed {
                     self.spend(EnergyCategory::Decompress, self.comp_cost.decompress_energy);
-                    cycles += self.comp_cost.decompress_latency.get();
+                    let stall = self.comp_cost.decompress_latency.get();
+                    cycles += stall;
+                    self.scope_attr(|a| a.decompress_cycles += stall);
                     if store.is_some() && repack {
                         // A store to a compressed line repacks it.
                         self.spend(EnergyCategory::Compress, self.comp_cost.compress_energy);
-                        cycles += self.comp_cost.compress_latency.get();
+                        let repack_stall = self.comp_cost.compress_latency.get();
+                        cycles += repack_stall;
+                        self.scope_attr(|a| a.writeback_cycles += repack_stall);
                     }
                     if store.is_some() && !repack {
                         // The line just expanded: it is no longer a live
@@ -1443,13 +1624,17 @@ impl<'p> Simulator<'p> {
                 // Miss: fetch from NVM, write-allocate with pending store.
                 let read = self.nvm.read_block(addr);
                 self.spend(EnergyCategory::Memory, read.energy);
-                cycles += read.latency.get();
+                let stall = read.latency.get();
+                cycles += stall;
+                self.scope_attr(|a| a.nvm_cycles += stall);
                 let mode = self.gov.fill_mode();
                 let base = addr.block_base(block_size);
                 let apply = store.map(|v| (addr.block_offset(block_size), v));
                 let out = self.dcache.fill(base, read.data, mode, apply);
                 self.spend(EnergyCategory::CacheOther, self.cfg.system.dcache.access_energy);
-                cycles += self.absorb_fill(&out, base, true);
+                let fill_stall = self.absorb_fill(&out, base, true);
+                cycles += fill_stall;
+                self.scope_attr(|a| a.writeback_cycles += fill_stall);
 
                 // IPEX: on a detected sequential stream, prefetch the next
                 // block when energy-rich.
@@ -1655,6 +1840,10 @@ impl<'p> Simulator<'p> {
         }
         self.icache.invalidate_all();
         self.dcache.invalidate_all();
+        // After the invalidations so the cycle's power-loss evictions are
+        // already folded into the probe counters; before the telemetry
+        // block so mirrored gauges ride this cycle's metric snapshot.
+        self.cachescope_cycle_boundary();
         self.oracle_i.clear();
         self.oracle_d.clear();
         self.shadow_i.clear();
@@ -1793,6 +1982,37 @@ mod tests {
         let program = app.build(0.02);
         let trace = PowerTrace::generate(cfg.trace_kind, cfg.trace_seed, 400_000);
         Simulator::new(cfg, &program, &trace).run()
+    }
+
+    #[test]
+    fn cachescope_boundary_rows_mirror_into_metrics_when_telemetry_attached() {
+        use ehs_telemetry::NullSink;
+
+        let cfg = SimConfig::table1().with_governor(GovernorSpec::Acc);
+        let program = App::Sha.build(0.02);
+        let trace = PowerTrace::generate(cfg.trace_kind, cfg.trace_seed, 400_000);
+        let mut sink = NullSink;
+        let mut sim = Simulator::new(cfg, &program, &trace);
+        sim.attach_telemetry(&mut sink);
+        sim.attach_cachescope(CachescopeConfig::default());
+        sim.run_loop();
+        let (t, _) = sim.telemetry.take().expect("telemetry attached");
+        let mut metrics = t.into_metrics();
+        let report = sim.take_cachescope_report();
+        assert!(sim.stats.power_cycles.len() >= 2, "run too short to cross a boundary");
+        // One row per power-cycle boundary plus the end-of-run row.
+        assert_eq!(report.cycles.len(), sim.stats.power_cycles.len() + 1);
+        // Mirrored gauges hold the last boundary's cumulative values
+        // (`gauge` is get-or-register by name, so this finds the existing
+        // ids; a fresh registration would read 0.0 and fail below).
+        let hits = metrics.gauge("cachescope_dcache_hits");
+        let last_boundary = report.cycles[report.cycles.len() - 2];
+        assert_eq!(metrics.gauge_value(hits), last_boundary.dcache.hits as f64);
+        assert!(metrics.gauge_value(hits) > 0.0);
+        for name in ["cachescope_tag_cycles", "cachescope_nvm_cycles"] {
+            let g = metrics.gauge(name);
+            assert!(metrics.gauge_value(g) > 0.0, "gauge {name} never mirrored");
+        }
     }
 
     #[test]

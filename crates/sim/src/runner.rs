@@ -7,6 +7,7 @@ use ehs_energy::{PowerTrace, TraceKind};
 use ehs_telemetry::{MetricsRegistry, Sink};
 use ehs_workloads::{App, KernelProgram};
 
+use crate::cachescope::{CachescopeConfig, CachescopeReport};
 use crate::config::{ConfigError, GovernorSpec, SimConfig};
 use crate::governor::Governor;
 use crate::machine::Simulator;
@@ -95,6 +96,61 @@ pub fn run_program_with_telemetry(
             sim.run_instrumented()
         }
     }
+}
+
+/// Like [`run_program`] but with a cachescope attached; returns the
+/// cache-microarchitecture report alongside the stats. The fast-forward
+/// loop stays engaged (cachescope is not telemetry) and the stats are
+/// byte-identical to an unscoped run.
+///
+/// Ideal (two-phase) specs scope only the replay phase — the recording
+/// pass is oracle scaffolding, not the behavior under study.
+pub fn run_program_with_cachescope(
+    program: &KernelProgram,
+    trace: &PowerTrace,
+    cfg: &SimConfig,
+    scope: CachescopeConfig,
+) -> (SimStats, CachescopeReport) {
+    let scoped = |gov: Option<Governor>| {
+        let mut sim = match gov {
+            Some(g) => Simulator::with_governor(cfg.clone(), program, trace, g),
+            None => Simulator::new(cfg.clone(), program, trace),
+        };
+        sim.attach_cachescope(scope);
+        sim.run_with_cachescope()
+    };
+    match cfg.governor {
+        GovernorSpec::IdealAcc => {
+            let (_, oracle) =
+                Simulator::with_governor(cfg.clone(), program, trace, Governor::record_acc())
+                    .run_recording();
+            scoped(Some(Governor::replay_acc(oracle)))
+        }
+        GovernorSpec::IdealAccKagura(kcfg) => {
+            let (_, oracle) = Simulator::with_governor(
+                cfg.clone(),
+                program,
+                trace,
+                Governor::record_kagura(kcfg),
+            )
+            .run_recording();
+            scoped(Some(Governor::replay_kagura(kcfg, oracle)))
+        }
+        _ => scoped(None),
+    }
+}
+
+/// Like [`run_app`] but with a cachescope attached; see
+/// [`run_program_with_cachescope`].
+pub fn run_app_with_cachescope(
+    app: App,
+    scale: f64,
+    cfg: &SimConfig,
+    scope: CachescopeConfig,
+) -> (SimStats, CachescopeReport) {
+    let program = app.build(scale);
+    let trace = default_trace(cfg);
+    run_program_with_cachescope(&program, &trace, cfg, scope)
 }
 
 /// Like [`run_app`] but instrumented; see [`run_program_with_telemetry`].

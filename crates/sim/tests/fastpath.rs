@@ -15,8 +15,8 @@
 
 use ehs_sim::faultinject::diff_nvm;
 use ehs_sim::{
-    EhsDesign, ExecMode, Extension, FaultKind, GovernorSpec, SimConfig, SimStats, Simulator,
-    StepBudget,
+    CachescopeConfig, EhsDesign, ExecMode, Extension, FaultKind, GovernorSpec, SimConfig, SimStats,
+    Simulator, StepBudget,
 };
 use ehs_workloads::App;
 use kagura_core::{KaguraConfig, TriggerKind};
@@ -103,6 +103,79 @@ fn fast_forward_matches_reference_with_instruction_budget() {
     let stats = assert_loops_match(App::Sha, 0.02, &cfg);
     assert!(stats.budget_exhausted.is_some(), "budget should have fired");
     assert_eq!(stats.executed_insts, 5_000);
+}
+
+/// Runs `app` with a cachescope under both loops and asserts identical
+/// stats *and* identical cachescope reports — counters, histograms,
+/// boundary rows, occupancy snapshots, latency attribution, all of it.
+fn assert_cachescope_matches(app: App, scale: f64, cfg: &SimConfig) {
+    // A short period so snapshots land inside (and must cap) ALU batches.
+    let scope = CachescopeConfig::periodic(512);
+    let (fast, fast_rep) = ehs_sim::run_app_with_cachescope(
+        app,
+        scale,
+        &cfg.clone().with_exec(ExecMode::FastForward),
+        scope,
+    );
+    let (reference, ref_rep) = ehs_sim::run_app_with_cachescope(
+        app,
+        scale,
+        &cfg.clone().with_exec(ExecMode::Reference),
+        scope,
+    );
+    assert_eq!(
+        fast, reference,
+        "stats diverged with cachescope attached: {app:?} gov={:?} ext={:?}",
+        cfg.governor, cfg.extension
+    );
+    assert_eq!(
+        fast_rep, ref_rep,
+        "cachescope report diverged between loops: {app:?} gov={:?} ext={:?}",
+        cfg.governor, cfg.extension
+    );
+    // The attribution buckets exactly partition the run's cycles.
+    assert_eq!(fast_rep.latency.total(), fast.total_cycles, "{app:?}");
+    assert!(!fast_rep.cycles.is_empty(), "{app:?} recorded no boundary rows");
+    assert!(!fast_rep.snapshots.is_empty(), "{app:?} sampled no occupancy snapshots");
+    // Probe counters agree with the caches' own stats.
+    assert_eq!(fast_rep.dcache.counters.fills, fast.dcache.fills, "{app:?}");
+    assert_eq!(fast_rep.dcache.counters.hits, fast.dcache.hits(), "{app:?}");
+    assert_eq!(fast_rep.icache.counters.hits, fast.icache.hits(), "{app:?}");
+    assert_eq!(
+        fast_rep.dcache.counters.capacity_evictions + fast_rep.dcache.counters.forced_evictions,
+        fast.dcache.evictions,
+        "{app:?}"
+    );
+    // And attaching the scope never perturbed the simulation itself.
+    let plain = ehs_sim::run_app(app, scale, cfg);
+    assert_eq!(fast, plain, "cachescope perturbed the run: {app:?}");
+}
+
+#[test]
+fn cachescope_reports_match_between_loops() {
+    for gov in [GovernorSpec::Acc, GovernorSpec::AccKagura(Default::default())] {
+        // Sha exercises ALU-run batching (snapshot boundaries must cap the
+        // batch); Jpegd exercises compression-heavy repacking.
+        for app in [App::Sha, App::Jpegd] {
+            let cfg = SimConfig::table1().with_governor(gov);
+            assert_cachescope_matches(app, 0.004, &cfg);
+        }
+    }
+}
+
+#[test]
+fn cachescope_reports_match_under_edbp_and_sweepcache() {
+    // EDBP makes forced (dead-block) evictions flow through the probe and
+    // stacks a second batch cap on top of the snapshot countdown.
+    let mut cfg = SimConfig::table1().with_governor(GovernorSpec::Acc);
+    cfg.extension = Extension::Edbp { decay_ticks: 64 };
+    assert_cachescope_matches(App::Dijkstra, 0.004, &cfg);
+    // SweepCache rolls `inst_index` backwards at power failure; boundary
+    // rows and snapshot points must still agree.
+    let cfg = SimConfig::table1()
+        .with_design(EhsDesign::SweepCache)
+        .with_governor(GovernorSpec::AccKagura(Default::default()));
+    assert_cachescope_matches(App::Sha, 0.004, &cfg);
 }
 
 #[test]

@@ -332,10 +332,27 @@ impl Event {
     /// Rebuilds an event from its `kind` and a flat field object.
     /// Returns `None` for unknown kinds or missing/mistyped fields.
     pub fn from_kind_fields(kind: &str, obj: &Value) -> Option<Event> {
-        let u = |k: &str| obj.get(k).and_then(Value::as_u64);
-        let f = |k: &str| obj.get(k).and_then(Value::as_f64);
-        let b = |k: &str| obj.get(k).and_then(Value::as_bool);
-        Some(match kind {
+        Event::from_kind_fields_strict(kind, obj).ok()
+    }
+
+    /// Like [`Event::from_kind_fields`], but on malformed input the error
+    /// names the offending field (missing, mistyped, or out of range) so
+    /// strict stream parsers can point at the exact defect.
+    pub fn from_kind_fields_strict(kind: &str, obj: &Value) -> Result<Event, String> {
+        fn field<'a>(obj: &'a Value, k: &str) -> Result<&'a Value, String> {
+            obj.get(k).ok_or_else(|| format!("missing field `{k}`"))
+        }
+        let u = |k: &str| {
+            field(obj, k)?.as_u64().ok_or_else(|| format!("field `{k}` is not an unsigned integer"))
+        };
+        let f =
+            |k: &str| field(obj, k)?.as_f64().ok_or_else(|| format!("field `{k}` is not a number"));
+        let b = |k: &str| {
+            field(obj, k)?.as_bool().ok_or_else(|| format!("field `{k}` is not a boolean"))
+        };
+        let s =
+            |k: &str| field(obj, k)?.as_str().ok_or_else(|| format!("field `{k}` is not a string"));
+        Ok(match kind {
             "PowerFailure" => Event::PowerFailure { insts: u("insts")?, voltage: f("voltage")? },
             "Reboot" => Event::Reboot { charge_us: f("charge_us")?, voltage: f("voltage")? },
             "Checkpoint" => Event::Checkpoint { blocks: u("blocks")? as u32 },
@@ -344,7 +361,9 @@ impl Event {
                 registers: Registers {
                     r_prev: u("r_prev")?,
                     r_mem: u("r_mem")?,
-                    r_adjust: obj.get("r_adjust").and_then(Value::as_i64)?,
+                    r_adjust: field(obj, "r_adjust")?
+                        .as_i64()
+                        .ok_or_else(|| "field `r_adjust` is not an integer".to_string())?,
                     r_thres: u("r_thres")?,
                     r_evict: u("r_evict")?,
                 },
@@ -365,7 +384,9 @@ impl Event {
                 mem_ops: u("mem_ops")?,
                 predicted_remaining: u("predicted_remaining")?,
                 actual_remaining: u("actual_remaining")?,
-                mode: FlightRecord::mode_from_str(obj.get("mode").and_then(Value::as_str)?)?,
+                mode: FlightRecord::mode_from_str(s("mode")?).ok_or_else(|| {
+                    "field `mode` is not one of \"CM\", \"RM\", \"-\"".to_string()
+                })?,
                 late_compressions: u("late_compressions")?,
                 wasted_fills: u("wasted_fills")?,
                 wasted_pj: f("wasted_pj")?,
@@ -384,15 +405,12 @@ impl Event {
                 imbalance_pj: f("imbalance_pj")?,
                 tolerance_pj: f("tolerance_pj")?,
             },
-            "JobFailed" => Event::JobFailed {
-                job: u("job")?,
-                reason: obj.get("reason").and_then(Value::as_str)?.to_string(),
-            },
+            "JobFailed" => Event::JobFailed { job: u("job")?, reason: s("reason")?.to_string() },
             "JobRetried" => Event::JobRetried { job: u("job")?, attempt: u("attempt")? },
             "JobTimedOut" => {
                 Event::JobTimedOut { job: u("job")?, executed_insts: u("executed_insts")? }
             }
-            _ => return None,
+            _ => return Err(format!("unknown event kind `{kind}`")),
         })
     }
 
@@ -440,11 +458,30 @@ impl Stamped {
 
     /// Inverse of [`Stamped::to_value`]; `None` on malformed input.
     pub fn from_value(v: &Value) -> Option<Stamped> {
-        let kind = v.get("kind")?.as_str()?;
-        Some(Stamped {
-            t_us: v.get("t_us")?.as_f64()?,
-            cycle: v.get("cycle")?.as_u64()?,
-            event: Event::from_kind_fields(kind, v)?,
+        Stamped::from_value_strict(v).ok()
+    }
+
+    /// Like [`Stamped::from_value`], but the error names the offending
+    /// field (stamp fields included), for strict stream parsers that
+    /// report defects instead of swallowing them.
+    pub fn from_value_strict(v: &Value) -> Result<Stamped, String> {
+        let kind = v
+            .get("kind")
+            .ok_or_else(|| "missing field `kind`".to_string())?
+            .as_str()
+            .ok_or_else(|| "field `kind` is not a string".to_string())?;
+        Ok(Stamped {
+            t_us: v
+                .get("t_us")
+                .ok_or_else(|| "missing field `t_us`".to_string())?
+                .as_f64()
+                .ok_or_else(|| "field `t_us` is not a number".to_string())?,
+            cycle: v
+                .get("cycle")
+                .ok_or_else(|| "missing field `cycle`".to_string())?
+                .as_u64()
+                .ok_or_else(|| "field `cycle` is not an unsigned integer".to_string())?,
+            event: Event::from_kind_fields_strict(kind, v)?,
         })
     }
 }
@@ -600,5 +637,25 @@ mod tests {
         assert!(Stamped::from_value(&missing).is_none());
         let unknown = serde_json::json!({"t_us": 1.0, "cycle": 0, "kind": "Nope"});
         assert!(Stamped::from_value(&unknown).is_none());
+    }
+
+    #[test]
+    fn strict_parse_names_the_offending_field() {
+        let missing = serde_json::json!({"t_us": 1.0, "cycle": 0, "kind": "Eviction"});
+        let err = Stamped::from_value_strict(&missing).unwrap_err();
+        assert!(err.contains("`count`"), "{err}");
+
+        let mistyped =
+            serde_json::json!({"t_us": 1.0, "cycle": 0, "kind": "Eviction", "count": "two"});
+        let err = Stamped::from_value_strict(&mistyped).unwrap_err();
+        assert!(err.contains("`count`") && err.contains("not an unsigned integer"), "{err}");
+
+        let no_stamp = serde_json::json!({"kind": "Checkpoint", "blocks": 4});
+        let err = Stamped::from_value_strict(&no_stamp).unwrap_err();
+        assert!(err.contains("`t_us`"), "{err}");
+
+        let unknown = serde_json::json!({"t_us": 1.0, "cycle": 0, "kind": "Nope"});
+        let err = Stamped::from_value_strict(&unknown).unwrap_err();
+        assert!(err.contains("unknown event kind"), "{err}");
     }
 }

@@ -42,7 +42,7 @@ pub mod sink;
 pub mod spans;
 
 pub use event::{Event, FlightRecord, Registers, Stamped};
-pub use metrics::{Counter, Gauge, HistogramId, MetricsRegistry};
+pub use metrics::{Counter, Gauge, Histogram, HistogramId, MetricsRegistry};
 pub use sink::{ChromeTraceSink, JsonlSink, NullSink, RingSink, Sink, VecSink};
 
 /// A sink plus the metrics registry fed alongside it: what an

@@ -31,15 +31,55 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn new(bounds: &[f64]) -> Self {
+    /// A standalone histogram over `bounds` (ascending upper bounds).
+    ///
+    /// Most histograms live inside a [`MetricsRegistry`], but online
+    /// aggregators (cachescope, fleet roll-ups) also keep free-standing
+    /// ones and fold them together with [`Histogram::merge`].
+    pub fn with_bounds(bounds: &[f64]) -> Self {
         Histogram { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], total: 0, sum: 0.0 }
     }
 
-    fn observe(&mut self, v: f64) {
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
         let i = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
         self.counts[i] += 1;
         self.total += 1;
         self.sum += v;
+    }
+
+    /// Records `n` observations of the same value in O(1).
+    pub fn observe_n(&mut self, v: f64, n: u64) {
+        let i = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
+        self.counts[i] += n;
+        self.total += n;
+        self.sum += v * n as f64;
+    }
+
+    /// Folds `other` into `self` bucket-by-bucket. Because the buckets
+    /// are fixed, the merge is exact: counts, totals and sums add, and
+    /// every quantile estimate afterwards equals the estimate a single
+    /// histogram would have produced over the union of observations
+    /// (the online quantile merge cachescope's cross-cycle roll-ups and
+    /// fleet aggregation rely on).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when the bucket bounds differ — merging histograms
+    /// of different shapes would silently corrupt quantiles.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), String> {
+        if self.bounds != other.bounds {
+            return Err(format!(
+                "histogram bounds mismatch: {:?} vs {:?}",
+                self.bounds, other.bounds
+            ));
+        }
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        Ok(())
     }
 
     /// Total observations.
@@ -152,7 +192,7 @@ impl MetricsRegistry {
             return HistogramId(i);
         }
         self.hist_names.push(name.to_string());
-        self.hists.push(Histogram::new(bounds));
+        self.hists.push(Histogram::with_bounds(bounds));
         HistogramId(self.hist_names.len() - 1)
     }
 
@@ -324,6 +364,50 @@ mod tests {
         // Empty histogram reports zero everywhere.
         let e = m.histogram("empty", &[1.0]);
         assert_eq!(m.histogram_data(e).percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn merge_is_exact_for_counts_mean_and_quantiles() {
+        let bounds: Vec<f64> = (1..=10).map(|i| (i * 10) as f64).collect();
+        // Split the 1..=100 uniform across two histograms, merge, and
+        // compare against one histogram fed the whole population.
+        let mut left = Histogram::with_bounds(&bounds);
+        let mut right = Histogram::with_bounds(&bounds);
+        let mut whole = Histogram::with_bounds(&bounds);
+        for v in 1..=100 {
+            if v % 3 == 0 { &mut left } else { &mut right }.observe(v as f64);
+            whole.observe(v as f64);
+        }
+        left.merge(&right).unwrap();
+        assert_eq!(left, whole);
+        assert_eq!(left.count(), 100);
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert!((left.percentile(q) - whole.percentile(q)).abs() < 1e-12, "q={q}");
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::with_bounds(&[1.0, 2.0]);
+        let b = Histogram::with_bounds(&[1.0, 4.0]);
+        let err = a.merge(&b).unwrap_err();
+        assert!(err.contains("bounds mismatch"), "{err}");
+    }
+
+    #[test]
+    fn observe_n_matches_repeated_observe() {
+        let mut batched = Histogram::with_bounds(&[4.0, 8.0]);
+        let mut looped = Histogram::with_bounds(&[4.0, 8.0]);
+        batched.observe_n(3.0, 5);
+        batched.observe_n(100.0, 2);
+        for _ in 0..5 {
+            looped.observe(3.0);
+        }
+        for _ in 0..2 {
+            looped.observe(100.0);
+        }
+        assert_eq!(batched, looped);
     }
 
     #[test]
