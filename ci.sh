@@ -40,7 +40,9 @@ LEDGER_OUT="$(mktemp -d)"
 CACHESCOPE_OUT="$(mktemp -d)"
 RESUME_BASE="$(mktemp -d)"
 RESUME_CUT="$(mktemp -d)"
-trap 'rm -rf "$FAULTGRID_OUT" "$LEDGER_OUT" "$CACHESCOPE_OUT" "$RESUME_BASE" "$RESUME_CUT"' EXIT
+FLEET_A="$(mktemp -d)"
+FLEET_B="$(mktemp -d)"
+trap 'rm -rf "$FAULTGRID_OUT" "$LEDGER_OUT" "$CACHESCOPE_OUT" "$RESUME_BASE" "$RESUME_CUT" "$FLEET_A" "$FLEET_B"' EXIT
 cargo run --release --offline -q -p kagura-bench --bin repro -- \
     faultgrid --scale 0.005 --apps sha,crc32 --out "$FAULTGRID_OUT" --quiet
 
@@ -95,5 +97,30 @@ wait "$REPRO_PID" 2>/dev/null || true
 "$REPRO" "${RESUME_ARGS[@]}" --resume "$RESUME_CUT" > /dev/null
 diff -r --exclude run_journal.jsonl --exclude '*.tmp' "$RESUME_BASE" "$RESUME_CUT"
 echo "resume converged: output tree is byte-identical to the uninterrupted run"
+
+echo "== fleet smoke (sharding-invariant population reports) =="
+# The same small campaign under different worker counts and shard sizes
+# must produce byte-identical fleet.json/fleet.jsonl — shard aggregates
+# merge exactly, so neither parallelism nor shard boundaries may leak
+# into the report. `repro explain` is not needed here: the fleet
+# experiment already parses its own JSONL stream back strictly before
+# exiting, so each run below is also a schema round-trip check.
+FLEET_ARGS=(fleet --scale 0.002 --fleet-size 12 --fleet-seed 1 --quiet)
+"$REPRO" "${FLEET_ARGS[@]}" --jobs 1 --fleet-shard 5 --out "$FLEET_A" > /dev/null
+"$REPRO" "${FLEET_ARGS[@]}" --jobs 4 --fleet-shard 3 --out "$FLEET_B" > /dev/null
+diff -r --exclude run_journal.jsonl --exclude fleet_journal.jsonl "$FLEET_A" "$FLEET_B"
+python3 -m json.tool "$FLEET_A/fleet.json" > /dev/null
+echo "fleet reports byte-identical across --jobs/--fleet-shard; stream parses back"
+
+echo "== CLI typo gate (unknown flags must suggest, not run) =="
+# A misspelled flag must fail fast with a did-you-mean suggestion rather
+# than being swallowed as an experiment id or positional argument.
+if "$REPRO" fleet --fleet-sizee 12 --out "$FLEET_A" > /dev/null 2>&1; then
+    echo "repro accepted a misspelled flag" >&2
+    exit 1
+fi
+# (|| true: the non-zero exit is the point; pipefail would otherwise trip.)
+("$REPRO" fleet --fleet-sizee 12 2>&1 || true) | grep -q 'did you mean `--fleet-size`'
+echo "misspelled flags are rejected with suggestions"
 
 echo "ci: all checks passed"

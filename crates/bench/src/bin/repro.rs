@@ -69,11 +69,31 @@ use kagura_bench::experiments::{find, ExpFn, REGISTRY};
 use kagura_bench::journal::RunJournal;
 use kagura_bench::{fsutil, ExpContext};
 
+/// Every flag `repro` understands, for near-miss suggestions on typos.
+const KNOWN_FLAGS: &[&str] = &[
+    "--scale",
+    "--apps",
+    "--jobs",
+    "--out",
+    "--telemetry",
+    "--resume",
+    "--job-timeout",
+    "--job-max-insts",
+    "--audit-strict",
+    "--quiet",
+    "--fleet-size",
+    "--fleet-seed",
+    "--fleet-shard",
+    "--list",
+    "--help",
+];
+
 fn usage() {
     println!("usage: repro <experiment-id>... [--scale S] [--apps a,b,c] [--out DIR] [--jobs N]");
     println!("                                [--telemetry DIR] [--quiet] [--resume DIR]");
     println!("                                [--job-timeout SECS] [--job-max-insts N]");
     println!("                                [--audit-strict]");
+    println!("                                [--fleet-size N] [--fleet-seed S] [--fleet-shard K]");
     println!("       repro all | list");
     println!("       repro explain DIR       render flight-record decision reports from DIR");
     println!();
@@ -215,6 +235,32 @@ fn main() -> ExitCode {
                 }
                 ctx.job_budget.max_executed_insts = Some(n);
             }
+            "--fleet-size" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse::<u64>().ok()).filter(|&n| n > 0)
+                else {
+                    eprintln!("--fleet-size needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                ctx.fleet.population = n;
+            }
+            "--fleet-seed" => {
+                i += 1;
+                let Some(s) = args.get(i).and_then(|s| s.parse::<u64>().ok()) else {
+                    eprintln!("--fleet-seed needs an unsigned integer");
+                    return ExitCode::FAILURE;
+                };
+                ctx.fleet.seed = s;
+            }
+            "--fleet-shard" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse::<u64>().ok()).filter(|&n| n > 0)
+                else {
+                    eprintln!("--fleet-shard needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                ctx.fleet.shard_size = n;
+            }
             "--audit-strict" => ctx.audit_strict = true,
             "--quiet" | "-q" => ctx.quiet = true,
             "list" | "--list" | "-l" => {
@@ -225,10 +271,19 @@ fn main() -> ExitCode {
                 usage();
                 return ExitCode::SUCCESS;
             }
+            // Anything flag-shaped but unrecognized is a hard error
+            // naming the nearest valid flag — a misspelled option must
+            // not silently become an "experiment id" and fail later (or
+            // worse, be dropped while the run proceeds without it).
+            other if other.starts_with('-') => {
+                eprintln!("repro: {}", kagura_bench::cli::unknown_flag_error(other, KNOWN_FLAGS));
+                return ExitCode::FAILURE;
+            }
             other => ids.push(other.to_string()),
         }
         i += 1;
     }
+    ctx.resume = resume;
 
     if ids.iter().any(|i| i == "all") {
         ids = REGISTRY.iter().map(|&(id, _, _)| id.to_string()).collect();
@@ -255,6 +310,11 @@ fn main() -> ExitCode {
         "scale": ctx.scale,
         "apps": ctx.apps.iter().map(|a| a.to_string()).collect::<Vec<_>>(),
         "sens_apps": ctx.sens_apps.iter().map(|a| a.to_string()).collect::<Vec<_>>(),
+        "fleet": {
+            "population": ctx.fleet.population,
+            "seed": ctx.fleet.seed,
+            "shard_size": ctx.fleet.shard_size,
+        },
     });
     let journal = if resume {
         match RunJournal::resume(&ctx.out_dir, fingerprint) {

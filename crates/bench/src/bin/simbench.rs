@@ -3,6 +3,7 @@
 //! ```text
 //! simbench [--scale S] [--apps a,b,..] [--repeat N] [--out FILE]
 //!          [--check FILE] [--max-regression R] [--skip-reference]
+//!          [--governor nocompression|alwayscompress|acc|acckagura]
 //! ```
 //!
 //! For each app, times one complete single-thread run under both machine
@@ -63,14 +64,17 @@ fn saturated_ips(app: App, scale: f64, cfg: &SimConfig, trace: &PowerTrace, core
     total as f64 / start.elapsed().as_secs_f64()
 }
 
-fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
-    let (sum, n) = xs.fold((0.0, 0u32), |(s, n), x| (s + x.max(1e-12).ln(), n + 1));
-    if n == 0 {
-        0.0
-    } else {
-        (sum / n as f64).exp()
-    }
-}
+/// Every flag `simbench` understands, for near-miss typo suggestions.
+const KNOWN_FLAGS: &[&str] = &[
+    "--scale",
+    "--apps",
+    "--repeat",
+    "--out",
+    "--check",
+    "--max-regression",
+    "--skip-reference",
+    "--governor",
+];
 
 fn parse_app(name: &str) -> Option<App> {
     App::ALL.into_iter().find(|a| format!("{a:?}").eq_ignore_ascii_case(name))
@@ -200,10 +204,19 @@ fn main() -> ExitCode {
                 }
             }
             other => {
-                eprintln!("unknown argument {other:?}");
+                // Name the nearest valid flag for plausible typos
+                // instead of leaving the user to diff the usage line.
+                if other.starts_with('-') {
+                    eprintln!(
+                        "simbench: {}",
+                        kagura_bench::cli::unknown_flag_error(other, KNOWN_FLAGS)
+                    );
+                } else {
+                    eprintln!("simbench: unexpected argument {other:?}");
+                }
                 eprintln!(
                     "usage: simbench [--scale S] [--apps a,b,..] [--repeat N] [--out FILE] \
-                     [--check FILE] [--max-regression R] [--skip-reference]"
+                     [--check FILE] [--max-regression R] [--skip-reference] [--governor G]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -265,12 +278,27 @@ fn main() -> ExitCode {
         }));
     }
 
+    // Geomeans skip zero/non-finite rows (e.g. the reference columns
+    // under --skip-reference are all 0.0) instead of letting them
+    // poison the aggregate; the excluded counts are recorded alongside
+    // so a consumer can tell a clean geomean from a partial one.
     let field = |v: &Value, key: &str| v.get(key).and_then(Value::as_f64).unwrap_or(0.0);
+    let geo = |key: &str| kagura_bench::gmean_filtered(rows.iter().map(|r| field(r, key)));
+    let (fast_g, fast_ex) = geo("fast_ips");
+    let (ref_g, ref_ex) = geo("reference_ips");
+    let (speedup_g, speedup_ex) = geo("speedup_vs_reference");
+    let (sat_g, sat_ex) = geo("saturated_ips");
     let headline = json!({
-        "fast_ips_geomean": geomean(rows.iter().map(|r| field(r, "fast_ips"))),
-        "reference_ips_geomean": geomean(rows.iter().map(|r| field(r, "reference_ips"))),
-        "speedup_geomean": geomean(rows.iter().map(|r| field(r, "speedup_vs_reference"))),
-        "saturated_ips_geomean": geomean(rows.iter().map(|r| field(r, "saturated_ips"))),
+        "fast_ips_geomean": fast_g,
+        "reference_ips_geomean": ref_g,
+        "speedup_geomean": speedup_g,
+        "saturated_ips_geomean": sat_g,
+        "excluded_rows": {
+            "fast_ips": fast_ex,
+            "reference_ips": ref_ex,
+            "speedup_vs_reference": speedup_ex,
+            "saturated_ips": sat_ex,
+        },
     });
     println!(
         "headline: fast {:.2}M IPS single-thread (geomean), {:.2}x vs reference loop",

@@ -63,6 +63,7 @@ use ehs_sim::{
 use ehs_telemetry::{ChromeTraceSink, JsonlSink, Sink, Stamped};
 use ehs_workloads::App;
 use kagura_bench::cachescope::{self, ScopeLabels};
+use kagura_bench::cli::{validate_args, FlagSpec};
 
 fn usage() {
     eprintln!(
@@ -115,6 +116,35 @@ impl Sink for TeeSink {
         }
     }
 }
+
+/// Everything `simrun` accepts, with arity — the whole argument vector
+/// is validated against this table before any simulation starts, so a
+/// misspelled flag (`--cachescope-peroid`) or a flag left without its
+/// value is a hard error naming the nearest valid flag, never a
+/// silently ignored option.
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec::value("--scale"),
+    FlagSpec::value("--governor"),
+    FlagSpec::value("--design"),
+    FlagSpec::value("--algorithm"),
+    FlagSpec::value("--trace"),
+    FlagSpec::value("--trace-file"),
+    FlagSpec::value("--seed"),
+    FlagSpec::value("--cache"),
+    FlagSpec::value("--ways"),
+    FlagSpec::value("--block"),
+    FlagSpec::value("--cap"),
+    FlagSpec::value("--extension"),
+    FlagSpec::switch("--json"),
+    FlagSpec::value("--inject-at"),
+    FlagSpec::value("--inject-fault"),
+    FlagSpec::value("--emit-events"),
+    FlagSpec::value("--chrome-trace"),
+    FlagSpec::value("--flight-record"),
+    FlagSpec::switch("--audit-strict"),
+    FlagSpec::value("--cachescope"),
+    FlagSpec::value("--cachescope-period"),
+];
 
 struct Args(Vec<String>);
 
@@ -329,6 +359,13 @@ fn print_report(stats: &SimStats) {
 
 fn run() -> Result<(), String> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    // Validate the whole vector up front (unknown flags, missing
+    // values, stray positionals) so no simulation starts on a command
+    // line that doesn't mean what the user typed.
+    if let Err(e) = validate_args(&raw, FLAGS, 1) {
+        usage();
+        return Err(e);
+    }
     let Some(app_name) = raw.first() else {
         usage();
         return Err("missing app".into());

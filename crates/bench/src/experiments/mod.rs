@@ -5,6 +5,7 @@ pub mod cachescope;
 pub mod energy_waste;
 pub mod estimator;
 pub mod faultgrid;
+pub mod fleet;
 pub mod headline;
 pub mod sensitivity;
 pub mod summary;
@@ -76,6 +77,11 @@ pub const REGISTRY: &[(&str, &str, ExpFn)] = &[
         "cachescope",
         "cache-microarchitecture reports: occupancy, compressibility, latency attribution",
         cachescope::cachescope,
+    ),
+    (
+        "fleet",
+        "population-scale campaign: stratified+LHS cell fleet with bootstrap CIs",
+        fleet::fleet,
     ),
 ];
 

@@ -78,10 +78,11 @@ impl RunJournal {
             Err(e) => return Err(e),
         };
         let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
-        let mut lines = text.lines();
-        let header: Value = lines
-            .next()
-            .and_then(|l| serde_json::from_str(l).ok())
+        let mut pieces = text.split_inclusive('\n');
+        let header_piece = pieces.next().unwrap_or("");
+        let header: Value = Some(header_piece)
+            .filter(|p| p.ends_with('\n'))
+            .and_then(|p| serde_json::from_str(p.trim_end()).ok())
             .ok_or_else(|| bad(format!("{}: missing or corrupt journal header", path.display())))?;
         if header.get("journal").and_then(Value::as_str) != Some(FORMAT_NAME)
             || header.get("version").and_then(Value::as_u64) != Some(FORMAT_VERSION)
@@ -104,10 +105,15 @@ impl RunJournal {
             )));
         }
         let mut completed = BTreeMap::new();
-        let entries: Vec<&str> = lines.collect();
-        for (i, line) in entries.iter().enumerate() {
-            match serde_json::from_str(line) {
-                Ok(cell) => {
+        let entries: Vec<&str> = pieces.collect();
+        // Byte length of the journal's intact prefix — everything up to
+        // and including the last record that both parses and carries its
+        // trailing newline. A torn tail is truncated back to this length
+        // so appends resume on a clean line boundary.
+        let mut valid_len = header_piece.len() as u64;
+        for (i, piece) in entries.iter().enumerate() {
+            match serde_json::from_str(piece.trim_end()) {
+                Ok(cell) if piece.ends_with('\n') => {
                     let cell: Value = cell;
                     if let Some(id) = cell.get("id").and_then(Value::as_str) {
                         let failures = cell
@@ -117,12 +123,17 @@ impl RunJournal {
                             .unwrap_or_default();
                         completed.insert(id.to_string(), failures);
                     }
+                    valid_len += piece.len() as u64;
                 }
                 // Only the final line can legitimately be torn (the
                 // journal is append-only and fsynced per record).
-                Err(e) if i + 1 == entries.len() => {
+                res if i + 1 == entries.len() => {
+                    let detail = match res {
+                        Err(e) => e.to_string(),
+                        Ok(_) => "record written without its newline".into(),
+                    };
                     eprintln!(
-                        "[resume] dropping torn final journal line ({e}); \
+                        "[resume] dropping torn final journal line ({detail}); \
                          its experiment will re-run"
                     );
                 }
@@ -133,9 +144,17 @@ impl RunJournal {
                         i + 2
                     )));
                 }
+                Ok(_) => unreachable!("only the final split_inclusive piece can lack a newline"),
             }
         }
         let file = OpenOptions::new().append(true).open(&path)?;
+        if valid_len < text.len() as u64 {
+            // Drop the torn tail from disk too: with O_APPEND the next
+            // record would otherwise be glued onto the partial line,
+            // corrupting the journal for every later resume.
+            file.set_len(valid_len)?;
+            file.sync_data()?;
+        }
         Ok(RunJournal { path, file, completed })
     }
 
@@ -233,9 +252,18 @@ mod tests {
         let mut f = OpenOptions::new().append(true).open(dir.join(JOURNAL_FILE)).unwrap();
         f.write_all(b"{\"id\":\"fig1").unwrap();
         drop(f);
-        let j = RunJournal::resume(&dir, fp.clone()).unwrap();
+        let mut j = RunJournal::resume(&dir, fp.clone()).unwrap();
         assert!(j.is_done("fig3"));
         assert_eq!(j.len(), 1, "torn cell must not count as done");
+        // The torn tail must be truncated off disk, not just skipped:
+        // appending after it would otherwise glue the next record onto
+        // the partial line and hard-fail every later resume.
+        j.record("fig14", vec![]).unwrap();
+        drop(j);
+        let j = RunJournal::resume(&dir, fp.clone()).unwrap();
+        assert!(j.is_done("fig3") && j.is_done("fig14"));
+        assert_eq!(j.len(), 2, "append after a torn tail must survive a second resume");
+        drop(j);
         // Corruption *before* the end is a hard error, not silent loss.
         let header =
             json!({"journal": FORMAT_NAME, "version": FORMAT_VERSION, "fingerprint": fp.clone()});

@@ -12,8 +12,10 @@
 //! crossovers fall) is the reproduction target; see EXPERIMENTS.md.
 
 pub mod cachescope;
+pub mod cli;
 pub mod experiments;
 pub mod explain;
+pub mod fleet;
 pub mod fsutil;
 pub mod journal;
 
@@ -64,6 +66,13 @@ pub struct ExpContext {
     /// Energy-ledger conservation violations across this experiment's
     /// grid cells so far (lenient mode counts instead of aborting).
     pub violation_total: Arc<AtomicU64>,
+    /// Fleet campaign parameters (`repro fleet --fleet-size/--fleet-seed/
+    /// --fleet-shard`); only the `fleet` experiment reads them.
+    pub fleet: fleet::FleetParams,
+    /// This invocation is `repro --resume`: experiments with their own
+    /// intra-experiment journal (fleet shards) reopen it instead of
+    /// truncating.
+    pub resume: bool,
 }
 
 impl ExpContext {
@@ -92,6 +101,8 @@ impl ExpContext {
             audit_strict: false,
             cycle_total: Arc::new(AtomicU64::new(0)),
             violation_total: Arc::new(AtomicU64::new(0)),
+            fleet: fleet::FleetParams::default(),
+            resume: false,
         }
     }
 
@@ -127,7 +138,7 @@ impl ExpContext {
     /// Folds one finished grid cell into the running power-cycle and
     /// ledger-violation totals surfaced by the driver's progress line.
     pub fn add_cell_stats(&self, stats: &SimStats) {
-        self.cycle_total.fetch_add(stats.power_cycles.len() as u64, Ordering::Relaxed);
+        self.cycle_total.fetch_add(stats.power_cycle_count, Ordering::Relaxed);
         self.violation_total.fetch_add(stats.ledger_violations, Ordering::Relaxed);
     }
 
@@ -171,6 +182,29 @@ pub fn gmean(xs: &[f64]) -> f64 {
     assert!(!xs.is_empty(), "gmean of empty slice");
     assert!(xs.iter().all(|&x| x > 0.0), "gmean needs positive values");
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Geometric mean over the finite, strictly positive entries only,
+/// returning how many entries were excluded. Zero and non-finite rows
+/// (e.g. `reference_ips == 0` under `simbench --skip-reference`) would
+/// otherwise poison the aggregate — the old clamp-to-1e-12 behaviour
+/// dragged a geomean of healthy multi-M IPS rows toward zero.
+/// Returns `(0.0, excluded)` when nothing qualifies.
+pub fn gmean_filtered(xs: impl IntoIterator<Item = f64>) -> (f64, u64) {
+    let (mut sum, mut n, mut excluded) = (0.0f64, 0u64, 0u64);
+    for x in xs {
+        if x.is_finite() && x > 0.0 {
+            sum += x.ln();
+            n += 1;
+        } else {
+            excluded += 1;
+        }
+    }
+    if n == 0 {
+        (0.0, excluded)
+    } else {
+        ((sum / n as f64).exp(), excluded)
+    }
 }
 
 /// Arithmetic mean.
@@ -233,6 +267,16 @@ mod tests {
     }
 
     #[test]
+    fn filtered_gmean_skips_poison_rows() {
+        // The degenerate rows must not drag the aggregate down.
+        let (g, excluded) = gmean_filtered([1.0, 4.0, 0.0, f64::NAN, f64::INFINITY, -3.0]);
+        assert!((g - 2.0).abs() < 1e-12, "got {g}");
+        assert_eq!(excluded, 4);
+        assert_eq!(gmean_filtered([0.0, f64::NAN]), (0.0, 2));
+        assert_eq!(gmean_filtered([]), (0.0, 0));
+    }
+
+    #[test]
     fn pct_formatting() {
         assert_eq!(pct_gain(1.0474), "+4.74%");
         assert_eq!(pct_gain(0.98), "-2.00%");
@@ -249,11 +293,14 @@ mod tests {
         assert!(ctx.job_budget.is_unlimited());
         assert!(ctx.exp_id.is_none());
         assert!(!ctx.audit_strict);
+        assert!(!ctx.resume);
+        assert_eq!(ctx.fleet, fleet::FleetParams::default());
+        assert!(ctx.fleet.population > 0 && ctx.fleet.shard_size > 0);
         ctx.record_failure(serde_json::json!({"kind": "panic"}));
         assert_eq!(ctx.take_failures().len(), 1);
         assert!(ctx.take_failures().is_empty(), "take must drain");
         ctx.add_cell_stats(&SimStats {
-            power_cycles: vec![Default::default(); 3],
+            power_cycle_count: 3,
             ledger_violations: 1,
             ..SimStats::default()
         });

@@ -1,0 +1,133 @@
+//! End-to-end guarantees of the `fleet` campaign engine: the report is
+//! byte-identical at any `--jobs` value and any `--fleet-shard` size,
+//! and a campaign SIGKILLed mid-flight resumes through the shard
+//! journal to the same bytes an uninterrupted run produces.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use kagura_bench::fleet::FLEET_JOURNAL_FILE;
+use kagura_bench::journal::JOURNAL_FILE;
+
+/// One small campaign, cheap enough for a debug binary: 12 cells across
+/// the 9 strata. Everything that fingerprints the population is pinned
+/// here; worker count and shard size are the knobs under test.
+const CAMPAIGN: &[&str] =
+    &["fleet", "--quiet", "--scale", "0.002", "--fleet-size", "12", "--fleet-seed", "1"];
+
+fn fleet_cmd(extra: &[&str], dir: &Path) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    cmd.args(CAMPAIGN).args(extra).arg(dir);
+    cmd
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kagura_fleet_{name}"));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "repro failed: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Every artifact except the two journals: the run journal's cell order
+/// reflects completion order, and the fleet journal's shard records
+/// depend on `--fleet-shard` — both are mechanisms, not outputs.
+fn read_tree(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut tree = BTreeMap::new();
+    for entry in fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if path.is_file() && name != JOURNAL_FILE && name != FLEET_JOURNAL_FILE {
+            tree.insert(name, fs::read(&path).unwrap());
+        }
+    }
+    tree
+}
+
+/// Complete (newline-terminated) lines currently in the fleet journal.
+fn journaled_lines(journal: &Path) -> usize {
+    fs::read_to_string(journal)
+        .map(|t| t.split_inclusive('\n').filter(|l| l.ends_with('\n')).count())
+        .unwrap_or(0)
+}
+
+#[test]
+fn fleet_report_survives_reshard_rejob_and_sigkill() {
+    // Reference campaign: serial workers, 5-cell shards.
+    let reference = tmpdir("reference");
+    run_ok(&mut fleet_cmd(&["--jobs", "1", "--fleet-shard", "5", "--out"], &reference));
+    let reference_tree = read_tree(&reference);
+    assert!(reference_tree.contains_key("fleet.json"));
+    assert!(reference_tree.contains_key("fleet.jsonl"));
+
+    // Same population under 2 workers and 3-cell shards: every shard
+    // aggregate merges exactly, so the output bytes cannot move.
+    let resharded = tmpdir("resharded");
+    run_ok(&mut fleet_cmd(&["--jobs", "2", "--fleet-shard", "3", "--out"], &resharded));
+    assert_eq!(
+        reference_tree,
+        read_tree(&resharded),
+        "fleet output must be byte-identical across --jobs and --fleet-shard"
+    );
+
+    // SIGKILL the resharded variant mid-campaign — after at least one
+    // shard is journaled but before the report exists — then resume.
+    let killed = tmpdir("killed");
+    let mut mid_flight = false;
+    for _attempt in 0..3 {
+        let _ = fs::remove_dir_all(&killed);
+        fs::create_dir_all(&killed).unwrap();
+        let mut child = fleet_cmd(&["--jobs", "2", "--fleet-shard", "3", "--out"], &killed)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn repro fleet");
+        let journal = killed.join(FLEET_JOURNAL_FILE);
+        let deadline = Instant::now() + Duration::from_secs(300);
+        // Wait for the header plus at least one durable shard record.
+        while child.try_wait().unwrap().is_none()
+            && journaled_lines(&journal) < 2
+            && Instant::now() < deadline
+        {
+            thread::sleep(Duration::from_millis(10));
+        }
+        child.kill().unwrap();
+        child.wait().unwrap();
+        if journaled_lines(&journal) >= 2 && !killed.join("fleet.json").exists() {
+            mid_flight = true;
+            break;
+        }
+        // The campaign outran the poll (or stalled); try again.
+    }
+    assert!(mid_flight, "could not catch the campaign mid-flight to kill it");
+
+    let stdout =
+        run_ok(&mut fleet_cmd(&["--jobs", "2", "--fleet-shard", "3", "--resume"], &killed));
+    assert!(
+        stdout.contains("resume:"),
+        "resume must report the journaled shards it skipped:\n{stdout}"
+    );
+    assert_eq!(
+        reference_tree,
+        read_tree(&killed),
+        "a SIGKILLed campaign must resume to byte-identical output"
+    );
+
+    for dir in [reference, resharded, killed] {
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -9,8 +9,6 @@ use std::fs::{self, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::Command;
-use std::sync::atomic::AtomicU64;
-use std::sync::{Arc, Mutex};
 
 use ehs_sim::StepBudget;
 use ehs_workloads::App;
@@ -119,15 +117,11 @@ fn watchdog_failed_cells_become_null_with_manifest_records() {
         apps: vec![App::Sha],
         sens_apps: vec![App::Sha],
         out_dir: dir.clone(),
-        telemetry_dir: None,
         quiet: true,
         // Far below any kernel's length: every grid cell is cancelled.
         job_budget: StepBudget::insts(2_000),
         exp_id: Some("fig13".into()),
-        failures: Arc::new(Mutex::new(Vec::new())),
-        audit_strict: false,
-        cycle_total: Arc::new(AtomicU64::new(0)),
-        violation_total: Arc::new(AtomicU64::new(0)),
+        ..ExpContext::default()
     };
     let out = kagura_bench::experiments::headline::fig13(&ctx);
 

@@ -287,6 +287,14 @@ pub struct SimConfig {
     /// Step-loop implementation ([`ExecMode::FastForward`] by default;
     /// results are byte-identical either way).
     pub exec: ExecMode,
+    /// Keep one [`CycleRecord`](crate::stats::CycleRecord) per completed
+    /// power cycle in `SimStats::power_cycles` (on by default — the
+    /// fig 12/14 analyses need them). Population-scale runs turn this
+    /// off: a tiny-capacitor cell can see millions of cycles, and the
+    /// records are the only per-run allocation that grows with cycle
+    /// count. `SimStats::power_cycle_count` is maintained either way,
+    /// and no simulated behaviour depends on the recorded vector.
+    pub record_cycles: bool,
     /// Panic on an energy-ledger conservation violation instead of
     /// counting it (`--audit-strict`). Off by default: the counter path
     /// lets nearly-dead traces (where `Capacitor::drain` zero-clamps)
@@ -315,6 +323,7 @@ impl SimConfig {
             max_sim_time: SimTime::from_seconds(600.0),
             step_budget: StepBudget::UNLIMITED,
             exec: ExecMode::FastForward,
+            record_cycles: true,
             audit_strict: false,
             ledger_epsilon: ehs_energy::ledger::DEFAULT_EPSILON,
         }

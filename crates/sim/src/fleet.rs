@@ -1,0 +1,340 @@
+//! Fleet-scale campaign sampling: deterministic populations of
+//! heterogeneous EHS deployment cells.
+//!
+//! The paper evaluates Kagura on ~20 apps × 3 ambient traces; a real
+//! deployment is a *fleet* of thousands-to-millions of nodes differing
+//! in workload, EHS runtime design, capacitor size, NVM technology and
+//! harvesting environment. This module turns a compact [`FleetSpec`]
+//! into that population lazily: [`FleetSpec::cell`] is a pure function
+//! of `(spec, index)`, so any shard of the population can be
+//! regenerated independently — no materialized cell list, O(1) memory
+//! regardless of population size, and resume-after-crash sees exactly
+//! the cells the first run saw.
+//!
+//! # Sampling design
+//!
+//! * **Stratified dimension** — `(EhsDesign × TraceKind)` = 9 strata
+//!   assigned round-robin by cell index, so every stratum receives an
+//!   exactly balanced share and per-stratum confidence intervals have
+//!   predictable sample counts.
+//! * **Latin-hypercube dimensions** — app, NVM technology and
+//!   capacitor size each use a seeded bijective permutation of
+//!   `[0, N)` (a small Feistel network with cycle-walking) plus a
+//!   deterministic intra-bin jitter: each dimension is sampled once
+//!   per 1/N-wide bin with no two cells sharing a bin, the classic
+//!   LHS guarantee, yet computing cell `i` never touches cell `j`.
+
+use crate::config::{EhsDesign, GovernorSpec, SimConfig, StepBudget};
+use crate::parallel::SimJob;
+use ehs_energy::{CapacitorConfig, TraceKind};
+use ehs_model::{NvmKind, NvmParams};
+use ehs_workloads::App;
+
+/// splitmix64 finalizer (the same mixer the telemetry reservoir uses).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded bijective permutation of `[0, n)`: a 4-round balanced
+/// Feistel network over the smallest even-width power-of-two domain
+/// covering `n`, with cycle-walking to stay inside `[0, n)`.
+///
+/// Because the Feistel rounds biject the power-of-two domain and
+/// cycle-walking follows the permutation until it re-enters `[0, n)`,
+/// the composition bijects `[0, n)` — the property Latin-hypercube
+/// sampling needs (every bin hit exactly once) without ever
+/// materializing the permutation.
+#[derive(Debug, Clone, Copy)]
+pub struct Permutation {
+    n: u64,
+    half_bits: u32,
+    keys: [u64; 4],
+}
+
+impl Permutation {
+    /// The identity-domain permutation of `[0, n)` seeded by `seed`.
+    /// `n` must be non-zero.
+    pub fn new(n: u64, seed: u64) -> Self {
+        assert!(n > 0, "permutation domain must be non-empty");
+        // Smallest h with 2^(2h) >= n, so the walk domain is < 4n and
+        // cycle-walking terminates quickly.
+        let mut half_bits = 1;
+        while 1u128 << (2 * half_bits) < n as u128 {
+            half_bits += 1;
+        }
+        let keys = [
+            splitmix64(seed ^ 0x5EED_0001),
+            splitmix64(seed ^ 0x5EED_0002),
+            splitmix64(seed ^ 0x5EED_0003),
+            splitmix64(seed ^ 0x5EED_0004),
+        ];
+        Permutation { n, half_bits, keys }
+    }
+
+    fn feistel(&self, x: u64) -> u64 {
+        let mask = (1u64 << self.half_bits) - 1;
+        let (mut l, mut r) = (x >> self.half_bits, x & mask);
+        for &k in &self.keys {
+            let f = splitmix64(r ^ k) & mask;
+            let (nl, nr) = (r, l ^ f);
+            l = nl;
+            r = nr;
+        }
+        (l << self.half_bits) | r
+    }
+
+    /// The image of `i` (`i < n`).
+    pub fn apply(&self, i: u64) -> u64 {
+        debug_assert!(i < self.n);
+        let mut x = self.feistel(i);
+        while x >= self.n {
+            x = self.feistel(x);
+        }
+        x
+    }
+}
+
+/// A campaign description: everything needed to regenerate every cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    /// Number of cells in the population.
+    pub population: u64,
+    /// Campaign seed; drives the LHS permutations, jitters and trace
+    /// seeds.
+    pub seed: u64,
+    /// Workload scale factor handed to every job.
+    pub scale: f64,
+    /// Per-job instruction/wall budget.
+    pub budget: StepBudget,
+    /// Run every cell with strict energy-ledger auditing.
+    pub audit_strict: bool,
+}
+
+/// Capacitor sizes sampled log-uniformly over this range (µF): the
+/// paper's 4.7 µF default sits inside; 1000 µF matches its largest
+/// Table III sweep point.
+pub const CAPACITOR_RANGE_UF: (f64, f64) = (1.0, 1000.0);
+
+/// One sampled deployment cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetCell {
+    /// Population index (unique key for reservoir sampling).
+    pub index: u64,
+    /// Workload.
+    pub app: App,
+    /// EHS runtime design (stratified).
+    pub design: EhsDesign,
+    /// Ambient power trace class (stratified).
+    pub trace_kind: TraceKind,
+    /// NVM latency/energy class (LHS).
+    pub nvm_kind: NvmKind,
+    /// Capacitor size in µF (LHS, log-uniform).
+    pub capacitor_uf: f64,
+    /// Per-cell power-trace seed.
+    pub trace_seed: u64,
+}
+
+impl FleetCell {
+    /// Stratum label: the `(design, trace)` pair this cell was
+    /// allocated to. Report aggregation groups by this.
+    pub fn stratum(&self) -> String {
+        format!("{}/{}", self.design.name(), self.trace_kind.name())
+    }
+}
+
+impl FleetSpec {
+    /// Number of `(design, trace)` strata.
+    pub const STRATA: u64 = (EhsDesign::ALL.len() * TraceKind::ALL.len()) as u64;
+
+    /// All stratum labels in allocation order.
+    pub fn stratum_labels() -> Vec<String> {
+        let mut out = Vec::new();
+        for design in EhsDesign::ALL {
+            for kind in TraceKind::ALL {
+                out.push(format!("{}/{}", design.name(), kind.name()));
+            }
+        }
+        out
+    }
+
+    /// Uniform LHS coordinate of cell `i` in dimension `dim`: the
+    /// cell's permuted bin plus a deterministic intra-bin jitter,
+    /// scaled to `[0, 1)`.
+    fn lhs_coord(&self, dim: u64, i: u64) -> f64 {
+        let perm = Permutation::new(self.population, splitmix64(self.seed ^ (dim << 32)));
+        let bin = perm.apply(i);
+        let jitter =
+            splitmix64(self.seed ^ (dim << 32) ^ splitmix64(i)) as f64 / (u64::MAX as f64 + 1.0);
+        (bin as f64 + jitter) / self.population as f64
+    }
+
+    /// The `i`-th cell of the population (`i < population`). Pure in
+    /// `(self, i)`: shards and resumed runs regenerate identical cells.
+    pub fn cell(&self, i: u64) -> FleetCell {
+        assert!(i < self.population, "cell index {i} out of population {}", self.population);
+        // Stratified round-robin over (design, trace).
+        let stratum = i % Self::STRATA;
+        let design = EhsDesign::ALL[(stratum / TraceKind::ALL.len() as u64) as usize];
+        let trace_kind = TraceKind::ALL[(stratum % TraceKind::ALL.len() as u64) as usize];
+        // LHS over the remaining dimensions.
+        let apps = App::ALL;
+        let app = apps[((self.lhs_coord(1, i) * apps.len() as f64) as usize).min(apps.len() - 1)];
+        let nvm_kind = NvmKind::ALL[((self.lhs_coord(2, i) * NvmKind::ALL.len() as f64) as usize)
+            .min(NvmKind::ALL.len() - 1)];
+        let (lo, hi) = CAPACITOR_RANGE_UF;
+        let capacitor_uf = (lo.ln() + self.lhs_coord(3, i) * (hi.ln() - lo.ln())).exp();
+        FleetCell {
+            index: i,
+            app,
+            design,
+            trace_kind,
+            nvm_kind,
+            capacitor_uf,
+            trace_seed: splitmix64(self.seed ^ 0xF1EE_7000 ^ i),
+        }
+    }
+
+    /// The simulator configuration for `cell` under `governor`.
+    pub fn config(&self, cell: &FleetCell, governor: GovernorSpec) -> SimConfig {
+        let mut cfg = SimConfig::table1()
+            .with_design(cell.design)
+            .with_governor(governor)
+            .with_step_budget(self.budget)
+            .with_audit_strict(self.audit_strict);
+        cfg.trace_kind = cell.trace_kind;
+        cfg.trace_seed = cell.trace_seed;
+        cfg.capacitor = CapacitorConfig::with_capacitance_uf(cell.capacitor_uf);
+        cfg.system.nvm = NvmParams::new(cell.nvm_kind, cfg.system.nvm.size_bytes);
+        // A tiny-capacitor cell can see millions of power cycles; the
+        // per-cycle records are the one per-run allocation that scales
+        // with cycle count, and no fleet metric reads them. Dropping
+        // them keeps campaign RSS flat at any population size.
+        cfg.record_cycles = false;
+        cfg
+    }
+
+    /// The paired jobs for one cell: the uncompressed baseline and the
+    /// Kagura-governed run, in that order. The population metric for
+    /// the cell (speedup etc.) is defined over this pair.
+    pub fn cell_jobs(&self, cell: &FleetCell) -> [SimJob; 2] {
+        [
+            SimJob::new(cell.app, self.scale, self.config(cell, GovernorSpec::NoCompression)),
+            SimJob::new(
+                cell.app,
+                self.scale,
+                self.config(cell, GovernorSpec::AccKagura(Default::default())),
+            ),
+        ]
+    }
+
+    /// Cell-index ranges `[start, end)` for sharded execution:
+    /// contiguous chunks of at most `shard_size` cells.
+    pub fn shards(&self, shard_size: u64) -> Vec<(u64, u64)> {
+        assert!(shard_size > 0, "shard size must be non-zero");
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < self.population {
+            let end = (start + shard_size).min(self.population);
+            out.push((start, end));
+            start = end;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(population: u64) -> FleetSpec {
+        FleetSpec {
+            population,
+            seed: 0xF1EE7,
+            scale: 0.01,
+            budget: StepBudget::UNLIMITED,
+            audit_strict: false,
+        }
+    }
+
+    #[test]
+    fn permutation_bijects_arbitrary_domains() {
+        for n in [1u64, 2, 9, 100, 1000, 1023] {
+            let p = Permutation::new(n, 42);
+            let mut seen = vec![false; n as usize];
+            for i in 0..n {
+                let x = p.apply(i);
+                assert!(x < n, "image {x} escaped domain {n}");
+                assert!(!seen[x as usize], "collision at {x} for n={n}");
+                seen[x as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn cells_are_pure_functions_of_spec_and_index() {
+        let s = spec(500);
+        for i in [0u64, 17, 499] {
+            assert_eq!(s.cell(i), s.cell(i));
+        }
+        // A different seed reshuffles the LHS dimensions.
+        let mut other = s.clone();
+        other.seed ^= 1;
+        assert_ne!(
+            (0..500).map(|i| s.cell(i).app).collect::<Vec<_>>(),
+            (0..500).map(|i| other.cell(i).app).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn strata_are_exactly_balanced() {
+        let s = spec(9 * 40);
+        let mut counts = std::collections::BTreeMap::new();
+        for i in 0..s.population {
+            *counts.entry(s.cell(i).stratum()).or_insert(0u64) += 1;
+        }
+        assert_eq!(counts.len(), FleetSpec::STRATA as usize);
+        assert!(counts.values().all(|&c| c == 40), "{counts:?}");
+    }
+
+    #[test]
+    fn lhs_dimensions_cover_bins_evenly() {
+        // With population a multiple of the bin count, LHS guarantees
+        // each app and NVM kind is hit the same number of times.
+        let s = spec(App::ALL.len() as u64 * NvmKind::ALL.len() as u64 * 10);
+        let mut apps = std::collections::BTreeMap::new();
+        let mut nvms = std::collections::BTreeMap::new();
+        for i in 0..s.population {
+            let c = s.cell(i);
+            *apps.entry(c.app.name()).or_insert(0u64) += 1;
+            *nvms.entry(c.nvm_kind.name()).or_insert(0u64) += 1;
+            assert!(
+                c.capacitor_uf >= CAPACITOR_RANGE_UF.0 && c.capacitor_uf <= CAPACITOR_RANGE_UF.1
+            );
+        }
+        assert!(apps.values().all(|&c| c == s.population / App::ALL.len() as u64), "{apps:?}");
+        assert!(nvms.values().all(|&c| c == s.population / NvmKind::ALL.len() as u64), "{nvms:?}");
+    }
+
+    #[test]
+    fn shards_tile_the_population() {
+        let s = spec(103);
+        let shards = s.shards(25);
+        assert_eq!(shards.len(), 5);
+        assert_eq!(shards.first(), Some(&(0, 25)));
+        assert_eq!(shards.last(), Some(&(100, 103)));
+        assert_eq!(shards.iter().map(|(a, b)| b - a).sum::<u64>(), 103);
+    }
+
+    #[test]
+    fn cell_jobs_pair_baseline_with_kagura() {
+        let s = spec(10);
+        let cell = s.cell(3);
+        let [base, kagura] = s.cell_jobs(&cell);
+        assert_eq!(base.cfg.governor, GovernorSpec::NoCompression);
+        assert!(matches!(kagura.cfg.governor, GovernorSpec::AccKagura(_)));
+        assert_eq!(base.cfg.trace_seed, kagura.cfg.trace_seed);
+    }
+}

@@ -40,6 +40,7 @@
 pub mod cachescope;
 pub mod config;
 pub mod faultinject;
+pub mod fleet;
 pub mod governor;
 pub mod machine;
 pub mod parallel;
@@ -54,6 +55,7 @@ pub use config::{
     ConfigError, EhsDesign, ExecMode, Extension, GovernorSpec, SimConfig, StepBudget,
 };
 pub use faultinject::{FaultCampaignReport, GoldenState, InjectionPlan};
+pub use fleet::{FleetCell, FleetSpec, Permutation};
 pub use governor::Governor;
 pub use machine::{FaultKind, Simulator};
 pub use parallel::{run_batch, run_batch_with, JobFailure, RetryPolicy, SimJob};

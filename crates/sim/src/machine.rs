@@ -378,6 +378,11 @@ pub struct Simulator<'p> {
     breakdown: EnergyBreakdown,
     stats: SimStats,
     cycle: CycleRecord,
+    /// Completed power cycles so far — the cycle numbering for
+    /// telemetry/flight records. Kept separately from
+    /// `stats.power_cycles.len()` so numbering survives
+    /// `record_cycles: false`.
+    cycles_done: u64,
 
     /// Run-total accumulator values at the start of the current power
     /// cycle; diffing against them at the cycle boundary yields the
@@ -491,6 +496,7 @@ impl<'p> Simulator<'p> {
             breakdown: EnergyBreakdown::default(),
             stats: SimStats::default(),
             cycle: CycleRecord::default(),
+            cycles_done: 0,
             ledger_start_breakdown: EnergyBreakdown::default(),
             ledger_start_harvested: Energy::ZERO,
             ledger_start_leak: Energy::ZERO,
@@ -584,7 +590,7 @@ impl<'p> Simulator<'p> {
         self.run_loop();
         let metrics = match self.telemetry.take() {
             Some((mut t, _)) => {
-                t.metrics.snapshot(self.stats.power_cycles.len() as u64, self.now.micros());
+                t.metrics.snapshot(self.cycles_done, self.now.micros());
                 t.into_metrics()
             }
             None => MetricsRegistry::default(),
@@ -663,7 +669,7 @@ impl<'p> Simulator<'p> {
         };
         let ic = counters(&mut self.icache);
         let dc = counters(&mut self.dcache);
-        let cycle = self.stats.power_cycles.len() as u64;
+        let cycle = self.cycles_done;
         let state = self.cachescope.as_deref_mut().expect("checked above");
         let latency = state.attr;
         state.cycles.push(CycleScope { cycle, icache: ic, dcache: dc, latency });
@@ -709,7 +715,7 @@ impl<'p> Simulator<'p> {
         if fire {
             let snap = OccupancySnapshot {
                 inst_index: self.inst_index,
-                cycle: self.stats.power_cycles.len() as u64,
+                cycle: self.cycles_done,
                 icache: self.icache.occupancy_map(),
                 dcache: self.dcache.occupancy_map(),
             };
@@ -1027,8 +1033,12 @@ impl<'p> Simulator<'p> {
         let row = self.close_ledger_row();
         self.audit_ledger(&row);
         if self.cycle.insts > 0 {
-            self.stats.power_cycles.push(self.cycle);
+            if self.cfg.record_cycles {
+                self.stats.power_cycles.push(self.cycle);
+            }
+            self.cycles_done += 1;
         }
+        self.stats.power_cycle_count = self.cycles_done;
         if let Governor::Kagura(k) = &self.gov {
             self.stats.kagura_state = Some((k.registers(), k.rm_entries()));
         }
@@ -1055,7 +1065,7 @@ impl<'p> Simulator<'p> {
     fn close_ledger_row(&mut self) -> LedgerRow {
         let stored = self.cap.stored();
         let row = LedgerRow {
-            cycle: self.stats.power_cycles.len() as u64,
+            cycle: self.cycles_done,
             harvested: self.stats.harvested - self.ledger_start_harvested,
             consumed: self.breakdown - self.ledger_start_breakdown,
             cap_leak: self.stats.cap_leak - self.ledger_start_leak,
@@ -1168,7 +1178,7 @@ impl<'p> Simulator<'p> {
         }
         if let Some((t, h)) = self.telemetry.as_mut() {
             let t_us = self.now.micros();
-            let cycle = self.stats.power_cycles.len() as u64;
+            let cycle = self.cycles_done;
             if outcome.stored_compressed {
                 t.metrics.inc(h.compressed_fills, 1);
                 t.emit(t_us, cycle, Event::CompressedFill { dcache: is_dcache });
@@ -1517,7 +1527,7 @@ impl<'p> Simulator<'p> {
         if let Some((t, _)) = self.telemetry.as_mut() {
             if self.gov.events_pending() {
                 let t_us = self.now.micros();
-                let cycle = self.stats.power_cycles.len() as u64;
+                let cycle = self.cycles_done;
                 self.gov.drain_events(|ev| t.emit(t_us, cycle, ev));
             }
         }
@@ -1602,7 +1612,7 @@ impl<'p> Simulator<'p> {
                         t.metrics.inc(h.evictions, evicted.len() as u64);
                         t.emit(
                             self.now.micros(),
-                            self.stats.power_cycles.len() as u64,
+                            self.cycles_done,
                             Event::Eviction { count: evicted.len() as u32, dcache: true },
                         );
                     }
@@ -1726,11 +1736,7 @@ impl<'p> Simulator<'p> {
         if let Some((t, h)) = self.telemetry.as_mut() {
             self.flight.ckpt_blocks += blocks as u64;
             t.metrics.inc(h.checkpoint_blocks, blocks as u64);
-            t.emit(
-                self.now.micros(),
-                self.stats.power_cycles.len() as u64,
-                Event::Checkpoint { blocks },
-            );
+            t.emit(self.now.micros(), self.cycles_done, Event::Checkpoint { blocks });
         }
         self.last_persist = self.inst_index;
         self.sweeps_this_cycle += 1;
@@ -1861,7 +1867,7 @@ impl<'p> Simulator<'p> {
             let t_us = self.now.micros();
             // The cycle being closed: its index is the number already
             // recorded (pushed just below).
-            let cycle = self.stats.power_cycles.len() as u64;
+            let cycle = self.cycles_done;
             if self.cfg.design == EhsDesign::NvsramCache {
                 t.metrics.inc(h.checkpoint_blocks, ckpt_blocks as u64);
                 t.emit(t_us, cycle, Event::Checkpoint { blocks: ckpt_blocks });
@@ -1913,7 +1919,10 @@ impl<'p> Simulator<'p> {
         self.audit_ledger(&row);
         self.flight.reset();
         self.stats.checkpoints += 1;
-        self.stats.power_cycles.push(self.cycle);
+        if self.cfg.record_cycles {
+            self.stats.power_cycles.push(self.cycle);
+        }
+        self.cycles_done += 1;
         self.cycle = CycleRecord::default();
         self.running = false;
     }
@@ -1956,7 +1965,7 @@ impl<'p> Simulator<'p> {
         self.gov.on_reboot();
         if let Some((t, h)) = self.telemetry.as_mut() {
             let t_us = self.now.micros();
-            let cycle = self.stats.power_cycles.len() as u64;
+            let cycle = self.cycles_done;
             let voltage = self.cap.voltage();
             let charge_us = (self.now - hibernate_start).micros();
             t.emit(t_us, cycle, Event::Reboot { charge_us, voltage });
@@ -2020,9 +2029,30 @@ mod tests {
         let stats = run_small(App::Sha, GovernorSpec::NoCompression);
         assert!(stats.completed, "did not finish: {} insts", stats.committed_insts);
         assert!(stats.power_cycles.len() >= 2, "cycles: {}", stats.power_cycles.len());
+        assert_eq!(stats.power_cycle_count, stats.power_cycles.len() as u64);
         assert!(stats.checkpoints >= 1);
         assert!(stats.total_energy().picojoules() > 0.0);
         assert_eq!(stats.dcache.compressions, 0, "baseline must not compress");
+    }
+
+    #[test]
+    fn disabling_cycle_records_changes_nothing_but_the_vector() {
+        let recorded = run_small(App::Sha, GovernorSpec::AccKagura(Default::default()));
+        let mut cfg =
+            SimConfig::table1().with_governor(GovernorSpec::AccKagura(Default::default()));
+        cfg.record_cycles = false;
+        let program = App::Sha.build(0.02);
+        let trace = PowerTrace::generate(cfg.trace_kind, cfg.trace_seed, 400_000);
+        let unrecorded = Simulator::new(cfg, &program, &trace).run();
+
+        assert!(unrecorded.power_cycles.is_empty());
+        assert_eq!(unrecorded.power_cycle_count, recorded.power_cycle_count);
+        assert!(unrecorded.power_cycle_count >= 2);
+        // Everything except the record vector must be byte-identical —
+        // the flag is observability-only, never behavioural.
+        let mut stripped = recorded;
+        stripped.power_cycles.clear();
+        assert_eq!(stripped, unrecorded);
     }
 
     #[test]

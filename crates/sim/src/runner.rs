@@ -18,27 +18,65 @@ use kagura_core::CompressionGovernor as _;
 /// input, far more than any run consumes before wrapping).
 const DEFAULT_TRACE_LEN: usize = 4_000_000;
 
+/// Idle trace-cache entries retained beyond the ones currently borrowed
+/// by running simulations. Each generated trace is ~32 MB
+/// (`DEFAULT_TRACE_LEN` × 8 B), and fleet campaigns use a distinct
+/// trace seed per cell — an unbounded cache turns a 10⁵-cell campaign
+/// into terabytes of dead traces. Entries still referenced by a running
+/// simulation are never evicted, so the cache can exceed this cap while
+/// that many distinct traces are simultaneously in use.
+const TRACE_CACHE_IDLE_CAP: usize = 8;
+
+type TraceCache = Mutex<HashMap<(TraceKind, u64), Arc<PowerTrace>>>;
+
+fn trace_cache() -> &'static TraceCache {
+    static CACHE: OnceLock<TraceCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Current number of cached traces (bounded-cache regression tests).
+#[cfg(test)]
+fn trace_cache_len() -> usize {
+    trace_cache().lock().unwrap_or_else(|e| e.into_inner()).len()
+}
+
 /// Generates (or fetches from a process-wide cache) the configuration's
 /// default power trace. Generation is deterministic per `(kind, seed)`, so
 /// sharing one copy across the many runs of an experiment sweep is both
-/// safe and substantially faster.
+/// safe and substantially faster. The cache is bounded: once it exceeds
+/// [`TRACE_CACHE_IDLE_CAP`] entries, traces no longer borrowed by any
+/// caller are evicted, keeping resident memory flat even when every run
+/// uses a fresh seed (fleet campaigns).
 ///
 /// Concurrency: two workers racing on the same key may both generate the
 /// trace; the second insert wins and the copies are identical (generation
 /// is deterministic), so callers always observe equivalent data. The lock
 /// is never held across generation, and a panicked worker elsewhere in
 /// the sweep cannot wedge the cache — poisoning is recovered, since the
-/// map is only ever mutated by complete `insert` calls.
+/// map is only ever mutated by complete `insert`/`remove` calls.
 pub fn default_trace(cfg: &SimConfig) -> Arc<PowerTrace> {
-    type TraceCache = Mutex<HashMap<(TraceKind, u64), Arc<PowerTrace>>>;
-    static CACHE: OnceLock<TraceCache> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let cache = trace_cache();
     let key = (cfg.trace_kind, cfg.trace_seed);
     if let Some(trace) = cache.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
         return Arc::clone(trace);
     }
     let trace = Arc::new(PowerTrace::generate(cfg.trace_kind, cfg.trace_seed, DEFAULT_TRACE_LEN));
-    cache.lock().unwrap_or_else(|e| e.into_inner()).insert(key, Arc::clone(&trace));
+    let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+    map.insert(key, Arc::clone(&trace));
+    if map.len() > TRACE_CACHE_IDLE_CAP {
+        // Evict whatever nobody is running on (strong_count 1 = only the
+        // cache holds it); in-flight traces stay shared until dropped.
+        let excess = map.len() - TRACE_CACHE_IDLE_CAP;
+        let mut evictable: Vec<(TraceKind, u64)> = map
+            .iter()
+            .filter(|&(k, v)| Arc::strong_count(v) == 1 && *k != key)
+            .map(|(k, _)| *k)
+            .collect();
+        evictable.truncate(excess);
+        for k in evictable {
+            map.remove(&k);
+        }
+    }
     trace
 }
 
@@ -306,6 +344,26 @@ mod tests {
         // A non-recording governor cannot drive the two-phase methodology.
         let err = run_ideal_app(App::Sha, 0.01, &cfg, Governor::acc()).unwrap_err();
         assert_eq!(err, ConfigError::NotARecorder { governor: "ACC" });
+    }
+
+    #[test]
+    fn trace_cache_stays_bounded_across_fresh_seeds() {
+        // Fleet campaigns request a distinct trace seed per cell; the
+        // cache must evict idle traces instead of growing linearly with
+        // the population (each entry is ~32 MB).
+        let mut cfg = SimConfig::table1();
+        for seed in 0..3 * TRACE_CACHE_IDLE_CAP as u64 {
+            cfg.trace_seed = 0xF1EE_0000 + seed;
+            drop(default_trace(&cfg));
+        }
+        // Other tests in this process share the cache and may be holding
+        // live (unevictable) traces, hence the slack on top of the cap.
+        let len = trace_cache_len();
+        assert!(len <= TRACE_CACHE_IDLE_CAP + 16, "trace cache grew unbounded: {len} entries");
+        // The hit path still shares: same seed, same allocation.
+        let a = default_trace(&cfg);
+        let b = default_trace(&cfg);
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]

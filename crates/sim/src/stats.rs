@@ -78,8 +78,14 @@ pub struct SimStats {
     /// Simulated wall-clock time at the end of the run (the paper's
     /// performance metric: lower = faster under the same energy trace).
     pub sim_time: SimTime,
-    /// One record per completed power cycle.
+    /// One record per completed power cycle. Empty when the run was
+    /// configured with `record_cycles: false` (population-scale
+    /// campaigns); use [`SimStats::power_cycle_count`] for the count.
     pub power_cycles: Vec<CycleRecord>,
+    /// Number of completed power cycles, maintained whether or not the
+    /// per-cycle records above were kept.
+    #[serde(default)]
+    pub power_cycle_count: u64,
     /// Number of JIT checkpoints (= power failures seen while running).
     pub checkpoints: u64,
     /// ICache counters.

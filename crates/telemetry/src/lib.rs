@@ -25,6 +25,10 @@
 //!   builds a Chrome trace-event file loadable in Perfetto.
 //! * [`MetricsRegistry`] — named counters, gauges and fixed-bucket
 //!   histograms, snapshotted at every power-cycle boundary.
+//! * [`Reservoir`] — a seeded bottom-k sample sketch whose shard merges
+//!   are exactly associative; fleet campaigns stream per-cell metrics
+//!   through it for constant-memory population quantiles and bootstrap
+//!   confidence intervals.
 //! * [`spans`] — process-wide wall-clock spans (per experiment, per
 //!   simulation job) with the worker slot that ran them; drained by the
 //!   bench harness into `BENCH_harness.json`.
@@ -37,12 +41,16 @@
 //! atomic load (labels are built lazily).
 
 pub mod event;
+pub mod fixed;
 pub mod metrics;
+pub mod sampler;
 pub mod sink;
 pub mod spans;
 
 pub use event::{Event, FlightRecord, Registers, Stamped};
+pub use fixed::FixedSum;
 pub use metrics::{Counter, Gauge, Histogram, HistogramId, MetricsRegistry};
+pub use sampler::{quantile_of_sorted, Reservoir};
 pub use sink::{ChromeTraceSink, JsonlSink, NullSink, RingSink, Sink, VecSink};
 
 /// A sink plus the metrics registry fed alongside it: what an

@@ -5,6 +5,7 @@
 //! resolved once at registration, so the per-update cost is one array
 //! index — no hashing on the hot path.
 
+use crate::fixed::FixedSum;
 use serde_json::Value;
 
 /// Handle to a monotonically increasing counter.
@@ -27,7 +28,14 @@ pub struct Histogram {
     /// `bounds.len() + 1` entries; the last is the overflow bucket.
     counts: Vec<u64>,
     total: u64,
-    sum: f64,
+    /// Exact fixed-point running sum, so merged shard histograms equal
+    /// the single-stream histogram bit-for-bit (f64 addition is not
+    /// associative; integer addition is).
+    sum: FixedSum,
+    /// Largest observation (`NEG_INFINITY` when empty). Gives the
+    /// overflow bucket a finite upper edge so tail quantiles can
+    /// interpolate instead of clamping to the last bound.
+    max: f64,
 }
 
 impl Histogram {
@@ -37,7 +45,13 @@ impl Histogram {
     /// aggregators (cachescope, fleet roll-ups) also keep free-standing
     /// ones and fold them together with [`Histogram::merge`].
     pub fn with_bounds(bounds: &[f64]) -> Self {
-        Histogram { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], total: 0, sum: 0.0 }
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: FixedSum::zero(),
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Records one observation.
@@ -45,15 +59,20 @@ impl Histogram {
         let i = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
         self.counts[i] += 1;
         self.total += 1;
-        self.sum += v;
+        self.sum.add(v);
+        self.max = self.max.max(v);
     }
 
     /// Records `n` observations of the same value in O(1).
     pub fn observe_n(&mut self, v: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
         let i = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
         self.counts[i] += n;
         self.total += n;
-        self.sum += v * n as f64;
+        self.sum.add_n(v, n);
+        self.max = self.max.max(v);
     }
 
     /// Folds `other` into `self` bucket-by-bucket. Because the buckets
@@ -78,8 +97,14 @@ impl Histogram {
             *c += o;
         }
         self.total += other.total;
-        self.sum += other.sum;
+        self.sum.merge(&other.sum);
+        self.max = self.max.max(other.max);
         Ok(())
+    }
+
+    /// Largest observation so far (`NEG_INFINITY` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
     }
 
     /// Total observations.
@@ -92,8 +117,68 @@ impl Histogram {
         if self.total == 0 {
             0.0
         } else {
-            self.sum / self.total as f64
+            self.sum.value() / self.total as f64
         }
+    }
+
+    /// Serializes to JSON losslessly: `f64`s are encoded as IEEE-754
+    /// bit patterns (`u64`) and the fixed-point sum as a decimal
+    /// string, so a round-trip through [`Histogram::from_exact_json`]
+    /// reproduces the histogram bit-for-bit. Journaling layers (fleet
+    /// shard checkpoints) rely on this to make resumed aggregation
+    /// byte-identical.
+    pub fn to_exact_json(&self) -> Value {
+        serde_json::json!({
+            "bounds_bits": self.bounds.iter().map(|b| b.to_bits()).collect::<Vec<u64>>(),
+            "counts": self.counts.clone(),
+            "total": self.total,
+            "sum_fixed": self.sum.to_decimal(),
+            "max_bits": self.max.to_bits(),
+        })
+    }
+
+    /// Rebuilds a histogram from [`Histogram::to_exact_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` naming the offending field when the value is
+    /// missing, mistyped, or the counts length disagrees with bounds.
+    pub fn from_exact_json(v: &Value) -> Result<Self, String> {
+        let bits = |path: &str| -> Result<f64, String> {
+            v.get(path)
+                .and_then(Value::as_u64)
+                .map(f64::from_bits)
+                .ok_or_else(|| format!("histogram field `{path}` is not a u64"))
+        };
+        let u64s = |path: &str| -> Result<Vec<u64>, String> {
+            v.get(path)
+                .and_then(Value::as_array)
+                .ok_or_else(|| format!("histogram field `{path}` is not an array"))?
+                .iter()
+                .map(|x| {
+                    x.as_u64().ok_or_else(|| format!("histogram field `{path}` has a non-u64"))
+                })
+                .collect()
+        };
+        let bounds: Vec<f64> = u64s("bounds_bits")?.into_iter().map(f64::from_bits).collect();
+        let counts = u64s("counts")?;
+        if counts.len() != bounds.len() + 1 {
+            return Err(format!(
+                "histogram counts length {} does not match {} bounds + overflow",
+                counts.len(),
+                bounds.len()
+            ));
+        }
+        let total = v
+            .get("total")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| "histogram field `total` is not a u64".to_string())?;
+        let sum = FixedSum::from_decimal(
+            v.get("sum_fixed")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "histogram field `sum_fixed` is not a string".to_string())?,
+        )?;
+        Ok(Histogram { bounds, counts, total, sum, max: bits("max_bits")? })
     }
 
     /// `(upper_bound, count)` rows; the final row uses `f64::INFINITY`.
@@ -109,9 +194,10 @@ impl Histogram {
     /// Estimates the `q`-quantile (`0.0 ≤ q ≤ 1.0`) by linear
     /// interpolation within the bucket containing the target rank, the
     /// standard fixed-bucket estimator. The first bucket interpolates
-    /// from 0; observations in the overflow bucket clamp to the last
-    /// finite bound (the histogram cannot resolve beyond it). Returns 0
-    /// for an empty histogram.
+    /// from 0; the overflow bucket interpolates into
+    /// `[last_bound, observed max]`, so tail quantiles reflect the real
+    /// extent of the data instead of clamping to the last finite bound.
+    /// Returns 0 for an empty histogram.
     pub fn percentile(&self, q: f64) -> f64 {
         if self.total == 0 {
             return 0.0;
@@ -123,18 +209,18 @@ impl Histogram {
                 continue;
             }
             if (seen + c) as f64 >= rank {
-                let Some(&hi) = self.bounds.get(i) else {
-                    // Overflow bucket: unbounded above, clamp to the
-                    // last finite bound (or 0 with no bounds at all).
-                    return self.bounds.last().copied().unwrap_or(0.0);
-                };
-                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
                 let within = ((rank - seen as f64) / c as f64).clamp(0.0, 1.0);
+                let (lo, hi) = match self.bounds.get(i) {
+                    Some(&hi) => (if i == 0 { 0.0 } else { self.bounds[i - 1] }, hi),
+                    // Overflow bucket: unbounded above, but the tracked
+                    // maximum gives it a finite edge to interpolate to.
+                    None => (self.bounds.last().copied().unwrap_or(0.0), self.max),
+                };
                 return lo + (hi - lo) * within;
             }
             seen += c;
         }
-        self.bounds.last().copied().unwrap_or(0.0)
+        self.max
     }
 }
 
@@ -349,7 +435,7 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_interpolate_and_clamp_overflow() {
+    fn percentiles_interpolate_into_overflow_tail() {
         let mut m = MetricsRegistry::default();
         let h = m.histogram("latency", &[10.0, 100.0]);
         // 3 observations in (0,10], 1 in the overflow bucket.
@@ -359,11 +445,54 @@ mod tests {
         let data = m.histogram_data(h);
         // p50 → rank 2 of 3 inside the first bucket: 10 × (2/3).
         assert!((data.percentile(0.50) - 10.0 * (2.0 / 3.0)).abs() < 1e-9);
-        // p99 lands in the overflow bucket → clamps to the last bound.
-        assert_eq!(data.percentile(0.99), 100.0);
+        // p99 → rank 3.96 in the overflow bucket: interpolates 96 % of
+        // the way into [last_bound=100, max=5000], not a clamp to 100.
+        assert!((data.percentile(0.99) - (100.0 + 4900.0 * 0.96)).abs() < 1e-9);
+        // p100 reaches the observed maximum exactly.
+        assert_eq!(data.percentile(1.0), 5000.0);
+        assert_eq!(data.max(), 5000.0);
         // Empty histogram reports zero everywhere.
         let e = m.histogram("empty", &[1.0]);
         assert_eq!(m.histogram_data(e).percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn overflow_p99_regression_tail_not_clamped() {
+        // Regression for the fleet-campaign tail bug: 99 observations at
+        // 1.0 and 2 far out in the overflow bucket put p99 in overflow.
+        // The old estimator returned the last finite bound (10.0),
+        // understating the tail by orders of magnitude.
+        let mut h = Histogram::with_bounds(&[5.0, 10.0]);
+        h.observe_n(1.0, 99);
+        h.observe(800.0);
+        h.observe(1000.0);
+        let p99 = h.percentile(0.99);
+        assert!(p99 > 10.0, "p99 must escape the last finite bound, got {p99}");
+        assert!(p99 <= 1000.0, "p99 cannot exceed the observed max, got {p99}");
+        // rank 99.99 with 99 seen → 0.495 of the way through the
+        // 2-count overflow bucket spanning [10, 1000].
+        assert!((p99 - (10.0 + 990.0 * 0.495)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_json_round_trip_is_bit_identical() {
+        let mut h = Histogram::with_bounds(&[0.1, 2.5, 10.0]);
+        for v in [0.05, 0.3, 3.3, 1e9, 7.77] {
+            h.observe(v);
+        }
+        let back = Histogram::from_exact_json(&h.to_exact_json()).unwrap();
+        assert_eq!(h, back);
+        assert_eq!(h.sum, back.sum);
+        assert_eq!(h.max.to_bits(), back.max.to_bits());
+        // Empty histograms round-trip too (max = -inf has no JSON f64).
+        let e = Histogram::with_bounds(&[1.0]);
+        assert_eq!(Histogram::from_exact_json(&e.to_exact_json()).unwrap(), e);
+        // Mangled counts are rejected with a named field.
+        let mut bad = h.to_exact_json();
+        let Value::Object(fields) = &mut bad else { panic!("exact json is an object") };
+        fields.iter_mut().find(|(k, _)| k == "counts").unwrap().1 = serde_json::json!([1, 2]);
+        let err = Histogram::from_exact_json(&bad).unwrap_err();
+        assert!(err.contains("counts"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Pins the fleet engine's aggregation contract: histogram and
+//! reservoir shard merges are exactly associative and order-
+//! insensitive, and merging any sharding of a stream is bit-identical
+//! to feeding the whole stream into one aggregate.
+//!
+//! These properties are what make `repro fleet` reports byte-identical
+//! at any `--jobs` value and `--fleet-shard` size, and what lets a
+//! SIGKILLed campaign resume from journaled shard aggregates without
+//! drifting — so they are proptest-pinned rather than example-tested.
+
+use ehs_telemetry::{Histogram, Reservoir};
+use proptest::prelude::*;
+
+const BOUNDS: &[f64] = &[0.25, 0.5, 1.0, 2.0, 4.0];
+
+/// A keyed observation stream: the value and which shard gets it.
+fn stream(max_shards: usize) -> impl Strategy<Value = Vec<(f64, usize)>> {
+    proptest::collection::vec((-1e6f64..1e6, 0..max_shards), 0..300)
+}
+
+proptest! {
+    /// Merging per-shard histograms — in any merge order — equals the
+    /// single-stream histogram bit-for-bit (counts, fixed-point sum,
+    /// and max, hence every derived percentile).
+    #[test]
+    fn histogram_shard_merge_equals_single_stream(
+        obs in stream(4),
+        order in Just([3usize, 0, 2, 1]),
+    ) {
+        let mut whole = Histogram::with_bounds(BOUNDS);
+        let mut shards = vec![Histogram::with_bounds(BOUNDS); 4];
+        for &(v, s) in &obs {
+            whole.observe(v);
+            shards[s].observe(v);
+        }
+        let mut folded = Histogram::with_bounds(BOUNDS);
+        for &s in &order {
+            folded.merge(&shards[s]).unwrap();
+        }
+        prop_assert_eq!(&folded, &whole);
+        // Identity: merging an empty histogram changes nothing.
+        folded.merge(&Histogram::with_bounds(BOUNDS)).unwrap();
+        prop_assert_eq!(&folded, &whole);
+    }
+
+    /// Histogram merge is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn histogram_merge_is_associative(obs in stream(3)) {
+        let mut parts = vec![Histogram::with_bounds(BOUNDS); 3];
+        for &(v, s) in &obs {
+            parts[s].observe(v);
+        }
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]).unwrap();
+        left.merge(&parts[2]).unwrap();
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[2]).unwrap();
+        let mut right = parts[0].clone();
+        right.merge(&bc).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merging per-shard reservoirs — in any merge order — equals the
+    /// single-stream reservoir exactly: same retained entries, same
+    /// moments. Keys are unique (stream index), as fleet cell indices
+    /// are.
+    #[test]
+    fn reservoir_shard_merge_equals_single_stream(
+        obs in stream(4),
+        seed in any::<u64>(),
+        order in Just([2usize, 3, 0, 1]),
+    ) {
+        const CAP: usize = 16;
+        let mut whole = Reservoir::new(seed, CAP);
+        let mut shards: Vec<Reservoir> = (0..4).map(|_| Reservoir::new(seed, CAP)).collect();
+        for (k, &(v, s)) in obs.iter().enumerate() {
+            whole.offer(k as u64, v);
+            shards[s].offer(k as u64, v);
+        }
+        let mut folded = Reservoir::new(seed, CAP);
+        for &s in &order {
+            folded.merge(&shards[s]).unwrap();
+        }
+        prop_assert_eq!(&folded, &whole);
+        prop_assert_eq!(folded.quantile(0.99).to_bits(), whole.quantile(0.99).to_bits());
+    }
+
+    /// Reservoir merge is associative and commutative.
+    #[test]
+    fn reservoir_merge_is_associative_and_commutative(
+        obs in stream(3),
+        seed in any::<u64>(),
+    ) {
+        const CAP: usize = 8;
+        let mut parts: Vec<Reservoir> = (0..3).map(|_| Reservoir::new(seed, CAP)).collect();
+        for (k, &(v, s)) in obs.iter().enumerate() {
+            parts[s].offer(k as u64, v);
+        }
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]).unwrap();
+        left.merge(&parts[2]).unwrap();
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[2]).unwrap();
+        let mut right = parts[0].clone();
+        right.merge(&bc).unwrap();
+        prop_assert_eq!(&left, &right);
+        let mut swapped = parts[2].clone();
+        swapped.merge(&parts[0]).unwrap();
+        swapped.merge(&parts[1]).unwrap();
+        prop_assert_eq!(&swapped, &left);
+    }
+
+    /// The journal's exact-JSON encoding round-trips both aggregates
+    /// bit-for-bit for arbitrary contents.
+    #[test]
+    fn exact_json_round_trips(obs in stream(1), seed in any::<u64>()) {
+        let mut h = Histogram::with_bounds(BOUNDS);
+        let mut r = Reservoir::new(seed, 8);
+        for (k, &(v, _)) in obs.iter().enumerate() {
+            h.observe(v);
+            r.offer(k as u64, v);
+        }
+        prop_assert_eq!(Histogram::from_exact_json(&h.to_exact_json()).unwrap(), h);
+        prop_assert_eq!(Reservoir::from_exact_json(&r.to_exact_json()).unwrap(), r);
+    }
+}
