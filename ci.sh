@@ -42,7 +42,8 @@ RESUME_BASE="$(mktemp -d)"
 RESUME_CUT="$(mktemp -d)"
 FLEET_A="$(mktemp -d)"
 FLEET_B="$(mktemp -d)"
-trap 'rm -rf "$FAULTGRID_OUT" "$LEDGER_OUT" "$CACHESCOPE_OUT" "$RESUME_BASE" "$RESUME_CUT" "$FLEET_A" "$FLEET_B"' EXIT
+SERVE_DIR="$(mktemp -d)"
+trap 'rm -rf "$FAULTGRID_OUT" "$LEDGER_OUT" "$CACHESCOPE_OUT" "$RESUME_BASE" "$RESUME_CUT" "$FLEET_A" "$FLEET_B" "$SERVE_DIR"' EXIT
 cargo run --release --offline -q -p kagura-bench --bin repro -- \
     faultgrid --scale 0.005 --apps sha,crc32 --out "$FAULTGRID_OUT" --quiet
 
@@ -122,5 +123,100 @@ fi
 # (|| true: the non-zero exit is the point; pipefail would otherwise trip.)
 ("$REPRO" fleet --fleet-sizee 12 2>&1 || true) | grep -q 'did you mean `--fleet-size`'
 echo "misspelled flags are rejected with suggestions"
+
+echo "== exit-code gate (usage=2, config=3, runtime=1) =="
+# Scripted callers assert on *why* an invocation failed, so the failure
+# classes must stay distinguishable (see kagura_bench::cli::CliError).
+SIMRUN="$(pwd)/target/release/simrun"
+cargo build --release --offline -q -p kagura-bench --bin simrun
+expect_exit() {
+    local want="$1"; shift
+    local rc=0
+    "$@" > /dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne "$want" ]; then
+        echo "expected exit $want from: $* (got $rc)" >&2
+        exit 1
+    fi
+}
+expect_exit 2 "$SIMRUN" --frobnicate              # usage: unknown flag
+expect_exit 2 "$SIMRUN"                           # usage: missing app
+expect_exit 3 "$SIMRUN" sha --governor zorp       # config: bad enum value
+expect_exit 3 "$SIMRUN" nosuchapp                 # config: unknown app
+expect_exit 2 "$REPRO" --scael 1                  # usage: misspelled flag
+expect_exit 3 "$REPRO" nosuchexperiment           # config: unknown experiment
+echo "exit codes distinguish usage/config/runtime failures"
+
+echo "== serve gate (long-running what-if service) =="
+# One server at workers=1/queue-depth=0: a byte-identical cached repeat,
+# a shed under a concurrent burst while an in-flight query completes, a
+# typed budget exhaustion that frees its worker, then a SIGTERM drain
+# that must exit 0 and leave a warm cache behind.
+"$SIMRUN" serve --tcp 127.0.0.1:0 --port-file "$SERVE_DIR/port" \
+    --state "$SERVE_DIR/state.jsonl" --workers 1 --queue-depth 0 \
+    > /dev/null 2> "$SERVE_DIR/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 500); do
+    [ -s "$SERVE_DIR/port" ] && break
+    sleep 0.01
+done
+python3 - "$(cat "$SERVE_DIR/port")" <<'EOF'
+import json, socket, sys, threading
+
+host, port = sys.argv[1].rsplit(":", 1)
+
+def rpc(line):
+    s = socket.create_connection((host, int(port)), timeout=60)
+    s.sendall(line.encode() + b"\n")
+    buf = b""
+    while not buf.endswith(b"\n"):
+        chunk = s.recv(65536)
+        if not chunk:
+            break
+        buf += chunk
+    s.close()
+    return buf, json.loads(buf)
+
+QUERY = '{"op":"query","id":"ci","app":"sha","scale":0.004,"governor":"kagura"}'
+first_bytes, first = rpc(QUERY)
+assert first["ok"], first
+second_bytes, _ = rpc(QUERY)
+assert second_bytes == first_bytes, "cached repeat must be byte-identical"
+
+# Overload burst: 8 concurrent uncached queries against one worker and
+# an empty queue. In-flight work must complete; the excess must shed
+# with a typed `overloaded` error carrying a retry hint.
+results = []
+def worker(i):
+    q = {"op": "query", "id": i, "app": "crc32", "scale": 0.01, "seed": i}
+    results.append(rpc(json.dumps(q))[1])
+threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+oks = [r for r in results if r["ok"]]
+sheds = [r for r in results if not r["ok"] and r["error"]["kind"] == "overloaded"]
+assert oks, f"in-flight queries must complete under overload: {results}"
+assert sheds, f"a saturated server must shed: {results}"
+assert all(s["error"]["retry_after_ms"] > 0 for s in sheds), sheds
+
+# A poison query under a tiny budget is a typed error, not a wedge.
+_, r = rpc('{"op":"query","id":"poison","app":"sha","scale":0.01,"max_insts":50}')
+assert not r["ok"] and r["error"]["kind"] == "budget_exhausted", r
+assert r["error"]["executed_insts"] >= 50, r
+_, h = rpc('{"op":"health","id":"h"}')
+assert h["health"]["status"] == "ok", h
+
+_, m = rpc('{"op":"metrics","id":"m"}')
+counters = {c["name"]: c["value"] for c in m["metrics"]["registry"]["counters"]}
+assert counters["server_cache_hits"] >= 1, counters
+assert counters["server_shed"] >= 1, counters
+assert counters["server_budget_exhausted"] >= 1, counters
+print("serve: cache hit, overload shed, and budget exhaustion all observed")
+EOF
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"   # graceful drain must exit 0 (set -e enforces it)
+[ -s "$SERVE_DIR/state.jsonl" ] || { echo "drain left no cache state" >&2; exit 1; }
+echo "serve drained cleanly on SIGTERM with persisted cache state"
 
 echo "ci: all checks passed"

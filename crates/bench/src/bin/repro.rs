@@ -108,10 +108,16 @@ fn list() {
 }
 
 fn main() -> ExitCode {
+    // Exit codes follow kagura_bench::cli::CliError: 2 for usage errors
+    // (the command line never parsed), 3 for configuration errors (it
+    // parsed but names something invalid — unknown app/experiment,
+    // mismatched resume fingerprint), 1 for runtime failures.
+    const EXIT_USAGE: u8 = 2;
+    const EXIT_CONFIG: u8 = 3;
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_USAGE);
     }
 
     // `repro explain DIR` is a pure renderer over already-dumped flight
@@ -119,7 +125,7 @@ fn main() -> ExitCode {
     if args[0] == "explain" {
         let Some(dir) = args.get(1) else {
             eprintln!("usage: repro explain RESULTS_DIR");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         };
         return match kagura_bench::explain::explain_dir(std::path::Path::new(dir)) {
             Ok(n) => {
@@ -143,11 +149,11 @@ fn main() -> ExitCode {
                 i += 1;
                 let Some(v) = args.get(i).and_then(|s| s.parse::<f64>().ok()) else {
                     eprintln!("--scale needs a positive number");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_USAGE);
                 };
                 if v <= 0.0 {
                     eprintln!("--scale needs a positive number");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_USAGE);
                 }
                 ctx.scale = v;
             }
@@ -155,7 +161,7 @@ fn main() -> ExitCode {
                 i += 1;
                 let Some(spec) = args.get(i) else {
                     eprintln!("--apps needs a comma-separated list");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_USAGE);
                 };
                 let mut apps = Vec::new();
                 for name in spec.split(',') {
@@ -167,7 +173,7 @@ fn main() -> ExitCode {
                                 eprint!(" {a}");
                             }
                             eprintln!();
-                            return ExitCode::FAILURE;
+                            return ExitCode::from(EXIT_CONFIG);
                         }
                     }
                 }
@@ -178,11 +184,11 @@ fn main() -> ExitCode {
                 i += 1;
                 let Some(n) = args.get(i).and_then(|s| s.parse::<usize>().ok()) else {
                     eprintln!("--jobs needs a positive integer");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_USAGE);
                 };
                 if n == 0 {
                     eprintln!("--jobs needs a positive integer");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_USAGE);
                 }
                 ehs_sim::parallel::set_max_workers(n);
             }
@@ -190,7 +196,7 @@ fn main() -> ExitCode {
                 i += 1;
                 let Some(dir) = args.get(i) else {
                     eprintln!("--out needs a directory");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_USAGE);
                 };
                 ctx.out_dir = dir.into();
             }
@@ -198,7 +204,7 @@ fn main() -> ExitCode {
                 i += 1;
                 let Some(dir) = args.get(i) else {
                     eprintln!("--telemetry needs a directory");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_USAGE);
                 };
                 ctx.telemetry_dir = Some(dir.into());
             }
@@ -206,7 +212,7 @@ fn main() -> ExitCode {
                 i += 1;
                 let Some(dir) = args.get(i) else {
                     eprintln!("--resume needs the results directory of the interrupted run");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_USAGE);
                 };
                 resume = true;
                 ctx.out_dir = dir.into();
@@ -215,11 +221,11 @@ fn main() -> ExitCode {
                 i += 1;
                 let Some(secs) = args.get(i).and_then(|s| s.parse::<f64>().ok()) else {
                     eprintln!("--job-timeout needs a positive number of seconds");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_USAGE);
                 };
                 if secs <= 0.0 {
                     eprintln!("--job-timeout needs a positive number of seconds");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_USAGE);
                 }
                 ctx.job_budget.max_wall = Some(Duration::from_secs_f64(secs));
             }
@@ -227,11 +233,11 @@ fn main() -> ExitCode {
                 i += 1;
                 let Some(n) = args.get(i).and_then(|s| s.parse::<u64>().ok()) else {
                     eprintln!("--job-max-insts needs a positive integer");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_USAGE);
                 };
                 if n == 0 {
                     eprintln!("--job-max-insts needs a positive integer");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_USAGE);
                 }
                 ctx.job_budget.max_executed_insts = Some(n);
             }
@@ -240,7 +246,7 @@ fn main() -> ExitCode {
                 let Some(n) = args.get(i).and_then(|s| s.parse::<u64>().ok()).filter(|&n| n > 0)
                 else {
                     eprintln!("--fleet-size needs a positive integer");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_USAGE);
                 };
                 ctx.fleet.population = n;
             }
@@ -248,7 +254,7 @@ fn main() -> ExitCode {
                 i += 1;
                 let Some(s) = args.get(i).and_then(|s| s.parse::<u64>().ok()) else {
                     eprintln!("--fleet-seed needs an unsigned integer");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_USAGE);
                 };
                 ctx.fleet.seed = s;
             }
@@ -257,7 +263,7 @@ fn main() -> ExitCode {
                 let Some(n) = args.get(i).and_then(|s| s.parse::<u64>().ok()).filter(|&n| n > 0)
                 else {
                     eprintln!("--fleet-shard needs a positive integer");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_USAGE);
                 };
                 ctx.fleet.shard_size = n;
             }
@@ -277,7 +283,7 @@ fn main() -> ExitCode {
             // worse, be dropped while the run proceeds without it).
             other if other.starts_with('-') => {
                 eprintln!("repro: {}", kagura_bench::cli::unknown_flag_error(other, KNOWN_FLAGS));
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_USAGE);
             }
             other => ids.push(other.to_string()),
         }
@@ -290,7 +296,7 @@ fn main() -> ExitCode {
     }
     if ids.is_empty() {
         usage();
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_USAGE);
     }
 
     // Resolve every id before running anything, so a typo fails fast
@@ -299,7 +305,7 @@ fn main() -> ExitCode {
     for id in &ids {
         let Some(f) = find(id) else {
             eprintln!("unknown experiment {id:?} (try `repro list`)");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_CONFIG);
         };
         runs.push((id, f));
     }
@@ -321,7 +327,7 @@ fn main() -> ExitCode {
             Ok(j) => j,
             Err(e) => {
                 eprintln!("cannot resume: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_CONFIG);
             }
         }
     } else {

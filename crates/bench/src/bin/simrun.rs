@@ -11,7 +11,15 @@
 //!              [--emit-events FILE] [--chrome-trace FILE]
 //!              [--flight-record FILE] [--audit-strict]
 //!              [--cachescope FILE] [--cachescope-period N]
+//! simrun serve [--tcp HOST:PORT] [--port-file PATH] [--state PATH]
+//!              [--workers N] [--queue-depth N] [--cache-capacity N]
+//!              [--deadline-ms N] [--max-insts N] [--write-timeout-ms N]
 //! ```
+//!
+//! `simrun serve` starts the long-running what-if service
+//! ([`kagura_bench::serve`]): NDJSON queries over stdin or TCP, with a
+//! persistent result cache, admission control, per-request budgets and
+//! graceful drain. See DESIGN.md §"What-if service".
 //!
 //! `--emit-events FILE` streams every telemetry event of the run as JSONL;
 //! `--chrome-trace FILE` writes the same run as a Chrome trace-event file
@@ -63,7 +71,7 @@ use ehs_sim::{
 use ehs_telemetry::{ChromeTraceSink, JsonlSink, Sink, Stamped};
 use ehs_workloads::App;
 use kagura_bench::cachescope::{self, ScopeLabels};
-use kagura_bench::cli::{validate_args, FlagSpec};
+use kagura_bench::cli::{validate_args, CliError, FlagSpec};
 
 fn usage() {
     eprintln!(
@@ -74,6 +82,7 @@ fn usage() {
          \x20                [--emit-events FILE] [--chrome-trace FILE]\n\
          \x20                [--flight-record FILE] [--audit-strict]\n\
          \x20                [--cachescope FILE] [--cachescope-period N]\n\
+         \x20      simrun serve [--tcp HOST:PORT] [--state PATH] … (long-running what-if service)\n\
          apps: {}",
         App::ALL.map(|a| a.name()).join(" ")
     );
@@ -357,55 +366,64 @@ fn print_report(stats: &SimStats) {
     }
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), CliError> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    // `simrun serve` is its own subcommand with its own flag table.
+    if raw.first().map(String::as_str) == Some("serve") {
+        return kagura_bench::serve::run_serve(&raw[1..]);
+    }
     // Validate the whole vector up front (unknown flags, missing
     // values, stray positionals) so no simulation starts on a command
     // line that doesn't mean what the user typed.
     if let Err(e) = validate_args(&raw, FLAGS, 1) {
         usage();
-        return Err(e);
+        return Err(CliError::Usage(e));
     }
     let Some(app_name) = raw.first() else {
         usage();
-        return Err("missing app".into());
+        return Err(CliError::Usage("missing app".into()));
     };
     let Some(app) = App::from_name(app_name) else {
         usage();
-        return Err(format!("unknown app {app_name:?}"));
+        return Err(CliError::Config(format!("unknown app {app_name:?}")));
     };
     let args = Args(raw);
     let scale: f64 = match args.flag("--scale") {
-        Some(s) => s.parse().map_err(|e| format!("bad scale: {e}"))?,
+        Some(s) => s.parse().map_err(|e| CliError::Config(format!("bad scale: {e}")))?,
         None => 1.0,
     };
     if scale <= 0.0 {
-        return Err("scale must be positive".into());
+        return Err(CliError::Config("scale must be positive".into()));
     }
-    let cfg = build_config(&args)?;
+    let cfg = build_config(&args).map_err(CliError::Config)?;
 
     let inject = match args.flag("--inject-at") {
         Some(n) => {
-            let at: u64 = n.parse().map_err(|e| format!("bad --inject-at: {e}"))?;
+            let at: u64 =
+                n.parse().map_err(|e| CliError::Config(format!("bad --inject-at: {e}")))?;
             if at == 0 {
-                return Err("--inject-at is 1-based: the first boundary is 1".into());
+                return Err(CliError::Config(
+                    "--inject-at is 1-based: the first boundary is 1".into(),
+                ));
             }
             if cfg.governor.is_ideal() {
-                return Err("--inject-at cannot target ideal two-phase governors (oracle replay \
+                return Err(CliError::Config(
+                    "--inject-at cannot target ideal two-phase governors (oracle replay \
                      realigns work across power cycles)"
-                    .into());
+                        .into(),
+                ));
             }
             let kind = match args.flag("--inject-fault").unwrap_or("power") {
                 "power" => FaultKind::PowerFailure,
                 "torn" => FaultKind::TornCheckpoint { persist_blocks: 0 },
                 "corrupt" => FaultKind::CorruptPayload { bit: 5 },
-                other => return Err(format!("unknown fault kind {other:?}")),
+                other => return Err(CliError::Config(format!("unknown fault kind {other:?}"))),
             };
             Some((at, kind))
         }
         None => {
             if args.has("--inject-fault") {
-                return Err("--inject-fault needs --inject-at".into());
+                return Err(CliError::Usage("--inject-fault needs --inject-at".into()));
             }
             None
         }
@@ -413,9 +431,10 @@ fn run() -> Result<(), String> {
 
     let trace = match args.flag("--trace-file") {
         Some(path) => {
-            let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            let f = File::open(path).map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
             // TraceError names the offending line; prepend the file.
-            PowerTrace::read_text(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))?
+            PowerTrace::read_text(BufReader::new(f))
+                .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?
         }
         None => PowerTrace::generate(cfg.trace_kind, cfg.trace_seed, 4_000_000),
     };
@@ -440,34 +459,40 @@ fn run() -> Result<(), String> {
     let scope = match args.flag("--cachescope-period") {
         Some(p) => {
             if scope_path.is_none() {
-                return Err("--cachescope-period needs --cachescope".into());
+                return Err(CliError::Usage("--cachescope-period needs --cachescope".into()));
             }
-            let n: u64 = p.parse().map_err(|e| format!("bad --cachescope-period: {e}"))?;
+            let n: u64 =
+                p.parse().map_err(|e| CliError::Config(format!("bad --cachescope-period: {e}")))?;
             if n == 0 {
-                return Err("--cachescope-period must be positive".into());
+                return Err(CliError::Config("--cachescope-period must be positive".into()));
             }
             CachescopeConfig::periodic(n)
         }
         None => CachescopeConfig::default(),
     };
     if scope_path.is_some() && instrumented {
-        return Err("--cachescope cannot combine with --emit-events/--chrome-trace/\
-                    --flight-record: one observability stream per run"
-            .into());
+        return Err(CliError::Usage(
+            "--cachescope cannot combine with --emit-events/--chrome-trace/\
+             --flight-record: one observability stream per run"
+                .into(),
+        ));
     }
     // Filled on the cachescope path; rendered after the stats report.
     let mut scope_parsed = None;
     let mut scope_report = None;
     let (stats, metrics) = if instrumented {
         let mut sink = TeeSink::default();
+        let open = |p: &str| {
+            JsonlSink::create(Path::new(p)).map_err(|e| CliError::Runtime(format!("{p}: {e}")))
+        };
         if let Some(p) = events_path {
-            sink.jsonl = Some(JsonlSink::create(Path::new(p)).map_err(|e| format!("{p}: {e}"))?);
+            sink.jsonl = Some(open(p)?);
         }
         if chrome_path.is_some() {
             sink.chrome = Some(ChromeTraceSink::new());
         }
         if let Some(p) = flight_path {
-            sink.flight = Some(JsonlSink::create(Path::new(p)).map_err(|e| format!("{p}: {e}"))?);
+            sink.flight = Some(open(p)?);
         }
         let (stats, metrics) = match inject {
             Some((at, kind)) => {
@@ -479,13 +504,19 @@ fn run() -> Result<(), String> {
             None => run_program_with_telemetry(&program, &trace, &cfg, &mut sink),
         };
         if let Some(err) = sink.jsonl.as_ref().and_then(JsonlSink::error) {
-            return Err(format!("writing {}: {err}", events_path.unwrap_or("events")));
+            return Err(CliError::Runtime(format!(
+                "writing {}: {err}",
+                events_path.unwrap_or("events")
+            )));
         }
         if let Some(err) = sink.flight.as_ref().and_then(JsonlSink::error) {
-            return Err(format!("writing {}: {err}", flight_path.unwrap_or("flight record")));
+            return Err(CliError::Runtime(format!(
+                "writing {}: {err}",
+                flight_path.unwrap_or("flight record")
+            )));
         }
         if let (Some(p), Some(chrome)) = (chrome_path, &sink.chrome) {
-            chrome.write_to(Path::new(p)).map_err(|e| format!("{p}: {e}"))?;
+            chrome.write_to(Path::new(p)).map_err(|e| CliError::Runtime(format!("{p}: {e}")))?;
             eprintln!("chrome trace written to {p}");
         }
         if let Some(p) = events_path {
@@ -508,11 +539,11 @@ fn run() -> Result<(), String> {
         let labels = ScopeLabels::new(app.name(), cfg.design.name(), cfg.governor.label());
         let path = Path::new(scope_file);
         cachescope::write_jsonl(path, &labels, &report)
-            .map_err(|e| format!("{scope_file}: {e}"))?;
+            .map_err(|e| CliError::Runtime(format!("{scope_file}: {e}")))?;
         // Parse the freshly-written stream back strictly: every dump is
         // its own schema round-trip check, and the rendered report below
         // comes from the parsed stream, not the in-memory report.
-        scope_parsed = Some(cachescope::parse_cachescope_file(path)?);
+        scope_parsed = Some(cachescope::parse_cachescope_file(path).map_err(CliError::Runtime)?);
         scope_report = Some(report);
         eprintln!("cachescope stream written to {scope_file}");
         (stats, None)
@@ -554,7 +585,7 @@ fn run() -> Result<(), String> {
         }
     }
     if !stats.completed {
-        return Err("run hit the simulated-time guard before completing".into());
+        return Err(CliError::Runtime("run hit the simulated-time guard before completing".into()));
     }
     Ok(())
 }
@@ -562,9 +593,12 @@ fn run() -> Result<(), String> {
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
+        // Exit codes distinguish the failure class (see CliError): 2 for
+        // usage errors, 3 for invalid configuration, 1 for runtime
+        // failures — scripted callers assert on *why*, not on stderr.
         Err(e) => {
             eprintln!("simrun: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

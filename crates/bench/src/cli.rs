@@ -9,6 +9,57 @@
 //! scanners validate the whole argument vector up front (flag arity
 //! included) before any simulation starts.
 
+/// A binary-level failure carrying its process exit class.
+///
+/// The harness binaries distinguish three failure classes so scripted
+/// callers (ci.sh, the serve soak tests) can assert on *why* an
+/// invocation failed instead of pattern-matching stderr:
+///
+/// * [`CliError::Usage`] — the command line never parsed (unknown flag,
+///   missing value, stray positional). Exit code **2**, the Unix
+///   convention for usage errors.
+/// * [`CliError::Config`] — the command line parsed but names something
+///   invalid (unknown app, bad enum value, mismatched resume
+///   fingerprint). Exit code **3**.
+/// * [`CliError::Runtime`] — a valid invocation failed while running
+///   (I/O error, failed simulation, strict-audit violation). Exit
+///   code **1**.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Malformed command line; exit code 2.
+    Usage(String),
+    /// Valid syntax naming an invalid configuration; exit code 3.
+    Config(String),
+    /// A valid invocation that failed at runtime; exit code 1.
+    Runtime(String),
+}
+
+impl CliError {
+    /// The process exit code for this failure class.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Config(_) => 3,
+            CliError::Runtime(_) => 1,
+        }
+    }
+
+    /// The user-facing message, without the class prefix.
+    pub fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Config(m) | CliError::Runtime(m) => m,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+impl std::error::Error for CliError {}
+
 /// Levenshtein edit distance between two ASCII-ish strings.
 pub fn levenshtein(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
@@ -109,6 +160,15 @@ pub fn validate_args(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cli_error_classes_map_to_distinct_exit_codes() {
+        assert_eq!(CliError::Usage("bad flag".into()).exit_code(), 2);
+        assert_eq!(CliError::Config("bad governor".into()).exit_code(), 3);
+        assert_eq!(CliError::Runtime("io error".into()).exit_code(), 1);
+        assert_eq!(CliError::Config("x".into()).message(), "x");
+        assert_eq!(CliError::Usage("y".into()).to_string(), "y");
+    }
 
     #[test]
     fn edit_distance() {

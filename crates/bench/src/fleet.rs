@@ -21,8 +21,8 @@
 //! [`FixedSum`]: ehs_telemetry::FixedSum
 
 use std::collections::BTreeMap;
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, Write};
+use std::fs::{self, File};
+use std::io;
 use std::path::{Path, PathBuf};
 
 use ehs_sim::fleet::{FleetCell, FleetSpec};
@@ -387,8 +387,15 @@ pub fn bootstrap_mean_ci(values: &[f64], seed: u64) -> Option<(f64, f64)> {
 /// Shard journal file name inside the results directory.
 pub const FLEET_JOURNAL_FILE: &str = "fleet_journal.jsonl";
 
-const FORMAT_NAME: &str = "kagura-fleet";
-const FORMAT_VERSION: u64 = 1;
+/// Header format shared with the other journals via
+/// [`fsutil::resume_journal`](crate::fsutil::resume_journal).
+const FORMAT: crate::fsutil::JournalFormat = crate::fsutil::JournalFormat {
+    name: "kagura-fleet",
+    version: 1,
+    log_tag: "fleet",
+    torn_note: "its shard re-runs",
+    mismatch_hint: "resume with the original fleet/scale flags or start a fresh --out",
+};
 
 /// Append-only journal of completed campaign shards, mirroring the
 /// driver's run journal: a fingerprint header, one fsynced line per
@@ -412,14 +419,7 @@ impl FleetJournal {
     pub fn create(out_dir: &Path, fingerprint: Value) -> io::Result<Self> {
         fs::create_dir_all(out_dir)?;
         let path = out_dir.join(FLEET_JOURNAL_FILE);
-        let mut file = File::create(&path)?;
-        let header = json!({
-            "journal": FORMAT_NAME,
-            "version": FORMAT_VERSION,
-            "fingerprint": fingerprint,
-        });
-        writeln!(file, "{}", serde_json::to_string(&header).expect("serializable"))?;
-        file.sync_data()?;
+        let file = crate::fsutil::create_journal(&path, &FORMAT, &fingerprint)?;
         Ok(FleetJournal { path, file, shards: BTreeMap::new() })
     }
 
@@ -433,92 +433,26 @@ impl FleetJournal {
     /// unreadable or fingerprints a different campaign configuration.
     pub fn resume(out_dir: &Path, fingerprint: Value) -> io::Result<Self> {
         let path = out_dir.join(FLEET_JOURNAL_FILE);
-        let text = match fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                return Self::create(out_dir, fingerprint);
-            }
-            Err(e) => return Err(e),
+        let Some((file, records)) = crate::fsutil::resume_journal(&path, &FORMAT, &fingerprint)?
+        else {
+            return Self::create(out_dir, fingerprint);
         };
-        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
-        let mut pieces = text.split_inclusive('\n');
-        let header_piece = pieces.next().unwrap_or("");
-        let header: Value = Some(header_piece)
-            .filter(|p| p.ends_with('\n'))
-            .and_then(|p| serde_json::from_str(p.trim_end()).ok())
-            .ok_or_else(|| bad(format!("{}: missing or corrupt journal header", path.display())))?;
-        if header.get("journal").and_then(Value::as_str) != Some(FORMAT_NAME)
-            || header.get("version").and_then(Value::as_u64) != Some(FORMAT_VERSION)
-        {
-            return Err(bad(format!(
-                "{}: not a {FORMAT_NAME} v{FORMAT_VERSION} journal",
-                path.display()
-            )));
-        }
-        let found = header.get("fingerprint").cloned().unwrap_or(Value::Null);
-        if found != fingerprint {
-            let show = |v: &Value| serde_json::to_string(v).unwrap_or_else(|_| "?".into());
-            return Err(bad(format!(
-                "{}: fleet journal fingerprint does not match this campaign \
-                 (journal {}, requested {}); \
-                 resume with the original fleet/scale flags or start a fresh --out",
-                path.display(),
-                show(&found),
-                show(&fingerprint),
-            )));
-        }
         let mut shards = BTreeMap::new();
-        let entries: Vec<&str> = pieces.collect();
-        // Byte length of the journal's intact prefix (see
-        // `RunJournal::resume`): a torn tail is truncated back to this
-        // length so appends resume on a clean line boundary instead of
-        // gluing the next shard record onto the partial line.
-        let mut valid_len = header_piece.len() as u64;
-        for (i, piece) in entries.iter().enumerate() {
-            match serde_json::from_str(piece.trim_end()) {
-                Ok(record) if piece.ends_with('\n') => {
-                    let record: Value = record;
-                    let shard = record.get("shard").and_then(Value::as_u64);
-                    let agg = record.get("agg").cloned();
-                    let failures =
-                        record.get("failures").and_then(Value::as_array).map(<[Value]>::to_vec);
-                    match (shard, agg, failures) {
-                        (Some(s), Some(a), Some(f)) => {
-                            shards.insert(s, (a, f));
-                            valid_len += piece.len() as u64;
-                        }
-                        _ => {
-                            return Err(bad(format!(
-                                "{}: journal line {} is not a shard record",
-                                path.display(),
-                                i + 2
-                            )));
-                        }
-                    }
+        for (i, record) in records.iter().enumerate() {
+            let shard = record.get("shard").and_then(Value::as_u64);
+            let agg = record.get("agg").cloned();
+            let failures = record.get("failures").and_then(Value::as_array).map(<[Value]>::to_vec);
+            match (shard, agg, failures) {
+                (Some(s), Some(a), Some(f)) => {
+                    shards.insert(s, (a, f));
                 }
-                res if i + 1 == entries.len() => {
-                    let detail = match res {
-                        Err(e) => e.to_string(),
-                        Ok(_) => "record written without its newline".into(),
-                    };
-                    eprintln!(
-                        "[fleet] dropping torn final journal line ({detail}); its shard re-runs"
-                    );
+                _ => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}: journal line {} is not a shard record", path.display(), i + 2),
+                    ));
                 }
-                Err(e) => {
-                    return Err(bad(format!(
-                        "{}: corrupt journal line {}: {e}",
-                        path.display(),
-                        i + 2
-                    )));
-                }
-                Ok(_) => unreachable!("only the final split_inclusive piece can lack a newline"),
             }
-        }
-        let file = OpenOptions::new().append(true).open(&path)?;
-        if valid_len < text.len() as u64 {
-            file.set_len(valid_len)?;
-            file.sync_data()?;
         }
         Ok(FleetJournal { path, file, shards })
     }
@@ -546,8 +480,7 @@ impl FleetJournal {
     /// Returns any I/O error from the append or sync.
     pub fn record(&mut self, shard: u64, agg: Value, failures: Vec<Value>) -> io::Result<()> {
         let record = json!({ "shard": shard, "agg": agg.clone(), "failures": failures.clone() });
-        writeln!(self.file, "{}", serde_json::to_string(&record).expect("serializable"))?;
-        self.file.sync_data()?;
+        crate::fsutil::append_journal_record(&mut self.file, &record)?;
         self.shards.insert(shard, (agg, failures));
         Ok(())
     }
@@ -779,6 +712,8 @@ pub fn parse_fleet_file(path: &Path) -> Result<FleetReport, String> {
 mod tests {
     use super::*;
     use ehs_sim::StepBudget;
+    use std::fs::OpenOptions;
+    use std::io::Write;
 
     fn spec(population: u64) -> FleetSpec {
         FleetSpec {

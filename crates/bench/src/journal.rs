@@ -15,17 +15,26 @@
 //! tolerates (and drops) exactly that line.
 
 use std::collections::BTreeMap;
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, Write};
+use std::fs::{self, File};
+use std::io;
 use std::path::{Path, PathBuf};
 
 use serde_json::{json, Value};
 
+use crate::fsutil::{self, JournalFormat};
+
 /// Journal file name inside the results directory.
 pub const JOURNAL_FILE: &str = "run_journal.jsonl";
 
-const FORMAT_NAME: &str = "kagura-repro";
-const FORMAT_VERSION: u64 = 1;
+/// Header format shared with the other journals via
+/// [`fsutil::resume_journal`].
+const FORMAT: JournalFormat = JournalFormat {
+    name: "kagura-repro",
+    version: 1,
+    log_tag: "resume",
+    torn_note: "its experiment will re-run",
+    mismatch_hint: "resume with the original --scale/--apps or start a fresh --out",
+};
 
 /// The append-only run journal (see module docs).
 #[derive(Debug)]
@@ -46,14 +55,7 @@ impl RunJournal {
     pub fn create(out_dir: &Path, fingerprint: Value) -> io::Result<Self> {
         fs::create_dir_all(out_dir)?;
         let path = out_dir.join(JOURNAL_FILE);
-        let mut file = File::create(&path)?;
-        let header = json!({
-            "journal": FORMAT_NAME,
-            "version": FORMAT_VERSION,
-            "fingerprint": fingerprint,
-        });
-        writeln!(file, "{}", serde_json::to_string(&header).expect("serializable"))?;
-        file.sync_data()?;
+        let file = fsutil::create_journal(&path, &FORMAT, &fingerprint)?;
         Ok(RunJournal { path, file, completed: BTreeMap::new() })
     }
 
@@ -70,90 +72,19 @@ impl RunJournal {
     /// incompatible results into one output tree.
     pub fn resume(out_dir: &Path, fingerprint: Value) -> io::Result<Self> {
         let path = out_dir.join(JOURNAL_FILE);
-        let text = match fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                return Self::create(out_dir, fingerprint);
-            }
-            Err(e) => return Err(e),
+        let Some((file, records)) = fsutil::resume_journal(&path, &FORMAT, &fingerprint)? else {
+            return Self::create(out_dir, fingerprint);
         };
-        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
-        let mut pieces = text.split_inclusive('\n');
-        let header_piece = pieces.next().unwrap_or("");
-        let header: Value = Some(header_piece)
-            .filter(|p| p.ends_with('\n'))
-            .and_then(|p| serde_json::from_str(p.trim_end()).ok())
-            .ok_or_else(|| bad(format!("{}: missing or corrupt journal header", path.display())))?;
-        if header.get("journal").and_then(Value::as_str) != Some(FORMAT_NAME)
-            || header.get("version").and_then(Value::as_u64) != Some(FORMAT_VERSION)
-        {
-            return Err(bad(format!(
-                "{}: not a {FORMAT_NAME} v{FORMAT_VERSION} journal",
-                path.display()
-            )));
-        }
-        let found = header.get("fingerprint").cloned().unwrap_or(Value::Null);
-        if found != fingerprint {
-            let show = |v: &Value| serde_json::to_string(v).unwrap_or_else(|_| "?".into());
-            return Err(bad(format!(
-                "{}: journal fingerprint does not match this invocation \
-                 (journal {}, requested {}); \
-                 resume with the original --scale/--apps or start a fresh --out",
-                path.display(),
-                show(&found),
-                show(&fingerprint),
-            )));
-        }
         let mut completed = BTreeMap::new();
-        let entries: Vec<&str> = pieces.collect();
-        // Byte length of the journal's intact prefix — everything up to
-        // and including the last record that both parses and carries its
-        // trailing newline. A torn tail is truncated back to this length
-        // so appends resume on a clean line boundary.
-        let mut valid_len = header_piece.len() as u64;
-        for (i, piece) in entries.iter().enumerate() {
-            match serde_json::from_str(piece.trim_end()) {
-                Ok(cell) if piece.ends_with('\n') => {
-                    let cell: Value = cell;
-                    if let Some(id) = cell.get("id").and_then(Value::as_str) {
-                        let failures = cell
-                            .get("failures")
-                            .and_then(Value::as_array)
-                            .map(<[Value]>::to_vec)
-                            .unwrap_or_default();
-                        completed.insert(id.to_string(), failures);
-                    }
-                    valid_len += piece.len() as u64;
-                }
-                // Only the final line can legitimately be torn (the
-                // journal is append-only and fsynced per record).
-                res if i + 1 == entries.len() => {
-                    let detail = match res {
-                        Err(e) => e.to_string(),
-                        Ok(_) => "record written without its newline".into(),
-                    };
-                    eprintln!(
-                        "[resume] dropping torn final journal line ({detail}); \
-                         its experiment will re-run"
-                    );
-                }
-                Err(e) => {
-                    return Err(bad(format!(
-                        "{}: corrupt journal line {}: {e}",
-                        path.display(),
-                        i + 2
-                    )));
-                }
-                Ok(_) => unreachable!("only the final split_inclusive piece can lack a newline"),
+        for cell in records {
+            if let Some(id) = cell.get("id").and_then(Value::as_str) {
+                let failures = cell
+                    .get("failures")
+                    .and_then(Value::as_array)
+                    .map(<[Value]>::to_vec)
+                    .unwrap_or_default();
+                completed.insert(id.to_string(), failures);
             }
-        }
-        let file = OpenOptions::new().append(true).open(&path)?;
-        if valid_len < text.len() as u64 {
-            // Drop the torn tail from disk too: with O_APPEND the next
-            // record would otherwise be glued onto the partial line,
-            // corrupting the journal for every later resume.
-            file.set_len(valid_len)?;
-            file.sync_data()?;
         }
         Ok(RunJournal { path, file, completed })
     }
@@ -183,8 +114,7 @@ impl RunJournal {
     /// Returns any I/O error from the append or sync.
     pub fn record(&mut self, id: &str, failures: Vec<Value>) -> io::Result<()> {
         let cell = json!({ "id": id, "failures": failures.clone() });
-        writeln!(self.file, "{}", serde_json::to_string(&cell).expect("serializable"))?;
-        self.file.sync_data()?;
+        fsutil::append_journal_record(&mut self.file, &cell)?;
         self.completed.insert(id.to_string(), failures);
         Ok(())
     }
@@ -249,7 +179,7 @@ mod tests {
         }
         // Simulate SIGKILL mid-append: a partial record with no newline.
         use std::io::Write as _;
-        let mut f = OpenOptions::new().append(true).open(dir.join(JOURNAL_FILE)).unwrap();
+        let mut f = fs::OpenOptions::new().append(true).open(dir.join(JOURNAL_FILE)).unwrap();
         f.write_all(b"{\"id\":\"fig1").unwrap();
         drop(f);
         let mut j = RunJournal::resume(&dir, fp.clone()).unwrap();
@@ -266,7 +196,7 @@ mod tests {
         drop(j);
         // Corruption *before* the end is a hard error, not silent loss.
         let header =
-            json!({"journal": FORMAT_NAME, "version": FORMAT_VERSION, "fingerprint": fp.clone()});
+            json!({"journal": FORMAT.name, "version": FORMAT.version, "fingerprint": fp.clone()});
         fs::write(
             dir.join(JOURNAL_FILE),
             format!(

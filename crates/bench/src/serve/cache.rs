@@ -1,0 +1,283 @@
+//! Bounded LRU result cache with crash-safe persistence.
+//!
+//! The cache maps canonical query fingerprints ([`super::request::Query::cache_key`])
+//! to the *serialized* result payload — the exact bytes that went out
+//! the first time — so a repeat (including one after a restart) is
+//! served byte-identically without re-entering the simulator.
+//!
+//! Persistence reuses the shared journal format
+//! ([`crate::fsutil::resume_journal`]): a header line followed by one
+//! fsynced `{"key","result"}` record per insertion. Appending per miss
+//! means a SIGKILL loses at most the entry being written; on graceful
+//! drain the journal is *compacted* — live entries only, LRU order —
+//! through [`crate::fsutil::atomic_write`], so the file never grows
+//! beyond one record per live entry plus whatever the current process
+//! appended. A corrupt or foreign state file is a warning and a fresh
+//! cache, never a crashed server: the cache is an accelerator, not a
+//! source of truth.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde_json::{json, Value};
+
+use crate::fsutil::{self, JournalFormat};
+
+/// Journal identity for the persisted cache state file.
+const FORMAT: JournalFormat = JournalFormat {
+    name: "kagura-servecache",
+    version: 1,
+    log_tag: "serve",
+    torn_note: "its entry will be recomputed on demand",
+    mismatch_hint: "delete the state file to start cold",
+};
+
+/// The state file's fingerprint: results depend only on the per-entry
+/// query key, so the header pins nothing but the payload schema.
+fn state_fingerprint() -> Value {
+    json!({ "server": "simrun-serve", "schema": 1u64 })
+}
+
+/// Bounded LRU cache of serialized query results (see module docs).
+pub struct ResultCache {
+    capacity: usize,
+    /// Monotonic access clock for LRU ordering.
+    tick: u64,
+    /// key → (serialized result, last-access tick).
+    entries: HashMap<String, (String, u64)>,
+    /// Append handle on the state journal, when persistence is on.
+    journal: Option<File>,
+    path: Option<PathBuf>,
+}
+
+impl ResultCache {
+    /// Opens the cache, warming from `path` when it holds a valid state
+    /// journal. Corruption or a foreign header degrades to an empty
+    /// cache with a stderr warning (the file is recreated); `None`
+    /// disables persistence entirely.
+    pub fn open(path: Option<&Path>, capacity: usize) -> ResultCache {
+        let capacity = capacity.max(1);
+        let mut cache = ResultCache {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+            journal: None,
+            path: path.map(Path::to_path_buf),
+        };
+        let Some(path) = path else { return cache };
+        match fsutil::resume_journal(path, &FORMAT, &state_fingerprint()) {
+            Ok(Some((file, records))) => {
+                cache.journal = Some(file);
+                // Replay in file order: later records win, and the
+                // replay clock reproduces recency so the capacity cut
+                // keeps the most recently written entries.
+                for record in records {
+                    if let (Some(k), Some(r)) = (
+                        record.get("key").and_then(Value::as_str),
+                        record.get("result").and_then(Value::as_str),
+                    ) {
+                        cache.tick += 1;
+                        cache.entries.insert(k.to_string(), (r.to_string(), cache.tick));
+                        cache.evict_to_capacity();
+                    }
+                }
+            }
+            Ok(None) => match fsutil::create_journal(path, &FORMAT, &state_fingerprint()) {
+                Ok(file) => cache.journal = Some(file),
+                Err(e) => eprintln!("[serve] cache persistence disabled ({}: {e})", path.display()),
+            },
+            Err(e) => {
+                eprintln!("[serve] ignoring unusable cache state ({e}); starting cold");
+                match fsutil::create_journal(path, &FORMAT, &state_fingerprint()) {
+                    Ok(file) => cache.journal = Some(file),
+                    Err(e) => {
+                        eprintln!("[serve] cache persistence disabled ({}: {e})", path.display());
+                    }
+                }
+            }
+        }
+        cache
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &str) -> Option<String> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|(result, last)| {
+            *last = tick;
+            result.clone()
+        })
+    }
+
+    /// Inserts a result, evicting the least-recently-used entry when
+    /// over capacity, and appends it to the state journal (fsynced — a
+    /// SIGKILL after this call cannot lose the entry).
+    pub fn insert(&mut self, key: String, result: String) {
+        self.tick += 1;
+        if let Some(file) = &mut self.journal {
+            let record = json!({ "key": key.clone(), "result": result.clone() });
+            if let Err(e) = fsutil::append_journal_record(file, &record) {
+                eprintln!("[serve] cache append failed ({e}); persistence disabled");
+                self.journal = None;
+            }
+        }
+        self.entries.insert(key, (result, self.tick));
+        self.evict_to_capacity();
+    }
+
+    fn evict_to_capacity(&mut self) {
+        while self.entries.len() > self.capacity {
+            let Some(oldest) =
+                self.entries.iter().min_by_key(|(_, (_, tick))| *tick).map(|(k, _)| k.clone())
+            else {
+                return;
+            };
+            self.entries.remove(&oldest);
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Compacts the state journal to the live entries (LRU order, most
+    /// recent last) via [`fsutil::atomic_write`]: the graceful-drain
+    /// flush. A crash during compaction leaves the previous journal
+    /// intact.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the atomic write or from reopening
+    /// the compacted journal for appending.
+    pub fn persist(&mut self) -> io::Result<()> {
+        let Some(path) = self.path.clone() else { return Ok(()) };
+        let header = json!({
+            "journal": FORMAT.name,
+            "version": FORMAT.version,
+            "fingerprint": state_fingerprint(),
+        });
+        let mut text = serde_json::to_string(&header).expect("serializable");
+        text.push('\n');
+        let mut live: Vec<(&String, &(String, u64))> = self.entries.iter().collect();
+        live.sort_by_key(|(_, (_, tick))| *tick);
+        for (key, (result, _)) in live {
+            let record = json!({ "key": key.clone(), "result": result.clone() });
+            text.push_str(&serde_json::to_string(&record).expect("serializable"));
+            text.push('\n');
+        }
+        // Close the append handle before replacing the file beneath it.
+        self.journal = None;
+        fsutil::atomic_write(&path, text.as_bytes())?;
+        self.journal = Some(std::fs::OpenOptions::new().append(true).open(&path)?);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("kagura_servecache_{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn survives_restart_with_identical_bytes() {
+        let dir = tmp("restart");
+        let path = dir.join("state.jsonl");
+        {
+            let mut c = ResultCache::open(Some(&path), 8);
+            c.insert("k1".into(), r#"{"speedup":1.25}"#.into());
+            c.insert("k2".into(), r#"{"speedup":0.99}"#.into());
+            // No persist(): simulate SIGKILL — appends alone must be
+            // durable.
+        }
+        let mut c = ResultCache::open(Some(&path), 8);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("k1").as_deref(), Some(r#"{"speedup":1.25}"#));
+        assert_eq!(c.get("k2").as_deref(), Some(r#"{"speedup":0.99}"#));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lru_eviction_bounds_the_cache() {
+        let mut c = ResultCache::open(None, 2);
+        c.insert("a".into(), "1".into());
+        c.insert("b".into(), "2".into());
+        assert!(c.get("a").is_some(), "touch a so b is the LRU entry");
+        c.insert("c".into(), "3".into());
+        assert_eq!(c.len(), 2);
+        assert!(c.get("b").is_none(), "LRU entry must be evicted");
+        assert!(c.get("a").is_some() && c.get("c").is_some());
+    }
+
+    #[test]
+    fn later_journal_records_win_and_capacity_holds_on_load() {
+        let dir = tmp("replay");
+        let path = dir.join("state.jsonl");
+        {
+            let mut c = ResultCache::open(Some(&path), 8);
+            c.insert("k".into(), "old".into());
+            c.insert("k".into(), "new".into());
+            for i in 0..5 {
+                c.insert(format!("fill{i}"), "x".into());
+            }
+        }
+        let mut full = ResultCache::open(Some(&path), 16);
+        assert_eq!(full.get("k").as_deref(), Some("new"), "the later record must win");
+        assert_eq!(full.len(), 6, "duplicate keys must not double-count");
+        drop(full);
+        let c = ResultCache::open(Some(&path), 2);
+        assert_eq!(c.len(), 2, "load must enforce the (smaller) capacity");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_state_degrades_to_cold_start() {
+        let dir = tmp("corrupt");
+        let path = dir.join("state.jsonl");
+        fs::write(&path, "garbage, not a journal\n").unwrap();
+        let mut c = ResultCache::open(Some(&path), 4);
+        assert!(c.is_empty(), "corrupt state must not crash or populate");
+        // And persistence still works after the recovery.
+        c.insert("k".into(), "v".into());
+        drop(c);
+        let mut c = ResultCache::open(Some(&path), 4);
+        assert_eq!(c.get("k").as_deref(), Some("v"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persist_compacts_to_live_entries() {
+        let dir = tmp("compact");
+        let path = dir.join("state.jsonl");
+        let mut c = ResultCache::open(Some(&path), 2);
+        for i in 0..10 {
+            c.insert(format!("k{i}"), format!("v{i}"));
+        }
+        let appended = fs::read_to_string(&path).unwrap().lines().count();
+        assert_eq!(appended, 11, "header + one append per insert");
+        c.persist().unwrap();
+        let compacted = fs::read_to_string(&path).unwrap().lines().count();
+        assert_eq!(compacted, 3, "header + capacity entries after compaction");
+        // Appends still work after compaction.
+        c.insert("fresh".into(), "w".into());
+        drop(c);
+        let mut c = ResultCache::open(Some(&path), 4);
+        assert_eq!(c.get("fresh").as_deref(), Some("w"));
+        assert_eq!(c.get("k9").as_deref(), Some("v9"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the `simrun serve` request parser.
+//!
+//! A long-running service parses hostile input for its whole lifetime,
+//! so the parser's contract is pinned adversarially rather than
+//! example-tested: *no* input line may panic it, truncations and
+//! bit-flips of valid requests must degrade to typed errors (or parse
+//! to an equally valid request — a flipped bit inside a string value is
+//! still well-formed JSON), and every unknown field or enum value near
+//! a valid spelling must come back with a did-you-mean hint.
+
+use kagura_bench::cli::levenshtein;
+use kagura_bench::serve::request::{parse_request, Request, KNOWN_FIELDS, KNOWN_OPS};
+use proptest::prelude::*;
+
+/// `select`-style helper: a strategy picking one of `items`.
+fn pick(items: &'static [&'static str]) -> impl Strategy<Value = &'static str> {
+    (0..items.len()).prop_map(move |i| items[i])
+}
+
+/// A generator of *valid* query lines covering every field.
+fn valid_query_line() -> impl Strategy<Value = String> {
+    (
+        pick(&["sha", "crc32", "gsm", "jpeg", "dijkstra"]),
+        1u32..=1000,
+        pick(&["baseline", "none", "always", "acc", "kagura", "ideal-acc", "ideal-kagura"]),
+        pick(&["nvsram", "nvmr", "sweepcache", "sweep"]),
+        (
+            pick(&["bdi", "fpc", "cpack", "dzc", "bpc", "fvc"]),
+            pick(&["rfhome", "solar", "thermal"]),
+        ),
+        (any::<u16>(), prop_oneof![Just(None), (1u64..=1_000_000).prop_map(Some)]),
+    )
+        .prop_map(|(app, scale_mil, gov, design, (alg, trace), (seed, max_insts))| {
+            let scale = f64::from(scale_mil) / 1000.0;
+            let budget = match max_insts {
+                Some(n) => format!(",\"max_insts\":{n}"),
+                None => String::new(),
+            };
+            format!(
+                "{{\"op\":\"query\",\"id\":\"p\",\"app\":\"{app}\",\"scale\":{scale},\
+                 \"governor\":\"{gov}\",\"design\":\"{design}\",\"algorithm\":\"{alg}\",\
+                 \"trace\":\"{trace}\",\"seed\":{seed}{budget}}}"
+            )
+        })
+}
+
+proptest! {
+    /// Arbitrary byte soup must never panic the parser — at worst it is
+    /// a `bad_request` whose detail names the problem.
+    #[test]
+    fn arbitrary_input_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let line = String::from_utf8_lossy(&bytes);
+        match parse_request(&line) {
+            Ok(_) => {}
+            Err((_, detail)) => prop_assert!(!detail.is_empty(), "error must carry detail"),
+        }
+    }
+
+    /// Valid queries always parse, and canonicalization is total: the
+    /// cache key embeds the resolved governor, never the alias.
+    #[test]
+    fn valid_queries_always_parse_and_canonicalize(line in valid_query_line()) {
+        let parsed = parse_request(&line);
+        prop_assert!(parsed.is_ok(), "{} -> {:?}", line, parsed);
+        let Ok(Request::Query { query, .. }) = parsed else {
+            prop_assert!(false, "expected a query");
+            return Ok(());
+        };
+        let key = query.cache_key();
+        prop_assert!(!key.contains("\"governor\":\"none\""), "alias must canonicalize: {}", key);
+        prop_assert!(!key.contains("max_insts"), "budgets must stay out of the key: {}", key);
+        prop_assert!(parse_request(&line).unwrap() == Request::Query {
+            id: serde_json::Value::String("p".into()),
+            query: query.clone(),
+        }, "parsing is deterministic");
+    }
+
+    /// Truncating a valid request at any byte boundary never panics and
+    /// never silently succeeds: a cut `{…}` line always loses its
+    /// closing brace, so it must fail typed.
+    #[test]
+    fn truncated_requests_fail_typed(line in valid_query_line(), cut in 0usize..100) {
+        let cut = cut.min(line.len().saturating_sub(1));
+        let truncated: String = line.chars().take(cut).collect();
+        match parse_request(&truncated) {
+            Err((_, detail)) => prop_assert!(!detail.is_empty()),
+            Ok(_) => prop_assert!(false, "a truncated object cannot be valid: {:?}", truncated),
+        }
+    }
+
+    /// Flipping one bit of one byte of a valid request line never
+    /// panics the parser; when the line still parses, it parses to a
+    /// well-formed request (the flip landed inside a string value).
+    #[test]
+    fn bit_flipped_requests_never_panic(
+        line in valid_query_line(),
+        pos in 0usize..200,
+        bit in 0u8..7,
+    ) {
+        let mut bytes = line.into_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        // Parser input is &str; non-UTF-8 flips are rejected before the
+        // parser ever sees them, exactly as the server's line reader does.
+        if let Ok(corrupted) = String::from_utf8(bytes) {
+            let _ = parse_request(&corrupted);
+        }
+    }
+
+    /// Every near-miss of a known field name gets a did-you-mean hint
+    /// naming the intended field.
+    #[test]
+    fn misspelled_fields_get_did_you_mean(which in 0usize..16, swap in 0usize..8) {
+        let field = KNOWN_FIELDS[which % KNOWN_FIELDS.len()];
+        if field == "op" || field == "id" || field.len() < 3 {
+            return Ok(());
+        }
+        // Transpose two adjacent characters: a classic typo at edit
+        // distance ≤ 2, always within the suggestion budget.
+        let mut chars: Vec<char> = field.chars().collect();
+        let i = swap % (chars.len() - 1);
+        chars.swap(i, i + 1);
+        let typo: String = chars.into_iter().collect();
+        if typo == field || KNOWN_FIELDS.contains(&typo.as_str()) {
+            return Ok(());
+        }
+        prop_assert!(levenshtein(&typo, field) <= 2);
+        let line = format!("{{\"op\":\"query\",\"app\":\"sha\",\"{typo}\":1}}");
+        let (_, detail) = parse_request(&line).unwrap_err();
+        prop_assert!(
+            detail.contains(&format!("`{typo}`")),
+            "error must name the offender: {}",
+            detail
+        );
+        prop_assert!(
+            detail.contains("did you mean"),
+            "near-miss of `{}` must get a hint: {}",
+            field,
+            detail
+        );
+    }
+
+    /// Same for op values: a transposed op name is suggested back.
+    #[test]
+    fn misspelled_ops_get_did_you_mean(which in 0usize..8, swap in 0usize..8) {
+        let op = KNOWN_OPS[which % KNOWN_OPS.len()];
+        let mut chars: Vec<char> = op.chars().collect();
+        let i = swap % (chars.len() - 1);
+        chars.swap(i, i + 1);
+        let typo: String = chars.into_iter().collect();
+        if typo == op {
+            return Ok(());
+        }
+        let line = format!("{{\"op\":\"{typo}\",\"id\":3}}");
+        let (id, detail) = parse_request(&line).unwrap_err();
+        prop_assert_eq!(id, serde_json::Value::U64(3), "id must survive an op typo");
+        prop_assert!(detail.contains("did you mean"), "{}", detail);
+    }
+}

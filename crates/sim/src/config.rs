@@ -196,6 +196,24 @@ impl StepBudget {
     pub fn is_unlimited(&self) -> bool {
         self.max_executed_insts.is_none() && self.max_wall.is_none()
     }
+
+    /// The intersection of two budgets: each limit is the tighter of
+    /// the two (a set limit always beats an unset one). Serving layers
+    /// use this to combine a per-request budget with the server-wide
+    /// watchdog — a request can only ever *shrink* its allowance.
+    pub fn min_with(self, other: StepBudget) -> StepBudget {
+        fn tighter<T: Ord>(a: Option<T>, b: Option<T>) -> Option<T> {
+            match (a, b) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, None) => x,
+                (None, y) => y,
+            }
+        }
+        StepBudget {
+            max_executed_insts: tighter(self.max_executed_insts, other.max_executed_insts),
+            max_wall: tighter(self.max_wall, other.max_wall),
+        }
+    }
 }
 
 /// Which implementation of the step loop drives the simulation.
@@ -397,6 +415,24 @@ mod tests {
         let b = SimConfig::table1().with_step_budget(StepBudget::insts(42)).step_budget;
         assert_eq!(b.max_executed_insts, Some(42));
         assert_eq!(b.max_wall, None);
+    }
+
+    #[test]
+    fn step_budget_min_with_takes_the_tighter_limit() {
+        use std::time::Duration;
+        let server = StepBudget::insts(1_000_000);
+        let request = StepBudget { max_executed_insts: Some(500), max_wall: None };
+        let merged = request.min_with(server);
+        assert_eq!(merged.max_executed_insts, Some(500));
+        assert_eq!(merged.max_wall, None);
+        // A set limit always beats an unset one, in either order.
+        let walled = StepBudget::wall(Duration::from_millis(50)).min_with(server);
+        assert_eq!(walled.max_executed_insts, Some(1_000_000));
+        assert_eq!(walled.max_wall, Some(Duration::from_millis(50)));
+        assert!(StepBudget::UNLIMITED.min_with(StepBudget::UNLIMITED).is_unlimited());
+        let tight = StepBudget::wall(Duration::from_millis(10))
+            .min_with(StepBudget::wall(Duration::from_millis(99)));
+        assert_eq!(tight.max_wall, Some(Duration::from_millis(10)));
     }
 
     #[test]

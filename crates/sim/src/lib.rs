@@ -58,7 +58,10 @@ pub use faultinject::{FaultCampaignReport, GoldenState, InjectionPlan};
 pub use fleet::{FleetCell, FleetSpec, Permutation};
 pub use governor::Governor;
 pub use machine::{FaultKind, Simulator};
-pub use parallel::{run_batch, run_batch_with, JobFailure, RetryPolicy, SimJob};
+pub use parallel::{
+    pool_in_flight, run_batch, run_batch_with, run_job, run_job_with, JobFailure, RetryPolicy,
+    SimJob,
+};
 pub use runner::{
     run_app, run_app_with_cachescope, run_app_with_telemetry, run_ideal_app, run_program,
     run_program_with_cachescope, run_program_with_telemetry,

@@ -87,6 +87,13 @@ fn in_flight() -> &'static (Mutex<usize>, Condvar) {
     SEM.get_or_init(|| (Mutex::new(0), Condvar::new()))
 }
 
+/// Number of leaf jobs currently holding a worker permit. Admission
+/// layers (e.g. `simrun serve`) read this to size their load-shedding
+/// decisions against the real pool occupancy rather than a guess.
+pub fn pool_in_flight() -> usize {
+    *in_flight().0.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Whether [`execute`] holds one global worker permit per in-flight item
 /// (leaf simulation batches) or none (coordinator fan-out, whose real
 /// work happens in nested leaf batches).
@@ -390,6 +397,80 @@ pub fn run_batch_with(jobs: Vec<SimJob>, policy: RetryPolicy) -> Vec<Result<SimS
         }
     }
     results
+}
+
+/// Runs one simulation job on the worker pool under the default
+/// [`RetryPolicy`], blocking until a global worker permit frees up.
+///
+/// This is the serving layer's entry point: one interactive request
+/// maps to one job and shares the process-wide `max_workers()` budget
+/// with any concurrent batch work, so a burst of what-if queries can
+/// never oversubscribe the host. Failure containment and telemetry
+/// match [`run_batch_with`] exactly.
+pub fn run_job(job: SimJob) -> Result<SimStats, JobFailure> {
+    run_job_with(job, RetryPolicy::default())
+}
+
+/// [`run_job`] with an explicit retry policy: failures classed
+/// transient ([`JobFailure::is_transient`]) re-run after
+/// `base_backoff × 2^(round−1)` sleep, each retry emitting a
+/// `JobRetried` pool event; a job still transiently failing after
+/// `max_attempts` surfaces as [`JobFailure::Retryable`]. Terminal
+/// failures emit `JobFailed` (plus `JobTimedOut` for watchdog
+/// cancellations) just like the batch path.
+pub fn run_job_with(job: SimJob, policy: RetryPolicy) -> Result<SimStats, JobFailure> {
+    let max_attempts = policy.max_attempts.max(1);
+    let mut outcome = run_job_attempt(job.clone());
+    for round in 1..max_attempts {
+        if !matches!(&outcome, Err(failure) if failure.is_transient()) {
+            break;
+        }
+        let backoff = policy.base_backoff * 2u32.pow(round - 1);
+        if !backoff.is_zero() {
+            thread::sleep(backoff);
+        }
+        {
+            let mut p = pool().lock().unwrap_or_else(|e| e.into_inner());
+            let retried = p.jobs_retried;
+            p.metrics.inc(retried, 1);
+            p.emit(Event::JobRetried { job: 0, attempt: round as u64 });
+        }
+        outcome = run_job_attempt(job.clone());
+    }
+    if matches!(&outcome, Err(failure) if failure.is_transient()) {
+        if let Err(JobFailure::Panicked { message }) = outcome {
+            outcome = Err(JobFailure::Retryable { message, attempts: max_attempts });
+        }
+    }
+    if let Err(failure) = &outcome {
+        let mut p = pool().lock().unwrap_or_else(|e| e.into_inner());
+        if let JobFailure::TimedOut { executed_insts, .. } = failure {
+            let timed_out = p.jobs_timed_out;
+            p.metrics.inc(timed_out, 1);
+            p.emit(Event::JobTimedOut { job: 0, executed_insts: *executed_insts });
+        }
+        let failed = p.jobs_failed;
+        p.metrics.inc(failed, 1);
+        p.emit(Event::JobFailed { job: 0, reason: failure.to_string() });
+    }
+    outcome
+}
+
+/// One permit-holding attempt with its latency recorded — the unit the
+/// [`run_job_with`] retry loop repeats. The permit is held only for the
+/// simulation itself, never across a backoff sleep.
+fn run_job_attempt(job: SimJob) -> Result<SimStats, JobFailure> {
+    let _permit = Permit::acquire();
+    let t0 = Instant::now();
+    let outcome = job.try_run();
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut p = pool().lock().unwrap_or_else(|e| e.into_inner());
+    let (latency, ok) = (p.latency_ms, p.jobs_ok);
+    p.metrics.observe(latency, ms);
+    if outcome.is_ok() {
+        p.metrics.inc(ok, 1);
+    }
+    outcome
 }
 
 /// Parallel map over leaf work items with deterministic result order.
@@ -733,6 +814,30 @@ mod tests {
         );
         assert_eq!(attempts.load(Ordering::SeqCst), 1, "permanent failures must not retry");
         assert!(matches!(&out[0], Err(JobFailure::Panicked { .. })));
+    }
+
+    #[test]
+    fn run_job_matches_direct_run_and_contains_budget_exhaustion() {
+        set_max_workers(2);
+        let cfg = SimConfig::table1().with_governor(GovernorSpec::Acc);
+        let stats = run_job(SimJob::new(App::Sha, 0.01, cfg.clone()))
+            .expect("healthy single job must succeed");
+        let direct = run_app(App::Sha, 0.01, &cfg);
+        assert_eq!(direct.sim_time, stats.sim_time);
+        assert_eq!(direct.total_cycles, stats.total_cycles);
+        assert_eq!(pool_in_flight(), 0, "permit must be released after the run");
+
+        // A starvation-level instruction budget must come back as a
+        // contained TimedOut, never a wedged or panicking worker.
+        let starved =
+            SimJob::new(App::Sha, 0.01, cfg).with_budget(crate::config::StepBudget::insts(10));
+        match run_job_with(starved, RetryPolicy::NONE) {
+            Err(JobFailure::TimedOut { executed_insts, .. }) => {
+                assert!(executed_insts >= 10, "watchdog fired before its budget")
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        assert_eq!(pool_in_flight(), 0, "permit must be released after a failure");
     }
 
     #[test]

@@ -236,6 +236,24 @@ pub enum Event {
         /// Instructions the simulation had executed when cancelled.
         executed_insts: u64,
     },
+    /// The serving layer shed a request at admission because the queue
+    /// was full. Emitted by `simrun serve`, not the simulator: like the
+    /// job events, `t_us` is host wall-clock microseconds and `cycle`
+    /// is always 0.
+    RequestShed {
+        /// Requests admitted (queued or running) at the shed decision.
+        admitted: u64,
+        /// Back-off hint returned to the client (milliseconds).
+        retry_after_ms: u64,
+    },
+    /// The serving layer began its graceful drain (SIGTERM or
+    /// stdin EOF): new work is rejected while in-flight requests finish.
+    ServerDrain {
+        /// Requests still in flight when the drain began.
+        in_flight: u64,
+        /// Result-cache entries about to be persisted.
+        cache_entries: u64,
+    },
 }
 
 impl Event {
@@ -257,6 +275,8 @@ impl Event {
             Event::JobFailed { .. } => "JobFailed",
             Event::JobRetried { .. } => "JobRetried",
             Event::JobTimedOut { .. } => "JobTimedOut",
+            Event::RequestShed { .. } => "RequestShed",
+            Event::ServerDrain { .. } => "ServerDrain",
         }
     }
 
@@ -325,6 +345,12 @@ impl Event {
             }
             Event::JobTimedOut { job, executed_insts } => {
                 vec![("job", job.into()), ("executed_insts", executed_insts.into())]
+            }
+            Event::RequestShed { admitted, retry_after_ms } => {
+                vec![("admitted", admitted.into()), ("retry_after_ms", retry_after_ms.into())]
+            }
+            Event::ServerDrain { in_flight, cache_entries } => {
+                vec![("in_flight", in_flight.into()), ("cache_entries", cache_entries.into())]
             }
         }
     }
@@ -410,6 +436,14 @@ impl Event {
             "JobTimedOut" => {
                 Event::JobTimedOut { job: u("job")?, executed_insts: u("executed_insts")? }
             }
+            "RequestShed" => Event::RequestShed {
+                admitted: u("admitted")?,
+                retry_after_ms: u("retry_after_ms")?,
+            },
+            "ServerDrain" => Event::ServerDrain {
+                in_flight: u("in_flight")?,
+                cache_entries: u("cache_entries")?,
+            },
             _ => return Err(format!("unknown event kind `{kind}`")),
         })
     }
@@ -567,6 +601,8 @@ mod tests {
             Event::JobFailed { job: 3, reason: "simulation panicked: boom".to_string() },
             Event::JobRetried { job: 3, attempt: 1 },
             Event::JobTimedOut { job: 4, executed_insts: 1_000_000 },
+            Event::RequestShed { admitted: 9, retry_after_ms: 250 },
+            Event::ServerDrain { in_flight: 2, cache_entries: 31 },
         ];
         for (i, event) in all.into_iter().enumerate() {
             let s = Stamped { t_us: i as f64 + 0.125, cycle: i as u64, event };
