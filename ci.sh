@@ -75,6 +75,38 @@ cargo run --release --offline -q -p kagura-bench --bin repro -- \
     explain "$CACHESCOPE_OUT" > /dev/null
 echo "cachescope stream parses back strictly"
 
+echo "== leakscope smoke (timing side-channel gate) =="
+# The attack must recover the planted secret through C-PACK probe
+# timings alone, the randomized-threshold countermeasure must strictly
+# reduce the measured mutual information on the same cell, and both
+# dumped streams must parse back strictly (simrun re-parses its own dump
+# before rendering; `repro explain` parses them again below).
+LEAKSCOPE_OUT="$(mktemp -d)"
+trap 'rm -rf "$FAULTGRID_OUT" "$LEDGER_OUT" "$CACHESCOPE_OUT" "$LEAKSCOPE_OUT" "$RESUME_BASE" "$RESUME_CUT" "$FLEET_A" "$FLEET_B" "$SERVE_DIR"' EXIT
+cargo run --release --offline -q -p kagura-bench --bin simrun -- \
+    sha --algorithm cpack --governor always --leak-secret c4c4f33dc0ffee01 \
+    --leakscope "$LEAKSCOPE_OUT/leakscope_cpack_always.jsonl" --json \
+    > "$LEAKSCOPE_OUT/always.json" 2>/dev/null
+cargo run --release --offline -q -p kagura-bench --bin simrun -- \
+    sha --algorithm cpack --governor rand-threshold --leak-secret c4c4f33dc0ffee01 \
+    --leakscope "$LEAKSCOPE_OUT/leakscope_cpack_rand_threshold.jsonl" --json \
+    > "$LEAKSCOPE_OUT/rand.json" 2>/dev/null
+python3 - "$LEAKSCOPE_OUT" <<'EOF'
+import json, sys
+out = sys.argv[1]
+always = json.load(open(out + "/always.json"))["leakscope"]
+rand = json.load(open(out + "/rand.json"))["leakscope"]
+assert always["secret_recovered"], always
+assert always["recovered"] == "c4c4f33dc0ffee01", always
+assert always["recovered_bytes"] == 8 and always["secret_bytes"] == 8, always
+assert rand["mi_bits"] < always["mi_bits"], (rand["mi_bits"], always["mi_bits"])
+print(f"secret recovered through C-PACK timing alone; "
+      f"MI {always['mi_bits']:.3f} -> {rand['mi_bits']:.3f} bits under rand-threshold")
+EOF
+cargo run --release --offline -q -p kagura-bench --bin repro -- \
+    explain "$LEAKSCOPE_OUT" > /dev/null
+echo "leakscope streams parse back strictly"
+
 echo "== kill-and-resume gate (journaled resumable runs) =="
 # A short two-experiment run, SIGKILLed mid-grid once the first artifact
 # lands, then resumed; the resumed tree must be byte-identical to an

@@ -2,7 +2,8 @@
 //! full report (progress, power cycles, caches, energy breakdown).
 //!
 //! ```text
-//! simrun <app> [--scale S] [--governor baseline|always|acc|kagura|ideal-acc|ideal-kagura]
+//! simrun <app> [--scale S]
+//!              [--governor baseline|always|acc|kagura|ideal-acc|ideal-kagura|rand-threshold]
 //!              [--design nvsram|nvmr|sweepcache] [--algorithm bdi|fpc|cpack|dzc|bpc|fvc]
 //!              [--trace rfhome|solar|thermal] [--trace-file FILE] [--seed N]
 //!              [--cache BYTES] [--ways N] [--block BYTES] [--cap UF]
@@ -11,6 +12,7 @@
 //!              [--emit-events FILE] [--chrome-trace FILE]
 //!              [--flight-record FILE] [--audit-strict]
 //!              [--cachescope FILE] [--cachescope-period N]
+//!              [--leakscope FILE] [--leak-secret HEX16]
 //! simrun serve [--tcp HOST:PORT] [--port-file PATH] [--state PATH]
 //!              [--workers N] [--queue-depth N] [--cache-capacity N]
 //!              [--deadline-ms N] [--max-insts N] [--write-timeout-ms N]
@@ -41,6 +43,16 @@
 //! it cannot be combined with them in one run (one observability stream
 //! per invocation, so each path stays bit-identical to its tests).
 //!
+//! `--leakscope FILE` runs the compression timing side-channel attack
+//! (`ehs_sim::leakscope`) instead of the app: an attacker co-resident
+//! with a victim holding a planted 8-byte secret recovers it through
+//! probe latencies alone, on the configured compressor × governor. The
+//! stream — guess timeline, recovered bytes, MI/capacity summary — is
+//! written as JSONL, parsed back strictly, and rendered. `--leak-secret
+//! HEX16` overrides the planted secret (exactly 8 bytes). The app
+//! positional only labels the stream; like `--cachescope`, it is one
+//! observability stream per run.
+//!
 //! The energy-conservation ledger is always audited at power-cycle
 //! boundaries (violations are counted in the report); `--audit-strict`
 //! turns the first violation into a hard error.
@@ -66,12 +78,14 @@ use ehs_compress::Algorithm;
 use ehs_energy::{CapacitorConfig, PowerTrace, TraceKind};
 use ehs_sim::{
     run_program, run_program_with_cachescope, run_program_with_telemetry, CachescopeConfig,
-    EhsDesign, Extension, FaultKind, GovernorSpec, SimConfig, SimStats, Simulator,
+    EhsDesign, Extension, FaultKind, GovernorSpec, LeakscopeOptions, SimConfig, SimStats,
+    Simulator,
 };
 use ehs_telemetry::{ChromeTraceSink, JsonlSink, Sink, Stamped};
 use ehs_workloads::App;
 use kagura_bench::cachescope::{self, ScopeLabels};
 use kagura_bench::cli::{validate_args, CliError, FlagSpec};
+use kagura_bench::leakscope;
 
 fn usage() {
     eprintln!(
@@ -82,6 +96,7 @@ fn usage() {
          \x20                [--emit-events FILE] [--chrome-trace FILE]\n\
          \x20                [--flight-record FILE] [--audit-strict]\n\
          \x20                [--cachescope FILE] [--cachescope-period N]\n\
+         \x20                [--leakscope FILE] [--leak-secret HEX16]\n\
          \x20      simrun serve [--tcp HOST:PORT] [--state PATH] … (long-running what-if service)\n\
          apps: {}",
         App::ALL.map(|a| a.name()).join(" ")
@@ -153,6 +168,8 @@ const FLAGS: &[FlagSpec] = &[
     FlagSpec::switch("--audit-strict"),
     FlagSpec::value("--cachescope"),
     FlagSpec::value("--cachescope-period"),
+    FlagSpec::value("--leakscope"),
+    FlagSpec::value("--leak-secret"),
 ];
 
 struct Args(Vec<String>);
@@ -177,6 +194,7 @@ fn build_config(args: &Args) -> Result<SimConfig, String> {
             "kagura" => GovernorSpec::AccKagura(Default::default()),
             "ideal-acc" => GovernorSpec::IdealAcc,
             "ideal-kagura" => GovernorSpec::IdealAccKagura(Default::default()),
+            "rand-threshold" | "rand_threshold" => GovernorSpec::RandThreshold(Default::default()),
             other => return Err(format!("unknown governor {other:?}")),
         };
     }
@@ -366,6 +384,91 @@ fn print_report(stats: &SimStats) {
     }
 }
 
+/// The `--leakscope FILE` path: runs the timing side-channel attack on
+/// the configured compressor × governor (the app positional only labels
+/// the stream), writes the JSONL stream, parses it back strictly — every
+/// dump is its own schema round-trip check — and renders the parsed
+/// report.
+fn run_leakscope(
+    leak_file: &str,
+    app: App,
+    args: &Args,
+    cfg: &SimConfig,
+    injecting: bool,
+) -> Result<(), CliError> {
+    for conflict in [
+        "--emit-events",
+        "--chrome-trace",
+        "--flight-record",
+        "--cachescope",
+        "--cachescope-period",
+    ] {
+        if args.has(conflict) {
+            return Err(CliError::Usage(format!(
+                "--leakscope cannot combine with {conflict}: one observability stream per run"
+            )));
+        }
+    }
+    if injecting {
+        return Err(CliError::Usage(
+            "--leakscope runs its own probe micro-kernels; --inject-at does not apply".into(),
+        ));
+    }
+    if args.has("--trace-file") {
+        return Err(CliError::Usage(
+            "--leakscope uses the configured trace kind/seed; --trace-file does not apply".into(),
+        ));
+    }
+    let mut opts = LeakscopeOptions::default();
+    if let Some(hex) = args.flag("--leak-secret") {
+        let bytes = leakscope::from_hex(hex)
+            .map_err(|e| CliError::Config(format!("bad --leak-secret: {e}")))?;
+        opts.secret = bytes.try_into().map_err(|_| {
+            CliError::Config("--leak-secret must be exactly 8 bytes (16 hex digits)".into())
+        })?;
+    }
+    eprintln!(
+        "leakscope: attacking {} under {} on {} (planted secret {})…",
+        cfg.algorithm,
+        cfg.governor.label(),
+        cfg.design,
+        leakscope::to_hex(&opts.secret)
+    );
+    let report = ehs_sim::attack_cell(cfg, &opts);
+    let labels = ScopeLabels::new(app.name(), cfg.design.name(), cfg.governor.label());
+    let path = Path::new(leak_file);
+    leakscope::write_jsonl(path, &labels, &report)
+        .map_err(|e| CliError::Runtime(format!("{leak_file}: {e}")))?;
+    let parsed = leakscope::parse_leakscope_file(path).map_err(CliError::Runtime)?;
+    eprintln!("leakscope stream written to {leak_file}");
+    if args.has("--json") {
+        let out = serde_json::json!({
+            "leakscope": {
+                "app": app.name(),
+                "algorithm": parsed.algorithm,
+                "governor": parsed.labels.governor,
+                "supported": parsed.supported,
+                "secret": leakscope::to_hex(&parsed.secret),
+                "recovered": leakscope::to_hex(&parsed.recovered),
+                "recovered_bytes": parsed.stats.recovered_bytes,
+                "secret_bytes": parsed.stats.secret_bytes,
+                "secret_recovered": parsed.stats.recovered(),
+                "guesses": parsed.stats.guesses,
+                "retries": parsed.stats.retries,
+                "probe_accesses": parsed.stats.probe_accesses,
+                "bytes_probed": parsed.stats.bytes_probed,
+                "mi_bits": parsed.mi_bits,
+                "capacity_bits": parsed.capacity_bits,
+                "mi_samples": parsed.mi_samples,
+            }
+        });
+        println!("{}", serde_json::to_string_pretty(&out).expect("report serialize"));
+    } else {
+        print!("{}", leakscope::render_leak_report(&parsed));
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), CliError> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     // `simrun serve` is its own subcommand with its own flag table.
@@ -428,6 +531,13 @@ fn run() -> Result<(), CliError> {
             None
         }
     };
+
+    if let Some(leak_file) = args.flag("--leakscope") {
+        return run_leakscope(leak_file, app, &args, &cfg, inject.is_some());
+    }
+    if args.has("--leak-secret") {
+        return Err(CliError::Usage("--leak-secret needs --leakscope".into()));
+    }
 
     let trace = match args.flag("--trace-file") {
         Some(path) => {

@@ -176,7 +176,7 @@ pub struct ParsedScope {
 
 /// Walks a dotted path (`"dcache.hits"`), so errors name the exact
 /// nested field.
-fn field<'a>(v: &'a Value, path: &str) -> Result<&'a Value, String> {
+pub(crate) fn field<'a>(v: &'a Value, path: &str) -> Result<&'a Value, String> {
     let mut cur = v;
     for k in path.split('.') {
         cur = cur.get(k).ok_or_else(|| format!("missing field `{path}`"))?;
@@ -184,22 +184,22 @@ fn field<'a>(v: &'a Value, path: &str) -> Result<&'a Value, String> {
     Ok(cur)
 }
 
-fn u(v: &Value, path: &str) -> Result<u64, String> {
+pub(crate) fn u(v: &Value, path: &str) -> Result<u64, String> {
     field(v, path)?.as_u64().ok_or_else(|| format!("field `{path}` is not an unsigned integer"))
 }
 
-fn f(v: &Value, path: &str) -> Result<f64, String> {
+pub(crate) fn f(v: &Value, path: &str) -> Result<f64, String> {
     field(v, path)?.as_f64().ok_or_else(|| format!("field `{path}` is not a number"))
 }
 
-fn s(v: &Value, path: &str) -> Result<String, String> {
+pub(crate) fn s(v: &Value, path: &str) -> Result<String, String> {
     Ok(field(v, path)?
         .as_str()
         .ok_or_else(|| format!("field `{path}` is not a string"))?
         .to_string())
 }
 
-fn arr<'a>(v: &'a Value, path: &str) -> Result<&'a [Value], String> {
+pub(crate) fn arr<'a>(v: &'a Value, path: &str) -> Result<&'a [Value], String> {
     field(v, path)?.as_array().ok_or_else(|| format!("field `{path}` is not an array"))
 }
 

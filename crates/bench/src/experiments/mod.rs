@@ -7,6 +7,7 @@ pub mod estimator;
 pub mod faultgrid;
 pub mod fleet;
 pub mod headline;
+pub mod leakscope;
 pub mod sensitivity;
 pub mod summary;
 
@@ -77,6 +78,11 @@ pub const REGISTRY: &[(&str, &str, ExpFn)] = &[
         "cachescope",
         "cache-microarchitecture reports: occupancy, compressibility, latency attribution",
         cachescope::cachescope,
+    ),
+    (
+        "leakscope",
+        "compression timing side channel: secret recovery + MI per compressor x governor",
+        leakscope::leakscope,
     ),
     (
         "fleet",

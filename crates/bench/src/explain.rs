@@ -246,16 +246,20 @@ pub fn waste_baseline(doc: &Value, app: &str) -> Option<(f64, f64)> {
     Some((wasted("acc")?, wasted("acc_kagura")?))
 }
 
-/// Entry point for `repro explain DIR`: parses every flight stream and
-/// every cachescope stream under `dir` strictly, renders one report per
-/// stream, and returns the number of streams rendered.
+/// Entry point for `repro explain DIR`: parses every flight stream,
+/// every cachescope stream and every leakscope stream under `dir`
+/// strictly, renders one report per stream (plus the cross-cell leak
+/// table when more than one leakscope cell is present), and returns the
+/// number of streams rendered.
 pub fn explain_dir(dir: &Path) -> Result<usize, String> {
     let files = discover_flight_files(dir)?;
     let scopes = crate::cachescope::discover_cachescope_files(dir)?;
-    if files.is_empty() && scopes.is_empty() {
+    let leaks = crate::leakscope::discover_leakscope_files(dir)?;
+    if files.is_empty() && scopes.is_empty() && leaks.is_empty() {
         return Err(format!(
-            "no flight_<app>.jsonl or cachescope_<app>.jsonl under {dir} (run `repro \
-             energy_waste --telemetry {dir}` or `repro cachescope --telemetry {dir}` first)",
+            "no flight_<app>.jsonl, cachescope_<app>.jsonl or leakscope_<cell>.jsonl under \
+             {dir} (run `repro energy_waste --telemetry {dir}`, `repro cachescope --telemetry \
+             {dir}` or `repro leakscope --telemetry {dir}` first)",
             dir = dir.display(),
         ));
     }
@@ -275,7 +279,18 @@ pub fn explain_dir(dir: &Path) -> Result<usize, String> {
         print!("{}", crate::cachescope::render_report(&parsed));
         println!();
     }
-    Ok(files.len() + scopes.len())
+    let mut leak_cells = Vec::with_capacity(leaks.len());
+    for (_, path) in &leaks {
+        let parsed = crate::leakscope::parse_leakscope_file(path)?;
+        print!("{}", crate::leakscope::render_leak_report(&parsed));
+        println!();
+        leak_cells.push(parsed);
+    }
+    if leak_cells.len() > 1 {
+        print!("{}", crate::leakscope::render_leak_table(&leak_cells));
+        println!();
+    }
+    Ok(files.len() + scopes.len() + leaks.len())
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@ pub mod explain;
 pub mod fleet;
 pub mod fsutil;
 pub mod journal;
+pub mod leakscope;
 pub mod serve;
 
 use std::fs;

@@ -44,11 +44,13 @@ mod cache;
 mod memo;
 pub mod probe;
 mod set;
+pub mod timeline;
 
 pub use cache::{
     CompressedCache, DirtyBlock, Evicted, FillOutcome, HitInfo, ResidentBlock, SetOccupancy,
 };
 pub use probe::{CacheProbe, EvictionReason, ProbeEviction, ProbeFill, ProbeHit};
+pub use timeline::{AccessTimeline, LatencyModel, TimelineRecord};
 
 use ehs_compress::Algorithm;
 use ehs_model::CacheParams;

@@ -103,6 +103,76 @@ impl CompressionGovernor for NeverCompress {
     }
 }
 
+/// Configuration for [`RandomizedThreshold`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RandThresholdConfig {
+    /// Seed for the per-fill threshold draw. Deterministic: the same seed
+    /// reproduces the same decision sequence, so instrumented runs stay
+    /// byte-identical.
+    pub seed: u64,
+    /// Bypass probability in 1/256ths: a fill compresses only when its
+    /// 8-bit draw is `>= bypass_fraction`. 0 degenerates to
+    /// always-compress, 256 would be never-compress (capped at 255).
+    pub bypass_fraction: u16,
+}
+
+impl Default for RandThresholdConfig {
+    fn default() -> Self {
+        // 50 % bypass: halves the attacker's conditional timing
+        // separation per probe without giving up compression entirely.
+        RandThresholdConfig { seed: 0x1EAC_5C0F, bypass_fraction: 128 }
+    }
+}
+
+/// A side-channel countermeasure governor: the compression-enable
+/// threshold is re-randomized on every fill, so whether a given block is
+/// stored compressed — and therefore whether its footprint crosses a
+/// segment boundary that a co-resident attacker can observe through
+/// timing — is no longer a deterministic function of the block's
+/// contents. Compression still happens on average (`1 −
+/// bypass_fraction/256` of fills), so the capacity benefit degrades
+/// gracefully instead of vanishing.
+///
+/// The draw is a SplitMix64 stream advanced once per `fill_mode` query,
+/// which makes the governor deterministic per seed — the leakscope
+/// pipeline measures its mutual-information reduction against the
+/// deterministic baselines on identical cells.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomizedThreshold {
+    cfg: RandThresholdConfig,
+    state: u64,
+}
+
+impl RandomizedThreshold {
+    /// Creates the governor; the decision stream is fixed by `cfg.seed`.
+    pub fn new(cfg: RandThresholdConfig) -> Self {
+        RandomizedThreshold { cfg, state: cfg.seed }
+    }
+
+    fn next_draw(&mut self) -> u8 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as u8
+    }
+}
+
+impl CompressionGovernor for RandomizedThreshold {
+    fn fill_mode(&mut self) -> FillMode {
+        let threshold = self.cfg.bypass_fraction.min(255) as u8;
+        if self.next_draw() < threshold {
+            FillMode::Bypass
+        } else {
+            FillMode::Compress
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "rand-threshold"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +187,34 @@ mod tests {
         }
         assert_eq!(a.name(), "always-compress");
         assert_eq!(n.name(), "no-compression");
+    }
+
+    #[test]
+    fn randomized_threshold_mixes_modes_deterministically() {
+        let cfg = RandThresholdConfig::default();
+        let mut a = RandomizedThreshold::new(cfg);
+        let mut b = RandomizedThreshold::new(cfg);
+        let seq_a: Vec<FillMode> = (0..256).map(|_| a.fill_mode()).collect();
+        let seq_b: Vec<FillMode> = (0..256).map(|_| b.fill_mode()).collect();
+        assert_eq!(seq_a, seq_b, "same seed, same decision stream");
+        let bypasses = seq_a.iter().filter(|m| **m == FillMode::Bypass).count();
+        // 50 % nominal; allow wide slack, but both modes must occur.
+        assert!((64..=192).contains(&bypasses), "bypasses = {bypasses}");
+        assert!(a.compression_enabled(), "store-hit repacking stays on");
+        assert_eq!(a.name(), "rand-threshold");
+    }
+
+    #[test]
+    fn randomized_threshold_extremes() {
+        let mut always =
+            RandomizedThreshold::new(RandThresholdConfig { seed: 7, bypass_fraction: 0 });
+        assert!((0..64).all(|_| always.fill_mode() == FillMode::Compress));
+        let mut never =
+            RandomizedThreshold::new(RandThresholdConfig { seed: 7, bypass_fraction: 256 });
+        // Capped at 255/256: an occasional compress draw is permitted, but
+        // the stream must be bypass-dominated.
+        let bypasses = (0..256).filter(|_| never.fill_mode() == FillMode::Bypass).count();
+        assert!(bypasses >= 250, "bypasses = {bypasses}");
     }
 
     #[test]

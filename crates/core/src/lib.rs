@@ -65,6 +65,8 @@ pub mod overhead;
 
 pub use acc::Acc;
 pub use adapt::{AdaptScheme, ThresholdAdapter};
-pub use governor::{AlwaysCompress, CompressionGovernor, NeverCompress};
+pub use governor::{
+    AlwaysCompress, CompressionGovernor, NeverCompress, RandThresholdConfig, RandomizedThreshold,
+};
 pub use kagura::{EstimatorKind, Kagura, KaguraConfig, Mode, TriggerKind};
 pub use oracle::{OracleRecorder, OracleReplayer, OracleTrace};

@@ -57,6 +57,16 @@ pub enum ImageKind {
         /// Percentage of blocks that are compressible (0-100).
         compressible_pct: u8,
     },
+    /// Exact literal contents: the eight little-endian words of one 32-byte
+    /// block, repeated cyclically across the region. The only kind whose
+    /// bytes are *chosen* rather than procedurally generated — the
+    /// leakscope harness uses it to plant a victim secret (and the
+    /// attacker's co-resident guess bytes) at precise block offsets.
+    Literal {
+        /// The block's words; word `i` of the address space reads
+        /// `words[i % 8]`.
+        words: [u32; 8],
+    },
 }
 
 /// SplitMix64: a tiny, high-quality hash used to derive per-word noise from
@@ -98,6 +108,7 @@ impl ImageKind {
             // Mixed delegates per block in `materialize`; treat stray word
             // queries as random.
             ImageKind::Mixed { seed, .. } => splitmix64(seed ^ (word_pos << 1)) as u32,
+            ImageKind::Literal { words } => words[(word_pos % 8) as usize],
         }
     }
 
@@ -309,6 +320,27 @@ mod tests {
             let block = image.materialize(0x1000 / bs as u64, bs);
             assert!(!block.is_all_zero(), "block size {bs}");
         }
+    }
+
+    #[test]
+    fn literal_blocks_reproduce_their_words_exactly() {
+        let words = [0xDEAD_BEEFu32, 1, 2, 3, 4, 5, 6, 0x0102_0304];
+        let block = ImageKind::Literal { words }.materialize(4, 32);
+        for (i, &w) in words.iter().enumerate() {
+            assert_eq!(block.read_u32(4 * i as u32), w);
+        }
+        // Word-aligned regions see the same bytes regardless of block index
+        // (the pattern repeats every 8 words = one 32-byte block).
+        let other = ImageKind::Literal { words }.materialize(9, 32);
+        assert_eq!(block.as_slice(), other.as_slice());
+        // A literal region patched over a zero default is exact at its
+        // address and leaves neighbours untouched.
+        let image = MemoryImage::builder(ImageKind::Zeros)
+            .region(0x80, ImageKind::Literal { words })
+            .region(0xA0, ImageKind::Zeros)
+            .build();
+        assert_eq!(image.materialize(4, 32).read_u32(0), 0xDEAD_BEEF);
+        assert!(image.materialize(5, 32).is_all_zero());
     }
 
     #[test]

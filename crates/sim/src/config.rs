@@ -3,7 +3,7 @@
 use ehs_compress::Algorithm;
 use ehs_energy::{CapacitorConfig, TraceKind};
 use ehs_model::{Cycles, Energy, SimTime, SystemParams};
-use kagura_core::KaguraConfig;
+use kagura_core::{KaguraConfig, RandThresholdConfig};
 
 /// Which EHS runtime the simulated platform uses (paper §VIII-H1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -89,6 +89,11 @@ pub enum GovernorSpec {
     IdealAcc,
     /// The two-phase ideal applied to ACC + Kagura.
     IdealAccKagura(KaguraConfig),
+    /// Randomized compression threshold — the leakscope side-channel
+    /// countermeasure: each fill's compress/bypass decision is drawn from
+    /// a seeded stream, decorrelating stored footprint from block
+    /// contents.
+    RandThreshold(RandThresholdConfig),
 }
 
 impl GovernorSpec {
@@ -101,6 +106,7 @@ impl GovernorSpec {
             GovernorSpec::AccKagura(_) => "ACC+Kagura",
             GovernorSpec::IdealAcc => "ideal ACC",
             GovernorSpec::IdealAccKagura(_) => "ideal ACC+Kagura",
+            GovernorSpec::RandThreshold(_) => "rand-threshold",
         }
     }
 

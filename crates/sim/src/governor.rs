@@ -5,7 +5,7 @@ use crate::config::ConfigError;
 use ehs_cache::{FillMode, HitInfo};
 use kagura_core::{
     Acc, AlwaysCompress, CompressionGovernor, Kagura, KaguraConfig, NeverCompress, OracleRecorder,
-    OracleReplayer, OracleTrace, TriggerKind,
+    OracleReplayer, OracleTrace, RandThresholdConfig, RandomizedThreshold, TriggerKind,
 };
 
 /// All governor configurations the simulator can run.
@@ -31,6 +31,8 @@ pub enum Governor {
     RecordKagura(OracleRecorder<Kagura<Acc>>),
     /// Oracle replay phase over ACC + Kagura.
     ReplayKagura(OracleReplayer<Kagura<Acc>>),
+    /// Randomized compression threshold (side-channel countermeasure).
+    RandThreshold(RandomizedThreshold),
 }
 
 macro_rules! delegate {
@@ -44,6 +46,7 @@ macro_rules! delegate {
             Governor::ReplayAcc($g) => $e,
             Governor::RecordKagura($g) => $e,
             Governor::ReplayKagura($g) => $e,
+            Governor::RandThreshold($g) => $e,
         }
     };
 }
@@ -77,6 +80,11 @@ impl Governor {
     /// Oracle replay phase over ACC.
     pub fn replay_acc(trace: OracleTrace) -> Self {
         Governor::ReplayAcc(OracleReplayer::new(Acc::new(), trace))
+    }
+
+    /// Randomized compression threshold (side-channel countermeasure).
+    pub fn rand_threshold(cfg: RandThresholdConfig) -> Self {
+        Governor::RandThreshold(RandomizedThreshold::new(cfg))
     }
 
     /// Oracle recording phase over ACC + Kagura.

@@ -42,6 +42,7 @@ pub mod config;
 pub mod faultinject;
 pub mod fleet;
 pub mod governor;
+pub mod leakscope;
 pub mod machine;
 pub mod parallel;
 pub mod runner;
@@ -57,6 +58,7 @@ pub use config::{
 pub use faultinject::{FaultCampaignReport, GoldenState, InjectionPlan};
 pub use fleet::{FleetCell, FleetSpec, Permutation};
 pub use governor::Governor;
+pub use leakscope::{attack_cell, attack_trace, CellAttackReport, GuessProbe, LeakscopeOptions};
 pub use machine::{FaultKind, Simulator};
 pub use parallel::{
     pool_in_flight, run_batch, run_batch_with, run_job, run_job_with, JobFailure, RetryPolicy,
@@ -64,6 +66,6 @@ pub use parallel::{
 };
 pub use runner::{
     run_app, run_app_with_cachescope, run_app_with_telemetry, run_ideal_app, run_program,
-    run_program_with_cachescope, run_program_with_telemetry,
+    run_program_with_cachescope, run_program_with_leak_timeline, run_program_with_telemetry,
 };
 pub use stats::{ConsistencyReport, CycleRecord, SimStats};

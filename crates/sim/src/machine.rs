@@ -435,6 +435,7 @@ impl<'p> Simulator<'p> {
             GS::AlwaysCompress => Governor::always(),
             GS::Acc => Governor::acc(),
             GS::AccKagura(kcfg) => Governor::kagura(kcfg),
+            GS::RandThreshold(rcfg) => Governor::rand_threshold(rcfg),
             GS::IdealAcc | GS::IdealAccKagura(_) => {
                 panic!("ideal governors are two-phase: use run_ideal_app")
             }
@@ -631,6 +632,48 @@ impl<'p> Simulator<'p> {
         self.dcache.for_each_dirty(|addr, data, _| nvm.store_silent_from(addr, data));
         let report = self.take_cachescope_report();
         (self.finish(), report)
+    }
+
+    /// Attaches a leakscope access timeline to the data cache: a bounded
+    /// [`AccessTimeline`] probe recording the (set, latency, hit/miss,
+    /// occupancy-delta) tuple of every access, as a co-resident attacker
+    /// would observe it. Purely event-driven, so the fast-forward loop
+    /// stays engaged (the fastpath differential suite asserts identical
+    /// timelines under both loops). Drive the run with
+    /// [`Simulator::run_with_leak_timeline`].
+    pub fn attach_leak_timeline(&mut self, capacity: usize) {
+        let model = ehs_cache::LatencyModel {
+            hit: self.cfg.system.dcache.hit_latency.get(),
+            decompress: self.comp_cost.decompress_latency.get(),
+            compress: self.comp_cost.compress_latency.get(),
+            miss: self.cfg.system.dcache.hit_latency.get() + self.cfg.system.nvm.read_latency.get(),
+        };
+        let probe =
+            ehs_cache::AccessTimeline::new(model, self.cfg.system.dcache.num_sets(), capacity);
+        self.dcache.attach_probe(Box::new(probe));
+    }
+
+    /// Runs to completion like [`Simulator::run`], returning the
+    /// per-access timeline recorded by the attached probe alongside the
+    /// stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics without a prior [`Simulator::attach_leak_timeline`].
+    pub fn run_with_leak_timeline(mut self) -> (SimStats, ehs_cache::AccessTimeline) {
+        self.run_loop();
+        // Mirror `run`: flush residual dirty state so the returned stats
+        // are byte-identical to an unprobed run.
+        let nvm = &mut self.nvm;
+        self.dcache.for_each_dirty(|addr, data, _| nvm.store_silent_from(addr, data));
+        let timeline = *self
+            .dcache
+            .take_probe()
+            .expect("run_with_leak_timeline requires attach_leak_timeline")
+            .into_any()
+            .downcast::<ehs_cache::AccessTimeline>()
+            .expect("leak probe is an AccessTimeline");
+        (self.finish(), timeline)
     }
 
     /// Records the end-of-run boundary row, detaches the probes and

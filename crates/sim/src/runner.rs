@@ -178,6 +178,48 @@ pub fn run_program_with_cachescope(
     }
 }
 
+/// Like [`run_program`] but with a leakscope access timeline attached to
+/// the data cache; returns the per-access timeline alongside the stats.
+/// The fast-forward loop stays engaged (the probe is event-driven) and
+/// the stats are byte-identical to an unprobed run.
+///
+/// Ideal (two-phase) specs record the timeline only over the replay
+/// phase, mirroring [`run_program_with_cachescope`].
+pub fn run_program_with_leak_timeline(
+    program: &KernelProgram,
+    trace: &PowerTrace,
+    cfg: &SimConfig,
+    capacity: usize,
+) -> (SimStats, ehs_cache::AccessTimeline) {
+    let probed = |gov: Option<Governor>| {
+        let mut sim = match gov {
+            Some(g) => Simulator::with_governor(cfg.clone(), program, trace, g),
+            None => Simulator::new(cfg.clone(), program, trace),
+        };
+        sim.attach_leak_timeline(capacity);
+        sim.run_with_leak_timeline()
+    };
+    match cfg.governor {
+        GovernorSpec::IdealAcc => {
+            let (_, oracle) =
+                Simulator::with_governor(cfg.clone(), program, trace, Governor::record_acc())
+                    .run_recording();
+            probed(Some(Governor::replay_acc(oracle)))
+        }
+        GovernorSpec::IdealAccKagura(kcfg) => {
+            let (_, oracle) = Simulator::with_governor(
+                cfg.clone(),
+                program,
+                trace,
+                Governor::record_kagura(kcfg),
+            )
+            .run_recording();
+            probed(Some(Governor::replay_kagura(kcfg, oracle)))
+        }
+        _ => probed(None),
+    }
+}
+
 /// Like [`run_app`] but with a cachescope attached; see
 /// [`run_program_with_cachescope`].
 pub fn run_app_with_cachescope(

@@ -13,10 +13,11 @@
 //! both extensions (EDBP's scan countdown caps batch length; IPEX
 //! prefetch), and armed instruction budgets.
 
+use ehs_compress::Algorithm;
 use ehs_sim::faultinject::diff_nvm;
 use ehs_sim::{
-    CachescopeConfig, EhsDesign, ExecMode, Extension, FaultKind, GovernorSpec, SimConfig, SimStats,
-    Simulator, StepBudget,
+    CachescopeConfig, EhsDesign, ExecMode, Extension, FaultKind, GovernorSpec, LeakscopeOptions,
+    SimConfig, SimStats, Simulator, StepBudget,
 };
 use ehs_workloads::App;
 use kagura_core::{KaguraConfig, TriggerKind};
@@ -176,6 +177,61 @@ fn cachescope_reports_match_under_edbp_and_sweepcache() {
         .with_design(EhsDesign::SweepCache)
         .with_governor(GovernorSpec::AccKagura(Default::default()));
     assert_cachescope_matches(App::Sha, 0.004, &cfg);
+}
+
+#[test]
+fn leakscope_attack_matches_between_loops() {
+    // The whole attack — probe-by-probe attacker timeline, recovered
+    // bytes, effort accounting and every f64 channel estimate — must be
+    // bit-identical whichever loop drives the probe micro-runs. One
+    // attackable compressor and the randomized-threshold countermeasure
+    // (whose per-fill RNG draws must consume identically in both loops).
+    let opts = LeakscopeOptions::default();
+    for gov in [GovernorSpec::AlwaysCompress, GovernorSpec::RandThreshold(Default::default())] {
+        let mut cfg = SimConfig::table1().with_governor(gov);
+        cfg.algorithm = Algorithm::CPack;
+        let fast = ehs_sim::attack_cell(&cfg.clone().with_exec(ExecMode::FastForward), &opts);
+        let reference = ehs_sim::attack_cell(&cfg.clone().with_exec(ExecMode::Reference), &opts);
+        assert_eq!(
+            fast.probes, reference.probes,
+            "attacker timeline diverged between loops: gov={:?}",
+            cfg.governor
+        );
+        assert_eq!(fast.mi_bits.to_bits(), reference.mi_bits.to_bits(), "gov={:?}", cfg.governor);
+        assert_eq!(
+            fast.capacity_bits.to_bits(),
+            reference.capacity_bits.to_bits(),
+            "gov={:?}",
+            cfg.governor
+        );
+        assert_eq!(fast, reference, "attack report diverged between loops: gov={:?}", cfg.governor);
+    }
+}
+
+#[test]
+fn leak_timeline_matches_between_loops_and_never_perturbs() {
+    // A real app (not a probe micro-kernel) with the per-access timeline
+    // attached: both loops must record the same accesses in the same
+    // order, and attaching the probe must not perturb the run itself.
+    let cfg = SimConfig::table1().with_governor(GovernorSpec::AccKagura(Default::default()));
+    let program = App::Sha.build(0.004);
+    let trace = ehs_sim::attack_trace(&cfg);
+    let run = |exec: ExecMode| {
+        ehs_sim::run_program_with_leak_timeline(
+            &program,
+            &trace,
+            &cfg.clone().with_exec(exec),
+            2048,
+        )
+    };
+    let (fast, fast_tl) = run(ExecMode::FastForward);
+    let (reference, ref_tl) = run(ExecMode::Reference);
+    assert_eq!(fast, reference, "stats diverged with the leak timeline attached");
+    assert_eq!(fast_tl.records(), ref_tl.records(), "timeline records diverged between loops");
+    assert_eq!(fast_tl.dropped(), ref_tl.dropped());
+    assert!(!fast_tl.records().is_empty(), "timeline recorded nothing");
+    let plain = ehs_sim::run_program(&program, &trace, &cfg);
+    assert_eq!(fast, plain, "leak timeline perturbed the run");
 }
 
 #[test]

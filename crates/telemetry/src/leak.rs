@@ -1,0 +1,295 @@
+//! Information-leakage metrics for the leakscope pipeline.
+//!
+//! The leakscope harness (in `ehs-sim`) turns a compressed-cache timing
+//! side channel into samples: pairs of (planted secret value, attacker
+//! observable). This module quantifies the channel those samples witness:
+//!
+//! * [`mutual_information_bits`] — the plug-in (maximum-likelihood)
+//!   estimator of `I(S; O)` over the empirical joint histogram. Zero iff
+//!   the observable is independent of the secret in the sample; bounded by
+//!   `log2(|S|)`.
+//! * [`channel_capacity_bits`] — Blahut–Arimoto capacity of the empirical
+//!   conditional `P(O | S)`: the best any input distribution could extract,
+//!   not just the uniform one the harness happened to plant.
+//! * [`LatencyHistogram`] — per-secret-value probe-latency counts, the raw
+//!   distributions behind the estimates.
+//! * [`AttackStats`] — guesses-to-recovery / bytes-probed accounting in
+//!   the style of the YACC/C-PACK attack exemplar.
+//!
+//! Everything here is deterministic `f64` arithmetic over integer counts —
+//! no RNG, no ambient state — so leakscope reports stay byte-identical
+//! across runs and job counts.
+
+use std::collections::BTreeMap;
+
+/// Per-secret-value histogram of attacker-observed probe latencies.
+///
+/// `BTreeMap` keys keep iteration order (and therefore JSONL emission
+/// order) deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: BTreeMap<u64, u64>,
+}
+
+impl LatencyHistogram {
+    /// Records one observed latency.
+    pub fn record(&mut self, latency: u64) {
+        *self.counts.entry(latency).or_insert(0) += 1;
+    }
+
+    /// `(latency, count)` pairs in ascending latency order.
+    pub fn bins(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&l, &c)| (l, c))
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+}
+
+/// Attack effort accounting, à la the YACC/C-PACK exemplar's
+/// `AttackStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AttackStats {
+    /// Guess runs issued until the secret was recovered (or given up on).
+    pub guesses: u64,
+    /// Attacker memory accesses across all guess runs.
+    pub probe_accesses: u64,
+    /// Bytes touched by those accesses (accesses × block size).
+    pub bytes_probed: u64,
+    /// Guess-sweep retries forced by inconclusive rounds (e.g. a power
+    /// outage landing inside the probe window).
+    pub retries: u64,
+    /// Secret bytes recovered.
+    pub recovered_bytes: u32,
+    /// Secret bytes planted.
+    pub secret_bytes: u32,
+}
+
+impl AttackStats {
+    /// `true` when every planted byte was recovered.
+    pub fn recovered(&self) -> bool {
+        self.secret_bytes > 0 && self.recovered_bytes == self.secret_bytes
+    }
+}
+
+/// `x·log2(x)` with the continuous extension `0·log2(0) = 0`.
+fn xlog2(x: f64) -> f64 {
+    if x > 0.0 {
+        x * x.log2()
+    } else {
+        0.0
+    }
+}
+
+/// Plug-in mutual information `I(S; O)` in bits over `(secret,
+/// observable)` samples.
+///
+/// The estimator is the maximum-likelihood one: empirical joint and
+/// marginal frequencies plugged into `Σ p(s,o)·log2(p(s,o)/(p(s)p(o)))`.
+/// It is non-negative, at most `log2(#distinct secrets)` (and
+/// `log2(#distinct observables)`), invariant under sample order, and
+/// exactly zero when the empirical distributions are independent —
+/// properties the proptests below pin.
+pub fn mutual_information_bits(samples: &[(u64, u64)]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let n = samples.len() as f64;
+    let mut joint: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut ps: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut po: BTreeMap<u64, u64> = BTreeMap::new();
+    for &(s, o) in samples {
+        *joint.entry((s, o)).or_insert(0) += 1;
+        *ps.entry(s).or_insert(0) += 1;
+        *po.entry(o).or_insert(0) += 1;
+    }
+    // I = H(S) + H(O) − H(S,O), computed from entropies for numerical
+    // symmetry (every term is a clean Σ x·log2(x) over one histogram).
+    let h = |counts: &BTreeMap<_, u64>| -> f64 {
+        -counts.values().map(|&c| xlog2(c as f64 / n)).sum::<f64>()
+    };
+    let hs = -ps.values().map(|&c| xlog2(c as f64 / n)).sum::<f64>();
+    let ho = h(&po);
+    let hso = -joint.values().map(|&c| xlog2(c as f64 / n)).sum::<f64>();
+    // Clamp: floating-point cancellation can leave a tiny negative.
+    (hs + ho - hso).max(0.0)
+}
+
+/// Blahut–Arimoto channel capacity in bits of the empirical conditional
+/// `P(O | S)` built from `(secret, observable)` samples.
+///
+/// Capacity maximizes `I(X; O)` over input distributions, so it upper
+/// bounds [`mutual_information_bits`] of the same samples (up to the
+/// iteration tolerance). Secrets never seen contribute nothing; with one
+/// distinct secret (or none) the capacity is zero.
+pub fn channel_capacity_bits(samples: &[(u64, u64)]) -> f64 {
+    // Row-normalized conditional: rows = secrets, cols = observables.
+    let mut rows: BTreeMap<u64, BTreeMap<u64, u64>> = BTreeMap::new();
+    let mut cols: BTreeMap<u64, usize> = BTreeMap::new();
+    for &(s, o) in samples {
+        *rows.entry(s).or_default().entry(o).or_insert(0) += 1;
+        let next = cols.len();
+        cols.entry(o).or_insert(next);
+    }
+    let (ns, no) = (rows.len(), cols.len());
+    // With fewer than two inputs or outputs the channel carries nothing;
+    // returning early also keeps the estimate exactly 0.0 (the iteration
+    // would otherwise leave Σp ≈ 1 rounding noise in log2).
+    if ns < 2 || no < 2 {
+        return 0.0;
+    }
+    let mut w = vec![vec![0.0f64; no]; ns]; // P(o | s)
+    for (i, row) in rows.values().enumerate() {
+        let tot: u64 = row.values().sum();
+        for (o, &c) in row {
+            w[i][cols[o]] = c as f64 / tot as f64;
+        }
+    }
+    let mut p = vec![1.0 / ns as f64; ns];
+    let mut capacity = 0.0;
+    for _ in 0..200 {
+        // q(o) = Σ_s p(s)·w(o|s)
+        let mut q = vec![0.0f64; no];
+        for (i, pi) in p.iter().enumerate() {
+            for (j, qj) in q.iter_mut().enumerate() {
+                *qj += pi * w[i][j];
+            }
+        }
+        // D_i = exp2(Σ_o w(o|s_i)·log2(w(o|s_i)/q(o)))
+        let mut d = vec![0.0f64; ns];
+        for (i, di) in d.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for j in 0..no {
+                if w[i][j] > 0.0 && q[j] > 0.0 {
+                    acc += w[i][j] * (w[i][j] / q[j]).log2();
+                }
+            }
+            *di = acc.exp2();
+        }
+        let z: f64 = p.iter().zip(&d).map(|(pi, di)| pi * di).sum();
+        let next_capacity = z.log2();
+        for (pi, di) in p.iter_mut().zip(&d) {
+            *pi = *pi * di / z;
+        }
+        if (next_capacity - capacity).abs() < 1e-9 {
+            capacity = next_capacity;
+            break;
+        }
+        capacity = next_capacity;
+    }
+    capacity.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic_binary_channel_has_full_mi() {
+        // Observable = secret: I = log2(4) = 2 bits; capacity agrees.
+        let samples: Vec<(u64, u64)> = (0..4).flat_map(|s| [(s, s); 3]).collect();
+        let mi = mutual_information_bits(&samples);
+        assert!((mi - 2.0).abs() < 1e-9, "mi = {mi}");
+        let cap = channel_capacity_bits(&samples);
+        assert!((cap - 2.0).abs() < 1e-6, "cap = {cap}");
+    }
+
+    #[test]
+    fn independent_samples_have_zero_mi() {
+        // Full product distribution: exactly independent.
+        let samples: Vec<(u64, u64)> = (0..4).flat_map(|s| (0..3).map(move |o| (s, o))).collect();
+        assert_eq!(mutual_information_bits(&samples), 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_zero() {
+        assert_eq!(mutual_information_bits(&[]), 0.0);
+        assert_eq!(mutual_information_bits(&[(1, 7), (1, 9)]), 0.0);
+        assert_eq!(channel_capacity_bits(&[]), 0.0);
+        assert_eq!(channel_capacity_bits(&[(1, 7), (1, 9)]), 0.0);
+    }
+
+    #[test]
+    fn capacity_upper_bounds_plugin_mi() {
+        // A noisy, skewed channel: capacity re-weights inputs and can only
+        // gain over the planted uniform distribution.
+        let samples =
+            [(0, 10), (0, 10), (0, 21), (1, 21), (1, 21), (1, 10), (2, 33), (2, 33), (2, 33)];
+        let mi = mutual_information_bits(&samples);
+        let cap = channel_capacity_bits(&samples);
+        assert!(cap + 1e-6 >= mi, "cap {cap} < mi {mi}");
+    }
+
+    #[test]
+    fn latency_histogram_orders_bins() {
+        let mut h = LatencyHistogram::default();
+        for l in [11, 5, 11, 42, 5, 5] {
+            h.record(l);
+        }
+        let bins: Vec<_> = h.bins().collect();
+        assert_eq!(bins, vec![(5, 3), (11, 2), (42, 1)]);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn attack_stats_recovery_flag() {
+        let mut s = AttackStats { secret_bytes: 8, recovered_bytes: 8, ..Default::default() };
+        assert!(s.recovered());
+        s.recovered_bytes = 7;
+        assert!(!s.recovered());
+        assert!(!AttackStats::default().recovered());
+    }
+
+    /// Strategy: a joint sample set over small alphabets.
+    fn samples_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+        proptest::collection::vec((0u64..6, 0u64..5), 1..200)
+    }
+
+    proptest! {
+        #[test]
+        fn mi_is_non_negative(samples in samples_strategy()) {
+            prop_assert!(mutual_information_bits(&samples) >= 0.0);
+        }
+
+        #[test]
+        fn mi_bounded_by_log2_of_alphabets(samples in samples_strategy()) {
+            let mi = mutual_information_bits(&samples);
+            let ns = samples.iter().map(|&(s, _)| s).collect::<std::collections::BTreeSet<_>>().len();
+            let no = samples.iter().map(|&(_, o)| o).collect::<std::collections::BTreeSet<_>>().len();
+            prop_assert!(mi <= (ns as f64).log2() + 1e-9, "mi {} > log2({})", mi, ns);
+            prop_assert!(mi <= (no as f64).log2() + 1e-9, "mi {} > log2({})", mi, no);
+        }
+
+        #[test]
+        fn mi_is_permutation_invariant(samples in samples_strategy(), rot in 0usize..199) {
+            let mut shuffled = samples.clone();
+            let k = rot % shuffled.len().max(1);
+            shuffled.rotate_left(k);
+            shuffled.reverse();
+            // Identical joint histogram ⇒ bit-identical estimate.
+            prop_assert_eq!(
+                mutual_information_bits(&samples).to_bits(),
+                mutual_information_bits(&shuffled).to_bits()
+            );
+        }
+
+        #[test]
+        fn mi_is_zero_on_secret_independent_timings(
+            secrets in proptest::collection::vec(0u64..6, 1..40),
+            timing in 0u64..4,
+        ) {
+            // Every secret sees the same (constant) timing: no information.
+            let samples: Vec<(u64, u64)> = secrets.iter().map(|&s| (s, timing)).collect();
+            prop_assert_eq!(mutual_information_bits(&samples), 0.0);
+            prop_assert_eq!(channel_capacity_bits(&samples), 0.0);
+        }
+
+        #[test]
+        fn capacity_never_below_zero(samples in samples_strategy()) {
+            prop_assert!(channel_capacity_bits(&samples) >= 0.0);
+        }
+    }
+}

@@ -42,6 +42,7 @@
 
 pub mod event;
 pub mod fixed;
+pub mod leak;
 pub mod metrics;
 pub mod sampler;
 pub mod sink;
@@ -49,6 +50,7 @@ pub mod spans;
 
 pub use event::{Event, FlightRecord, Registers, Stamped};
 pub use fixed::FixedSum;
+pub use leak::{channel_capacity_bits, mutual_information_bits, AttackStats, LatencyHistogram};
 pub use metrics::{Counter, Gauge, Histogram, HistogramId, MetricsRegistry};
 pub use sampler::{quantile_of_sorted, Reservoir};
 pub use sink::{ChromeTraceSink, JsonlSink, NullSink, RingSink, Sink, VecSink};
